@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the repository's CLIs once into a temp dir and
+// returns their paths.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, b)
+	}
+	return string(b)
+}
+
+// TestCLIPipeline drives the full tool chain: generate a graph with
+// sggen, run algorithms over it with symplegraph, and analyze/instrument
+// a UDF with sgc.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sggen", "symplegraph", "sgc")
+	dir := t.TempDir()
+
+	// 1. Generate a binary graph.
+	graphPath := filepath.Join(dir, "g.sg")
+	run(t, tools["sggen"], "-type", "rmat", "-scale", "9", "-ef", "8", "-seed", "3",
+		"-format", "binary", "-out", graphPath)
+	if fi, err := os.Stat(graphPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("graph file: %v", err)
+	}
+
+	// 2. Run BFS and K-core over it in both modes.
+	for _, mode := range []string{"gemini", "symplegraph"} {
+		out := run(t, tools["symplegraph"], "-graph", graphPath, "-algo", "bfs",
+			"-nodes", "4", "-mode", mode)
+		if !strings.Contains(out, "bfs: root=") || !strings.Contains(out, "edges traversed:") {
+			t.Fatalf("mode %s output:\n%s", mode, out)
+		}
+		if mode == "gemini" && !strings.Contains(out, "dependency=0B") {
+			t.Fatalf("gemini sent dependency bytes:\n%s", out)
+		}
+	}
+	out := run(t, tools["symplegraph"], "-graph", graphPath, "-algo", "kcore", "-k", "4", "-nodes", "4")
+	if !strings.Contains(out, "kcore: k=4") {
+		t.Fatalf("kcore output:\n%s", out)
+	}
+
+	// 3. Analyze and instrument a UDF.
+	udf := filepath.Join(dir, "udf.go")
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func signal(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		if frontier.Get(int(u)) {
+			ctx.Emit(uint32(u))
+			break
+		}
+	}
+}
+`
+	if err := os.WriteFile(udf, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	analysis := run(t, tools["sgc"], "analyze", udf)
+	if !strings.Contains(analysis, "loop-carried dependency") {
+		t.Fatalf("analysis output:\n%s", analysis)
+	}
+	outPath := filepath.Join(dir, "udf_instrumented.go")
+	run(t, tools["sgc"], "instrument", "-o", outPath, udf)
+	instrumented, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(instrumented), "ctx.EmitDep()") {
+		t.Fatalf("instrumented output:\n%s", instrumented)
+	}
+}
+
+// TestCLITextFormatRoundTrip checks sggen's text output parses.
+func TestCLITextFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sggen")
+	out := run(t, tools["sggen"], "-type", "grid", "-rows", "4", "-cols", "4", "-format", "text")
+	if !strings.Contains(out, "# vertices 16") {
+		t.Fatalf("text output:\n%s", out)
+	}
+}
+
+// TestCLIMultiProcessTCP launches two symplegraph processes forming a
+// real TCP cluster — the paper's deployment model with OS processes as
+// machines.
+func TestCLIMultiProcessTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "symplegraph")
+
+	// Reserve two loopback ports.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	addrList := strings.Join(addrs, ",")
+
+	outs := make([]string, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(tools["symplegraph"],
+				"-algo", "mis", "-rmat", "9,8,5", "-mode", "symplegraph",
+				"-tcp-id", fmt.Sprint(i), "-tcp-addrs", addrList)
+			b, err := cmd.CombinedOutput()
+			outs[i], errs[i] = string(b), err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("process %d: %v\n%s", i, errs[i], outs[i])
+		}
+	}
+	// Node 0 holds the gathered result; both report traffic.
+	if !strings.Contains(outs[0], "mis: size=") {
+		t.Fatalf("node 0 output:\n%s", outs[0])
+	}
+	for i := 0; i < 2; i++ {
+		if !strings.Contains(outs[i], "communication: update=") {
+			t.Fatalf("node %d output:\n%s", i, outs[i])
+		}
+	}
+	// The two processes computed the same MIS rule; sizes match because
+	// node 1 prints its partial view's count only for its masters...
+	// assert instead that node 0's size is positive.
+	if strings.Contains(outs[0], "mis: size=0 ") {
+		t.Fatalf("node 0 found empty MIS:\n%s", outs[0])
+	}
+}

@@ -1,0 +1,247 @@
+// Command symplegraph runs the paper's algorithms on a simulated
+// SympleGraph cluster and reports results with the paper's metrics:
+// execution time, edges traversed, and communication volume broken down
+// into update and dependency traffic.
+//
+// Usage:
+//
+//	symplegraph -algo bfs -rmat 14,16,1 -nodes 8 -mode symplegraph
+//	symplegraph -algo kcore -k 8 -graph web.sg -mode gemini
+//	symplegraph -algo sampling -rounds 8 -nodes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "binary graph file (see sggen)")
+		rmatSpec   = flag.String("rmat", "12,16,1", "generate R-MAT graph: scale,edgefactor,seed")
+		algo       = flag.String("algo", "bfs", "algorithm: bfs, mis, kcore, kmeans, sampling, cc, sssp, pagerank")
+		nodes      = flag.Int("nodes", 8, "simulated cluster size")
+		mode       = flag.String("mode", "symplegraph", "engine mode: symplegraph or gemini")
+		threshold  = flag.Int("threshold", core.DefaultDepThreshold, "differentiated-propagation degree threshold (0 = track all)")
+		buffers    = flag.Int("buffers", 2, "double-buffering group count (1 = off)")
+		workers    = flag.Int("workers", 1, "worker goroutines per node")
+		root       = flag.Int("root", -1, "BFS/SSSP root (-1 = highest-degree vertex)")
+		k          = flag.Int("k", 8, "K for K-core")
+		centers    = flag.Int("centers", 0, "K-means centers (0 = sqrt(|V|))")
+		iters      = flag.Int("iters", 3, "K-means outer iterations")
+		rounds     = flag.Int("rounds", 4, "sampling rounds")
+		seed       = flag.Uint64("seed", 42, "algorithm seed")
+		symmetrize = flag.Bool("symmetrize", true, "symmetrize for undirected algorithms")
+		tcpID      = flag.Int("tcp-id", -1, "multi-process mode: this process's node ID")
+		tcpAddrs   = flag.String("tcp-addrs", "", "multi-process mode: comma-separated listen addresses, one per node")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *rmatSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	needsUndirected := *algo == "mis" || *algo == "kcore" || *algo == "kmeans"
+	if needsUndirected && *symmetrize {
+		g = graph.Symmetrize(g)
+	}
+	if *algo == "sssp" && !g.Weighted() {
+		g = graph.RandomWeights(g, 7)
+	}
+
+	var m core.Mode
+	switch *mode {
+	case "symplegraph":
+		m = core.ModeSympleGraph
+	case "gemini":
+		m = core.ModeGemini
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	var cluster *core.Cluster
+	if *tcpID >= 0 {
+		// Genuinely distributed: this process hosts one machine; run
+		// the same command with each -tcp-id on every machine.
+		addrs := strings.Split(*tcpAddrs, ",")
+		if len(addrs) < 2 || *tcpID >= len(addrs) {
+			fatalf("-tcp-id %d needs -tcp-addrs with at least 2 entries", *tcpID)
+		}
+		ln, err := net.Listen("tcp", addrs[*tcpID])
+		if err != nil {
+			fatalf("listening on %s: %v", addrs[*tcpID], err)
+		}
+		ep, err := comm.NewTCPEndpoint(comm.NodeID(*tcpID), ln, addrs)
+		if err != nil {
+			fatalf("joining cluster: %v", err)
+		}
+		defer ep.Close()
+		cluster, err = core.NewDistributedNode(g, core.Options{
+			NumNodes:     len(addrs),
+			Mode:         m,
+			DepThreshold: *threshold,
+			NumBuffers:   *buffers,
+			Workers:      *workers,
+		}, ep)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		*nodes = len(addrs)
+	} else {
+		var err error
+		cluster, err = core.NewCluster(g, core.Options{
+			NumNodes:     *nodes,
+			Mode:         m,
+			DepThreshold: *threshold,
+			NumBuffers:   *buffers,
+			Workers:      *workers,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	defer cluster.Close()
+
+	fmt.Printf("graph: %v  nodes: %d  mode: %v\n", g, *nodes, m)
+	rootV := graph.VertexID(*root)
+	if *root < 0 {
+		rootV, _ = graph.LargestOutDegreeVertex(g)
+	}
+
+	switch *algo {
+	case "bfs":
+		res, err := algorithms.BFS(cluster, rootV)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		reached := 0
+		for _, d := range res.Depth {
+			if d >= 0 {
+				reached++
+			}
+		}
+		fmt.Printf("bfs: root=%d reached=%d top-down=%d bottom-up=%d\n",
+			rootV, reached, res.TopDownSteps, res.BottomUpSteps)
+	case "mis":
+		res, err := algorithms.MIS(cluster, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		size := 0
+		for _, in := range res.InMIS {
+			if in {
+				size++
+			}
+		}
+		fmt.Printf("mis: size=%d rounds=%d\n", size, res.Rounds)
+	case "kcore":
+		res, err := algorithms.KCore(cluster, *k)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		size := 0
+		for _, in := range res.InCore {
+			if in {
+				size++
+			}
+		}
+		fmt.Printf("kcore: k=%d size=%d rounds=%d\n", *k, size, res.Rounds)
+	case "kmeans":
+		c := *centers
+		if c == 0 {
+			c = int(math.Sqrt(float64(g.NumVertices())))
+		}
+		res, err := algorithms.KMeans(cluster, c, *iters, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("kmeans: centers=%d iterations=%d distsums=%v\n", c, *iters, res.DistSums)
+	case "sampling":
+		res, err := algorithms.Sample(cluster, *seed, *rounds)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("sampling: rounds=%d exact-picks=%d\n", *rounds, res.ExactPicks)
+	case "cc":
+		labels, err := algorithms.ConnectedComponents(cluster)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		comps := map[uint32]bool{}
+		for _, l := range labels {
+			comps[l] = true
+		}
+		fmt.Printf("cc: components=%d\n", len(comps))
+	case "pagerank":
+		rank, err := algorithms.PageRank(cluster, *iters, 0.85)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		best, bestRank := 0, 0.0
+		for v, r := range rank {
+			if r > bestRank {
+				best, bestRank = v, r
+			}
+		}
+		fmt.Printf("pagerank: iterations=%d top vertex=%d rank=%.6f\n", *iters, best, bestRank)
+	case "sssp":
+		dist, err := algorithms.SSSP(cluster, rootV)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		reached := 0
+		for _, d := range dist {
+			if d < algorithms.InfDist {
+				reached++
+			}
+		}
+		fmt.Printf("sssp: root=%d reached=%d\n", rootV, reached)
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+
+	s := cluster.LastRunStats()
+	fmt.Printf("time: %v\n", s.Elapsed)
+	fmt.Printf("edges traversed: %d (%.3f of |E|)\n", s.EdgesTraversed,
+		float64(s.EdgesTraversed)/float64(g.NumEdges()))
+	fmt.Printf("communication: update=%dB dependency=%dB control=%dB total=%dB\n",
+		s.UpdateBytes, s.DependencyBytes, s.ControlBytes, s.TotalBytes())
+	fmt.Printf("dependency-skipped signal executions: %d\n", s.VerticesSkipped)
+	fmt.Printf("wait: dependency=%v update=%v\n", s.DependencyWait, s.UpdateWait)
+}
+
+func loadGraph(path, rmatSpec string) (*graph.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadBinary(f)
+	}
+	parts := strings.Split(rmatSpec, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -rmat spec %q, want scale,edgefactor,seed", rmatSpec)
+	}
+	scale, err1 := strconv.Atoi(parts[0])
+	ef, err2 := strconv.Atoi(parts[1])
+	seed, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("bad -rmat spec %q", rmatSpec)
+	}
+	return graph.RMAT(scale, ef, graph.Graph500Params(), seed), nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "symplegraph: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Package algorithms implements the paper's five evaluation algorithms —
+// direction-optimizing BFS, Maximal Independent Set, K-core, graph
+// K-means, and weighted neighbor sampling (§2.1, Figure 3) — plus
+// connected components and SSSP to demonstrate the substrate generality,
+// all on the core engine's signal/slot API.
+//
+// Every algorithm runs unchanged in ModeGemini (the baseline) and
+// ModeSympleGraph (dependency propagation), producing identical results;
+// the difference is the work and traffic recorded in the cluster's
+// RunStats. UDFs here are the instrumented forms of the paper's Figure 5:
+// the engine performs receive_dep before invoking the signal, the UDF
+// calls ctx.EmitDep at its break, and ctx.Edge where the analyzer inserts
+// traversal accounting.
+package algorithms
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// None marks absent vertex values (no parent, no cluster, no pick).
+const None = ^uint32(0)
+
+// syncMasterBitmapFrom builds a full-length bitmap whose master segment
+// contains the bits this worker's slot pass recorded, then merges all
+// segments. It is the per-iteration frontier publication step.
+func syncMasterBitmapFrom(w *core.Worker, local *bitset.Bitmap) error {
+	return w.SyncBitmap(local)
+}
+
+// frontierEdges sums the out-degrees of this worker's master vertices in
+// the frontier — the direction-switch statistic — and reduces globally.
+func frontierEdges(w *core.Worker, frontier *bitset.Bitmap) (int64, error) {
+	g := w.Graph()
+	lo, hi := w.MasterRange()
+	var local int64
+	frontier.RangeSegment(lo, hi, func(v int) bool {
+		local += int64(g.OutDegree(graph.VertexID(v)))
+		return true
+	})
+	return w.AllReduceSum(local)
+}
+
+// localFrontierList materializes this worker's master vertices in the
+// frontier bitmap.
+func localFrontierList(w *core.Worker, frontier *bitset.Bitmap) []graph.VertexID {
+	lo, hi := w.MasterRange()
+	var out []graph.VertexID
+	frontier.RangeSegment(lo, hi, func(v int) bool {
+		out = append(out, graph.VertexID(v))
+		return true
+	})
+	return out
+}

@@ -1,0 +1,173 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// BFSResult is the distributed BFS output plus per-direction iteration
+// counts (the adaptive switch statistic).
+type BFSResult struct {
+	Parent []uint32 // None for the root and unreached vertices
+	Depth  []int32  // -1 for unreached vertices
+	// TopDownSteps/BottomUpSteps count iterations executed in each
+	// direction by the adaptive switch.
+	TopDownSteps, BottomUpSteps int
+}
+
+// Direction selects BFS's traversal strategy per iteration.
+type Direction int
+
+const (
+	// DirectionAdaptive switches per iteration on the frontier's
+	// out-edge count (Beamer's heuristic; the paper's evaluation
+	// configuration).
+	DirectionAdaptive Direction = iota
+	// DirectionTopDown forces sparse push every iteration — no
+	// loop-carried dependency, the conventional BFS.
+	DirectionTopDown
+	// DirectionBottomUp forces dense pull every iteration — maximal
+	// exposure of the loop-carried dependency.
+	DirectionBottomUp
+)
+
+// BFS runs direction-optimizing breadth-first search from root (paper
+// §2.1/§7.1: "adaptive direction-switch BFS that chooses from both
+// top-down and bottom-up algorithms in each iteration"). Bottom-up
+// iterations carry the loop-carried dependency — an unvisited vertex
+// stops scanning incoming neighbors at its first frontier hit — which
+// SympleGraph mode enforces across machines.
+func BFS(c *core.Cluster, root graph.VertexID) (*BFSResult, error) {
+	return BFSWithDirection(c, root, DirectionAdaptive)
+}
+
+// BFSWithDirection is BFS with a forced traversal direction, for
+// direction-ablation experiments.
+func BFSWithDirection(c *core.Cluster, root graph.VertexID, dir Direction) (*BFSResult, error) {
+	g := c.Graph()
+	n := g.NumVertices()
+	if int(root) >= n {
+		return nil, fmt.Errorf("algorithms: BFS root %d out of range", root)
+	}
+	res := &BFSResult{}
+	err := c.Run(func(w *core.Worker) error {
+		// Per-node replicated state: what a real machine would hold.
+		visited := bitset.New(n)
+		frontier := bitset.New(n)
+		parent := make([]uint32, n)
+		depth := make([]int32, n)
+		for i := range parent {
+			parent[i] = None
+			depth[i] = -1
+		}
+		visited.Set(int(root))
+		frontier.Set(int(root))
+		depth[root] = 0
+
+		level := int32(0)
+		topDown, bottomUp := 0, 0
+		for {
+			fe, err := frontierEdges(w, frontier)
+			if err != nil {
+				return err
+			}
+			level++
+			next := bitset.New(n)
+			var newly int64
+			bottomUpNow := dir == DirectionBottomUp ||
+				(dir == DirectionAdaptive && fe > g.NumEdges()/20)
+			if bottomUpNow {
+				// Bottom-up (dense/pull): unvisited vertices look for a
+				// frontier in-neighbor — Figure 1's UDF, instrumented.
+				bottomUp++
+				newly, err = core.ProcessEdgesDense(w, core.DenseParams[uint32]{
+					Codec:     core.U32Codec{},
+					ActiveDst: func(dst graph.VertexID) bool { return !visited.Get(int(dst)) },
+					Signal: func(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+						for _, u := range srcs {
+							ctx.Edge()
+							if frontier.Get(int(u)) {
+								ctx.Emit(uint32(u))
+								ctx.EmitDep()
+								break
+							}
+						}
+					},
+					Slot: func(dst graph.VertexID, u uint32) int64 {
+						if parent[dst] != None {
+							return 0
+						}
+						parent[dst] = u
+						depth[dst] = level
+						next.Set(int(dst))
+						return 1
+					},
+				})
+			} else {
+				// Top-down (sparse/push).
+				topDown++
+				newly, err = core.ProcessEdgesSparse(w, core.SparseParams[uint32]{
+					Codec:    core.U32Codec{},
+					Frontier: localFrontierList(w, frontier),
+					Signal: func(ctx *core.SparseCtx[uint32], src graph.VertexID, dsts []graph.VertexID, _ []float32) {
+						for _, v := range dsts {
+							ctx.Edge()
+							if !visited.Get(int(v)) {
+								ctx.EmitTo(v, uint32(src))
+							}
+						}
+					},
+					Slot: func(dst graph.VertexID, u uint32) int64 {
+						if parent[dst] != None {
+							return 0
+						}
+						parent[dst] = u
+						depth[dst] = level
+						next.Set(int(dst))
+						return 1
+					},
+				})
+			}
+			if err != nil {
+				return err
+			}
+			if newly == 0 {
+				break
+			}
+			if err := syncMasterBitmapFrom(w, next); err != nil {
+				return err
+			}
+			visited.Union(next)
+			frontier = next
+		}
+
+		// Publish results to node 0, whose copy becomes the return value.
+		if err := w.GatherU32(parent); err != nil {
+			return err
+		}
+		depthU := make([]uint32, n)
+		for i, d := range depth {
+			depthU[i] = uint32(d)
+		}
+		if err := w.GatherU32(depthU); err != nil {
+			return err
+		}
+		if w.ID() == 0 {
+			for i, d := range depthU {
+				depth[i] = int32(d)
+			}
+			res.Parent = parent
+			res.Depth = depth
+			res.TopDownSteps = topDown
+			res.BottomUpSteps = bottomUp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

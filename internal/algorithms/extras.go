@@ -1,0 +1,147 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ConnectedComponents labels each vertex of a symmetric graph with the
+// smallest vertex ID in its component, by push-style label propagation.
+// It has no loop-carried dependency (min is fully commutative) and is
+// included to show the substrate runs ordinary Gemini programs unchanged.
+func ConnectedComponents(c *core.Cluster) ([]uint32, error) {
+	g := c.Graph()
+	n := g.NumVertices()
+	out := make([]uint32, n)
+	err := c.Run(func(w *core.Worker) error {
+		label := make([]uint32, n) // masters authoritative
+		for v := range label {
+			label[v] = uint32(v)
+		}
+		lo, hi := w.MasterRange()
+		changed := bitset.New(n)
+		for v := lo; v < hi; v++ {
+			changed.Set(v)
+		}
+		for {
+			frontier := localFrontierList(w, changed)
+			next := bitset.New(n)
+			red, err := core.ProcessEdgesSparse(w, core.SparseParams[uint32]{
+				Codec:    core.U32Codec{},
+				Frontier: frontier,
+				Signal: func(ctx *core.SparseCtx[uint32], src graph.VertexID, dsts []graph.VertexID, _ []float32) {
+					for _, d := range dsts {
+						ctx.Edge()
+						ctx.EmitTo(d, label[src])
+					}
+				},
+				Slot: func(dst graph.VertexID, l uint32) int64 {
+					if l < label[dst] {
+						label[dst] = l
+						next.Set(int(dst))
+						return 1
+					}
+					return 0
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if red == 0 {
+				break
+			}
+			// changed is only read for local masters, so no sync is
+			// needed — next already holds exactly our changed masters.
+			changed = next
+		}
+		if err := w.GatherU32(label); err != nil {
+			return err
+		}
+		if w.ID() == 0 {
+			copy(out, label)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InfDist marks unreachable vertices in SSSP output.
+var InfDist = float32(math.Inf(1))
+
+// SSSP computes single-source shortest paths over positive edge weights
+// by distributed Bellman-Ford (push mode). Like ConnectedComponents it
+// exercises the general framework rather than the dependency machinery.
+func SSSP(c *core.Cluster, root graph.VertexID) ([]float32, error) {
+	g := c.Graph()
+	if !g.Weighted() {
+		return nil, fmt.Errorf("algorithms: SSSP needs a weighted graph")
+	}
+	n := g.NumVertices()
+	out := make([]float32, n)
+	err := c.Run(func(w *core.Worker) error {
+		dist := make([]float32, n) // masters authoritative
+		for v := range dist {
+			dist[v] = InfDist
+		}
+		changed := bitset.New(n)
+		if w.Owns(root) {
+			dist[root] = 0
+			changed.Set(int(root))
+		}
+		for {
+			frontier := localFrontierList(w, changed)
+			next := bitset.New(n)
+			red, err := core.ProcessEdgesSparse(w, core.SparseParams[float32]{
+				Codec:    core.F32Codec{},
+				Frontier: frontier,
+				Signal: func(ctx *core.SparseCtx[float32], src graph.VertexID, dsts []graph.VertexID, ws []float32) {
+					for i, d := range dsts {
+						ctx.Edge()
+						ctx.EmitTo(d, dist[src]+ws[i])
+					}
+				},
+				Slot: func(dst graph.VertexID, cand float32) int64 {
+					if cand < dist[dst] {
+						dist[dst] = cand
+						next.Set(int(dst))
+						return 1
+					}
+					return 0
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if red == 0 {
+				break
+			}
+			changed = next
+		}
+		// Publish as bit patterns to survive the u32 gather.
+		bits := make([]uint32, n)
+		lo, hi := w.MasterRange()
+		for v := lo; v < hi; v++ {
+			bits[v] = math.Float32bits(dist[v])
+		}
+		if err := w.GatherU32(bits); err != nil {
+			return err
+		}
+		if w.ID() == 0 {
+			for v, b := range bits {
+				out[v] = math.Float32frombits(b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

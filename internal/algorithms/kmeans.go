@@ -1,0 +1,198 @@
+package algorithms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/seq"
+	"repro/internal/xrand"
+)
+
+// KMeans runs distributed graph K-means (paper Figure 3c, §2.1):
+// `centers` clusters, `iters` outer iterations of assign / measure /
+// re-center. The assignment phase is BFS-like adoption — an unassigned
+// vertex adopts the cluster of its first assigned neighbor, the
+// loop-carried dependency — executed as dense pull rounds. Results match
+// seq.KMeans under seq.RingOrder(c.Partition()) exactly.
+func KMeans(c *core.Cluster, centers, iters int, seed uint64) (*seq.KMeansResult, error) {
+	if centers < 1 || iters < 1 {
+		return nil, fmt.Errorf("algorithms: KMeans centers=%d iters=%d", centers, iters)
+	}
+	g := c.Graph()
+	n := g.NumVertices()
+	if centers > n {
+		return nil, fmt.Errorf("algorithms: %d centers for %d vertices", centers, n)
+	}
+	res := &seq.KMeansResult{}
+	err := c.Run(func(w *core.Worker) error {
+		// Initial centers: identical deterministic choice on every node.
+		perm := xrand.Perm(n, xrand.Mix(seed, 0x4b3))
+		cs := make([]graph.VertexID, 0, centers)
+		for _, v := range perm {
+			if len(cs) == centers {
+				break
+			}
+			cs = append(cs, graph.VertexID(v))
+		}
+
+		cluster := make([]uint32, n) // masters authoritative
+		dist := make([]int32, n)
+		var distSums []int64
+		totalRounds := 0
+		for iter := 0; iter < iters; iter++ {
+			for v := range cluster {
+				cluster[v] = seq.NoCluster
+				dist[v] = -1
+			}
+			assigned := bitset.New(n)
+			for cid, cv := range cs {
+				cluster[cv] = uint32(cid)
+				dist[cv] = 0
+				assigned.Set(int(cv))
+			}
+			for round := int32(1); ; round++ {
+				totalRounds++
+				newAssigned := bitset.New(n)
+				adopted, err := core.ProcessEdgesDense(w, core.DenseParams[uint32]{
+					Codec:     core.U32Codec{},
+					ActiveDst: func(dst graph.VertexID) bool { return !assigned.Get(int(dst)) },
+					Signal: func(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+						for _, u := range srcs {
+							ctx.Edge()
+							if assigned.Get(int(u)) {
+								ctx.Emit(cluster[u])
+								ctx.EmitDep()
+								break
+							}
+						}
+					},
+					Slot: func(dst graph.VertexID, cid uint32) int64 {
+						if cluster[dst] != seq.NoCluster {
+							return 0
+						}
+						cluster[dst] = cid
+						dist[dst] = round
+						newAssigned.Set(int(dst))
+						return 1
+					},
+				})
+				if err != nil {
+					return err
+				}
+				if adopted == 0 {
+					break
+				}
+				if err := syncMasterBitmapFrom(w, newAssigned); err != nil {
+					return err
+				}
+				assigned.Union(newAssigned)
+			}
+			// Step 3: total distance.
+			sum, err := w.ProcessVertices(func(v graph.VertexID) int64 {
+				if dist[v] > 0 {
+					return int64(dist[v])
+				}
+				return 0
+			})
+			if err != nil {
+				return err
+			}
+			distSums = append(distSums, sum)
+			if iter == iters-1 {
+				break
+			}
+			// Step 4: re-center — global argmin of a deterministic hash
+			// per cluster, combined from per-node local minima.
+			cs2, err := recenterDistributed(w, cluster, cs, seed, iter)
+			if err != nil {
+				return err
+			}
+			cs = cs2
+		}
+
+		if err := w.GatherU32(cluster); err != nil {
+			return err
+		}
+		distU := make([]uint32, n)
+		for v, d := range dist {
+			distU[v] = uint32(d)
+		}
+		if err := w.GatherU32(distU); err != nil {
+			return err
+		}
+		if w.ID() == 0 {
+			res.Cluster = cluster
+			res.Dist = make([]int32, n)
+			for v, d := range distU {
+				res.Dist[v] = int32(d)
+			}
+			res.Centers = cs
+			res.DistSums = distSums
+			res.Rounds = totalRounds
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// recenterDistributed computes seq.Recenter's result without shared
+// memory: each node finds, per cluster, the member of its master range
+// minimizing the deterministic hash; the per-cluster (key, vertex) pairs
+// are all-gathered and combined identically everywhere.
+func recenterDistributed(w *core.Worker, cluster []uint32, prev []graph.VertexID, seed uint64, iter int) ([]graph.VertexID, error) {
+	k := len(prev)
+	bestKey := make([]float64, k)
+	bestV := make([]graph.VertexID, k)
+	for cid := range bestKey {
+		bestKey[cid] = math.Inf(1)
+		bestV[cid] = prev[cid]
+	}
+	lo, hi := w.MasterRange()
+	for v := lo; v < hi; v++ {
+		cid := cluster[v]
+		if cid == seq.NoCluster {
+			continue
+		}
+		key := xrand.Uniform01(seed, 0x7e, uint64(iter), uint64(v))
+		if key < bestKey[cid] {
+			bestKey[cid] = key
+			bestV[cid] = graph.VertexID(v)
+		}
+	}
+	blob := make([]byte, k*12)
+	for cid := 0; cid < k; cid++ {
+		binary.LittleEndian.PutUint64(blob[cid*12:], math.Float64bits(bestKey[cid]))
+		binary.LittleEndian.PutUint32(blob[cid*12+8:], uint32(bestV[cid]))
+	}
+	all, err := w.AllGatherBlob(blob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.VertexID, k)
+	outKey := make([]float64, k)
+	for cid := 0; cid < k; cid++ {
+		outKey[cid] = math.Inf(1)
+		out[cid] = prev[cid]
+	}
+	for _, payload := range all {
+		if len(payload) != k*12 {
+			return nil, fmt.Errorf("algorithms: recenter blob is %d bytes, want %d", len(payload), k*12)
+		}
+		for cid := 0; cid < k; cid++ {
+			key := math.Float64frombits(binary.LittleEndian.Uint64(payload[cid*12:]))
+			v := graph.VertexID(binary.LittleEndian.Uint32(payload[cid*12+8:]))
+			if key < outKey[cid] {
+				outKey[cid] = key
+				out[cid] = v
+			}
+		}
+	}
+	return out, nil
+}

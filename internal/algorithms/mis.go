@@ -1,0 +1,141 @@
+package algorithms
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/seq"
+)
+
+// MISResult is the distributed MIS output.
+type MISResult struct {
+	InMIS  []bool
+	Rounds int
+}
+
+// MIS computes a maximal independent set with the paper's color-based
+// iterative algorithm (Figure 3a) on a symmetric graph: each round,
+// active vertices whose color is smaller than every active neighbor's
+// color join the set; members and their neighbors then deactivate. Both
+// phases carry the loop-carried dependency — the scan breaks at the first
+// smaller-colored active neighbor (veto) and at the first new-member
+// neighbor (cover).
+//
+// Colors are the deterministic permutation seq.MISColors(n, seed), so the
+// result equals seq.GreedyMIS for every mode and machine count.
+func MIS(c *core.Cluster, seed uint64) (*MISResult, error) {
+	g := c.Graph()
+	n := g.NumVertices()
+	colors := seq.MISColors(n, seed)
+	res := &MISResult{}
+	err := c.Run(func(w *core.Worker) error {
+		active := bitset.New(n)
+		active.Fill()
+		inMIS := make([]bool, n) // masters authoritative
+		rounds := 0
+		for active.Any() {
+			rounds++
+			// Phase 1: veto pass. A vertex is vetoed when some active
+			// neighbor has a smaller color; un-vetoed active vertices
+			// join the MIS.
+			vetoed := bitset.New(n)
+			if _, err := core.ProcessEdgesDense(w, core.DenseParams[struct{}]{
+				Codec:     core.UnitCodec{},
+				ActiveDst: func(dst graph.VertexID) bool { return active.Get(int(dst)) },
+				Signal: func(ctx *core.DenseCtx[struct{}], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+					for _, u := range srcs {
+						ctx.Edge()
+						if active.Get(int(u)) && colors[u] < colors[dst] {
+							ctx.Emit(struct{}{})
+							ctx.EmitDep()
+							break
+						}
+					}
+				},
+				Slot: func(dst graph.VertexID, _ struct{}) int64 {
+					if vetoed.Get(int(dst)) {
+						return 0
+					}
+					vetoed.Set(int(dst))
+					return 1
+				},
+			}); err != nil {
+				return err
+			}
+			newMIS := bitset.New(n)
+			joined, err := w.ProcessVertices(func(v graph.VertexID) int64 {
+				if active.Get(int(v)) && !vetoed.Get(int(v)) {
+					inMIS[v] = true
+					newMIS.SetAtomic(int(v)) // workers share words
+					return 1
+				}
+				return 0
+			})
+			if err != nil {
+				return err
+			}
+			if joined == 0 {
+				break
+			}
+			if err := syncMasterBitmapFrom(w, newMIS); err != nil {
+				return err
+			}
+			// Phase 2: cover pass. Active vertices adjacent to a new
+			// member deactivate (first member neighbor suffices).
+			covered := bitset.New(n)
+			if _, err := core.ProcessEdgesDense(w, core.DenseParams[struct{}]{
+				Codec:     core.UnitCodec{},
+				ActiveDst: func(dst graph.VertexID) bool { return active.Get(int(dst)) && !newMIS.Get(int(dst)) },
+				Signal: func(ctx *core.DenseCtx[struct{}], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+					for _, u := range srcs {
+						ctx.Edge()
+						if newMIS.Get(int(u)) {
+							ctx.Emit(struct{}{})
+							ctx.EmitDep()
+							break
+						}
+					}
+				},
+				Slot: func(dst graph.VertexID, _ struct{}) int64 {
+					if covered.Get(int(dst)) {
+						return 0
+					}
+					covered.Set(int(dst))
+					return 1
+				},
+			}); err != nil {
+				return err
+			}
+			if err := syncMasterBitmapFrom(w, covered); err != nil {
+				return err
+			}
+			active.AndNot(newMIS)
+			active.AndNot(covered)
+		}
+
+		// Publish membership.
+		out := make([]uint32, n)
+		lo, hi := w.MasterRange()
+		for v := lo; v < hi; v++ {
+			if inMIS[v] {
+				out[v] = 1
+			}
+		}
+		if err := w.GatherU32(out); err != nil {
+			return err
+		}
+		if w.ID() == 0 {
+			full := make([]bool, n)
+			for v, x := range out {
+				full[v] = x == 1
+			}
+			res.InMIS = full
+			res.Rounds = rounds
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// PageRank runs power-iteration PageRank in dense pull mode for a fixed
+// number of iterations with the given damping factor (dangling mass is
+// not redistributed, as in Gemini's reference implementation). PageRank's
+// signal has *no* loop-carried dependency — every neighbor contributes to
+// the sum — so SympleGraph mode runs it at Gemini cost; it is included
+// (like CC and SSSP) to show the engine is a complete vertex-centric
+// framework, and serves as the analyzer's negative example.
+func PageRank(c *core.Cluster, iters int, damping float64) ([]float64, error) {
+	if iters < 1 || damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("algorithms: PageRank iters=%d damping=%g", iters, damping)
+	}
+	g := c.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	err := c.Run(func(w *core.Worker) error {
+		// The signal reads rank[u] for local masters only (sources are
+		// always local in pull mode), so the array needs no mid-run
+		// replication: masters update their own range each iteration.
+		rank := make([]float64, n)
+		next := make([]float64, n)
+		for v := range rank {
+			rank[v] = 1 / float64(n)
+		}
+		base := (1 - damping) / float64(n)
+		lo, hi := w.MasterRange()
+		for it := 0; it < iters; it++ {
+			for v := lo; v < hi; v++ {
+				next[v] = 0
+			}
+			if _, err := core.ProcessEdgesDense(w, core.DenseParams[float64]{
+				Codec: core.F64Codec{},
+				Signal: func(ctx *core.DenseCtx[float64], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+					sum := 0.0
+					for _, u := range srcs {
+						ctx.Edge()
+						if d := g.OutDegree(u); d > 0 {
+							sum += rank[u] / float64(d)
+						}
+					}
+					ctx.Emit(sum)
+				},
+				Slot: func(dst graph.VertexID, contrib float64) int64 {
+					next[dst] += contrib
+					return 0
+				},
+			}); err != nil {
+				return err
+			}
+			for v := lo; v < hi; v++ {
+				rank[v] = base + damping*next[v]
+			}
+		}
+		if err := w.AllGatherF64(rank); err != nil {
+			return err
+		}
+		if w.ID() == 0 {
+			copy(out, rank)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

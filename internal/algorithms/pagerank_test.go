@@ -1,0 +1,104 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// seqPageRank is the single-threaded oracle matching PageRank's
+// semantics (fixed iterations, no dangling redistribution).
+func seqPageRank(g *graph.Graph, iters int, damping float64) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.InNeighbors(graph.VertexID(v)) {
+				if d := g.OutDegree(u); d > 0 {
+					sum += rank[u] / float64(d)
+				}
+			}
+			next[v] = base + damping*sum
+		}
+		rank = next
+	}
+	return rank
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	g := graph.RMAT(9, 8, graph.Graph500Params(), 14)
+	want := seqPageRank(g, 5, 0.85)
+	forAllConfigs(t, g, func(t *testing.T, c *core.Cluster) {
+		got, err := PageRank(c, 5, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-12 {
+				t.Fatalf("vertex %d: rank %g, want %g", v, got[v], want[v])
+			}
+		}
+	})
+}
+
+func TestPageRankRanksHubsHigher(t *testing.T) {
+	// The star hub receives rank from all spokes.
+	g := graph.Star(64)
+	c, err := core.NewCluster(g, core.Options{NumNodes: 4, Mode: core.ModeSympleGraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rank, err := PageRank(c, 10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 64; v++ {
+		if rank[0] <= rank[v] {
+			t.Fatalf("hub rank %g not above spoke %d rank %g", rank[0], v, rank[v])
+		}
+	}
+}
+
+func TestPageRankRejectsBadArgs(t *testing.T) {
+	g := graph.Ring(16)
+	c, _ := core.NewCluster(g, core.Options{NumNodes: 2})
+	defer c.Close()
+	for _, tc := range []struct {
+		iters   int
+		damping float64
+	}{{0, 0.85}, {3, 0}, {3, 1}, {3, -0.5}} {
+		if _, err := PageRank(c, tc.iters, tc.damping); err == nil {
+			t.Fatalf("iters=%d damping=%g accepted", tc.iters, tc.damping)
+		}
+	}
+}
+
+// PageRank has no loop-carried dependency, so SympleGraph mode must not
+// reduce its edge traversals — the engine's pruning applies only when
+// UDFs emit dependency.
+func TestPageRankNoDependencySavings(t *testing.T) {
+	g := graph.RMAT(9, 8, graph.Graph500Params(), 15)
+	run := func(mode core.Mode) int64 {
+		c, err := core.NewCluster(g, core.Options{NumNodes: 4, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := PageRank(c, 3, 0.85); err != nil {
+			t.Fatal(err)
+		}
+		return c.LastRunStats().EdgesTraversed
+	}
+	if gem, sym := run(core.ModeGemini), run(core.ModeSympleGraph); gem != sym {
+		t.Fatalf("edge traversals differ without dependency: gemini %d, symple %d", gem, sym)
+	}
+}

@@ -1,0 +1,184 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/seq"
+)
+
+// Property: on arbitrary random graphs and arbitrary engine
+// configurations, SympleGraph-mode results equal Gemini-mode results
+// equal the sequential oracle — the paper's Definition 2.2/2.4
+// equivalence, checked by randomized search rather than fixed seeds.
+func TestQuickCrossModeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	f := func(gSeed int64, pRaw, thrRaw, bRaw uint8, algoRaw uint8) bool {
+		p := int(pRaw)%4 + 1
+		threshold := []int{0, 4, 32}[int(thrRaw)%3]
+		buffers := int(bRaw)%3 + 1
+		g := graph.Symmetrize(graph.Uniform(256, 2048, gSeed))
+
+		mk := func(mode core.Mode) *core.Cluster {
+			c, err := core.NewCluster(g, core.Options{
+				NumNodes:     p,
+				Mode:         mode,
+				DepThreshold: threshold,
+				NumBuffers:   buffers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		sym := mk(core.ModeSympleGraph)
+		defer sym.Close()
+		gem := mk(core.ModeGemini)
+		defer gem.Close()
+
+		switch algoRaw % 3 {
+		case 0: // BFS depths vs sequential
+			root, _ := graph.LargestOutDegreeVertex(g)
+			a, err := BFS(sym, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BFS(gem, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seq.TopDownBFS(g, root)
+			for v := range want.Depth {
+				if a.Depth[v] != want.Depth[v] || b.Depth[v] != want.Depth[v] {
+					return false
+				}
+			}
+		case 1: // MIS vs greedy oracle
+			want := seq.GreedyMIS(g, seq.MISColors(g.NumVertices(), uint64(gSeed)))
+			a, err := MIS(sym, uint64(gSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := MIS(gem, uint64(gSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if a.InMIS[v] != want[v] || b.InMIS[v] != want[v] {
+					return false
+				}
+			}
+		default: // K-core vs iterative oracle
+			k := int(thrRaw)%6 + 2
+			want, _ := seq.KCoreIterative(g, k)
+			a, err := KCore(sym, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := KCore(gem, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if a.InCore[v] != want[v] || b.InCore[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sampling under full tracking equals the ring-order oracle on
+// arbitrary graphs.
+func TestQuickSamplingExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	f := func(gSeed int64, pRaw uint8) bool {
+		p := int(pRaw)%3 + 2
+		g := graph.Uniform(192, 1024, gSeed)
+		c, err := core.NewCluster(g, core.Options{
+			NumNodes: p, Mode: core.ModeSympleGraph, DepThreshold: 0, NumBuffers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		res, err := Sample(c, uint64(gSeed)+1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := seq.SampleNeighbors(g, uint64(gSeed)+1, 0, seq.RingOrder(c.Partition()))
+		for v := range want {
+			if res.Picks[0][v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSForcedDirections(t *testing.T) {
+	g := graph.Symmetrize(graph.RMAT(9, 8, graph.Graph500Params(), 41))
+	root, _ := graph.LargestOutDegreeVertex(g)
+	want := seq.TopDownBFS(g, root)
+	for _, dir := range []Direction{DirectionTopDown, DirectionBottomUp, DirectionAdaptive} {
+		c, err := core.NewCluster(g, core.Options{NumNodes: 4, Mode: core.ModeSympleGraph, NumBuffers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BFSWithDirection(c, root, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Depth {
+			if res.Depth[v] != want.Depth[v] {
+				t.Fatalf("dir %d: depth[%d] = %d, want %d", dir, v, res.Depth[v], want.Depth[v])
+			}
+		}
+		switch dir {
+		case DirectionTopDown:
+			if res.BottomUpSteps != 0 {
+				t.Fatalf("forced top-down ran %d bottom-up steps", res.BottomUpSteps)
+			}
+		case DirectionBottomUp:
+			if res.TopDownSteps != 0 {
+				t.Fatalf("forced bottom-up ran %d top-down steps", res.TopDownSteps)
+			}
+		}
+		c.Close()
+	}
+}
+
+// Forced bottom-up maximizes the dependency benefit: SympleGraph must
+// traverse strictly fewer edges than Gemini on a skewed graph.
+func TestBottomUpDependencySavings(t *testing.T) {
+	g := graph.Symmetrize(graph.RMAT(10, 16, graph.Graph500Params(), 42))
+	root, _ := graph.LargestOutDegreeVertex(g)
+	run := func(mode core.Mode) int64 {
+		c, err := core.NewCluster(g, core.Options{NumNodes: 4, Mode: mode, DepThreshold: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := BFSWithDirection(c, root, DirectionBottomUp); err != nil {
+			t.Fatal(err)
+		}
+		return c.LastRunStats().EdgesTraversed
+	}
+	gem, sym := run(core.ModeGemini), run(core.ModeSympleGraph)
+	if sym >= gem {
+		t.Fatalf("bottom-up: symple %d edges >= gemini %d", sym, gem)
+	}
+}

@@ -1,0 +1,168 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/seq"
+	"repro/internal/xrand"
+)
+
+// SampleResult holds weighted neighbor sampling output: Picks[r][v] is
+// the in-neighbor vertex v drew in round r (None for vertices without
+// incoming edges).
+type SampleResult struct {
+	Picks [][]uint32
+	// ExactPicks counts picks made by cross-machine prefix walks (the
+	// dependency-propagated path); the rest used the hierarchical
+	// fallback.
+	ExactPicks int64
+}
+
+// Sample draws, in each of `rounds` rounds, one incoming neighbor per
+// vertex with probability proportional to the neighbor's deterministic
+// vertex weight — the paper's graph-sampling kernel (Figure 3d). The
+// loop-carried state is *data*: the running prefix sum of weights, which
+// must cross a per-vertex threshold r_v.
+//
+// In SympleGraph mode, tracked vertices run the exact prefix walk across
+// machines: a one-time setup pass carries the weight sum around the ring
+// so every machine agrees bit-exactly on W_v, and each round's walk
+// resumes from the carried prefix and breaks at the crossing — matching
+// seq.SampleNeighbors under seq.RingOrder exactly. Untracked vertices —
+// and all vertices in ModeGemini, where no dependency state exists — fall
+// back to the parallel-decomposable hierarchical scheme: each machine
+// scans all its local neighbors (no cross-machine pruning, the paper's
+// redundancy), picks a local candidate, and the master combines
+// candidates weighted by local mass. The hierarchical path sends a
+// 12-byte message per (vertex, machine); the exact path sends one 4-byte
+// pick but adds 8 bytes of dependency data per tracked vertex per step —
+// the trade-off behind Table 6's sampling row, where total communication
+// can exceed Gemini's.
+func Sample(c *core.Cluster, seed uint64, rounds int) (*SampleResult, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("algorithms: Sample rounds = %d", rounds)
+	}
+	g := c.Graph()
+	n := g.NumVertices()
+	depOn := c.Options().Mode == core.ModeSympleGraph && c.Options().NumNodes > 1
+	res := &SampleResult{}
+	err := c.Run(func(w *core.Worker) error {
+		totalW := make([]float64, n)
+		if depOn {
+			// Setup: circulate each tracked vertex's weight sum around
+			// the ring so W_v is the exact ring-ordered addition chain —
+			// the same chain the per-round walks will follow, so the
+			// crossing is guaranteed despite floating-point rounding.
+			if _, err := core.ProcessEdgesDense(w, core.DenseParams[struct{}]{
+				Codec: core.UnitCodec{},
+				Signal: func(ctx *core.DenseCtx[struct{}], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+					if !ctx.Tracked() {
+						return
+					}
+					acc := ctx.DepFloat(0)
+					for _, u := range srcs {
+						ctx.Edge()
+						acc += seq.VertexWeight(seed, u)
+					}
+					ctx.SetDepFloat(0, acc)
+				},
+				Slot: func(graph.VertexID, struct{}) int64 { return 0 },
+				Finalize: func(dst graph.VertexID, _ bool, data []float64) int64 {
+					totalW[dst] = data[0]
+					return 0
+				},
+				Lanes: 1,
+			}); err != nil {
+				return err
+			}
+			if err := w.AllGatherF64(totalW); err != nil {
+				return err
+			}
+		}
+
+		var exactPicks int64
+		allPicks := make([][]uint32, rounds)
+		for round := 0; round < rounds; round++ {
+			pick := make([]uint32, n)
+			for i := range pick {
+				pick[i] = None
+			}
+			hierMass := make([]float64, n) // running mass at master
+			hierSeq := make([]uint64, n)   // arrival index at master
+			exact, err := core.ProcessEdgesDense(w, core.DenseParams[core.WeightedPick]{
+				Codec: core.WeightedPickCodec{},
+				Signal: func(ctx *core.DenseCtx[core.WeightedPick], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+					if ctx.Tracked() {
+						acc := ctx.DepFloat(0)
+						r := seq.SampleThresholdFromTotal(seed, round, dst, totalW[dst])
+						for _, u := range srcs {
+							ctx.Edge()
+							acc += seq.VertexWeight(seed, u)
+							if acc >= r {
+								ctx.Emit(core.WeightedPick{Sum: -1, Cand: uint32(u)})
+								ctx.EmitDep()
+								break
+							}
+						}
+						ctx.SetDepFloat(0, acc)
+						return
+					}
+					// Hierarchical fallback: full local scan (the
+					// unpruned redundancy of existing frameworks), local
+					// prefix-walk pick, master-side weighted combine.
+					var mass float64
+					for _, u := range srcs {
+						ctx.Edge()
+						mass += seq.VertexWeight(seed, u)
+					}
+					r := seq.SampleThresholdFromTotal(seed, round, dst, mass)
+					acc := 0.0
+					cand := srcs[len(srcs)-1]
+					for _, u := range srcs {
+						acc += seq.VertexWeight(seed, u)
+						if acc >= r {
+							cand = u
+							break
+						}
+					}
+					ctx.Emit(core.WeightedPick{Sum: mass, Cand: uint32(cand)})
+				},
+				Slot: func(dst graph.VertexID, msg core.WeightedPick) int64 {
+					if msg.Sum < 0 {
+						// Exact pick from the dependency-propagated walk;
+						// at most one arrives per vertex.
+						pick[dst] = msg.Cand
+						return 1
+					}
+					hierMass[dst] += msg.Sum
+					take := xrand.Uniform01(seed, 0x99, uint64(round), uint64(dst), hierSeq[dst]) < msg.Sum/hierMass[dst]
+					hierSeq[dst]++
+					if pick[dst] == None || take {
+						pick[dst] = msg.Cand
+					}
+					return 0
+				},
+				Lanes: 1,
+			})
+			if err != nil {
+				return err
+			}
+			exactPicks += exact // already globally reduced by the pass
+			if err := w.GatherU32(pick); err != nil {
+				return err
+			}
+			allPicks[round] = pick
+		}
+		if w.ID() == 0 {
+			res.Picks = allPicks
+			res.ExactPicks = exactPicks
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

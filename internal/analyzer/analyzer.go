@@ -1,0 +1,451 @@
+// Package analyzer is SympleGraph's UDF analysis and instrumentation tool
+// (paper §4), reimplemented over go/ast instead of clang LibTooling. It
+// performs the paper's two passes on Go source containing signal UDFs:
+//
+//  1. Analysis — locate dense-signal functions (parameters include a
+//     *core.DenseCtx[...] context and a neighbor slice), find the loops
+//     that traverse neighbors, and decide whether loop-carried dependency
+//     exists: a break bound to the neighbor loop (control dependency),
+//     possibly together with accumulators declared outside the loop and
+//     updated inside it (data dependency, e.g. K-core's count and
+//     sampling's prefix sum).
+//  2. Instrumentation — a source-to-source transformation that inserts
+//     the framework's dependency-communication primitives: ctx.EmitDep()
+//     before each neighbor-loop break (the paper's emit_dep, Figure 5)
+//     and ctx.Edge() at the top of the loop body (traversal accounting).
+//     The receive_dep/skip check of Figure 5 is performed by the engine
+//     before the signal is invoked, so no code is inserted for it.
+//
+// The analyzer is purely syntactic: it keys on the *DenseCtx parameter
+// shape rather than resolved types, so it works on isolated files the way
+// the paper's tool works on isolated translation units.
+package analyzer
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// LoopReport describes one neighbor-traversal loop inside a signal UDF.
+type LoopReport struct {
+	// Line is the loop's 1-based source line.
+	Line int
+	// HasBreak reports a break statement bound to this loop — the
+	// loop-carried control dependency.
+	HasBreak bool
+	// Breaks counts such break statements.
+	Breaks int
+	// CarriedVars lists variables declared outside the loop and
+	// assigned inside it — candidate loop-carried data-dependency state
+	// (the paper's DepMessage data members).
+	CarriedVars []string
+}
+
+// FuncReport describes one analyzed signal UDF.
+type FuncReport struct {
+	// Name is the function name, or "<anonymous>" for function
+	// literals.
+	Name string
+	// Line is the function's 1-based source line.
+	Line int
+	// CtxParam and NeighborParam are the identified parameter names.
+	CtxParam, NeighborParam string
+	// Loops lists the neighbor-traversal loops found.
+	Loops []LoopReport
+	// LoopCarried reports whether any neighbor loop breaks — i.e. the
+	// UDF needs dependency propagation.
+	LoopCarried bool
+	// AlreadyInstrumented reports that the function contains EmitDep
+	// calls; instrumentation will leave it unchanged.
+	AlreadyInstrumented bool
+}
+
+// Report is the analysis result for one source file.
+type Report struct {
+	Funcs []FuncReport
+}
+
+// LoopCarriedFuncs returns the names of functions needing dependency
+// propagation.
+func (r *Report) LoopCarriedFuncs() []string {
+	var out []string
+	for _, f := range r.Funcs {
+		if f.LoopCarried {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// Analyze parses src (a complete Go file; filename is for positions) and
+// runs the analysis pass.
+func Analyze(filename string, src []byte) (*Report, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: %w", err)
+	}
+	return analyzeFile(fset, file), nil
+}
+
+func analyzeFile(fset *token.FileSet, file *ast.File) *Report {
+	rep := &Report{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fr, ok := analyzeFunc(fset, fn.Name.Name, fn.Type, fn.Body); ok {
+				rep.Funcs = append(rep.Funcs, fr)
+			}
+		case *ast.FuncLit:
+			if fr, ok := analyzeFunc(fset, "<anonymous>", fn.Type, fn.Body); ok {
+				rep.Funcs = append(rep.Funcs, fr)
+			}
+		}
+		return true
+	})
+	return rep
+}
+
+// analyzeFunc recognizes a dense-signal UDF and analyzes its neighbor
+// loops.
+func analyzeFunc(fset *token.FileSet, name string, typ *ast.FuncType, body *ast.BlockStmt) (FuncReport, bool) {
+	if body == nil || typ.Params == nil {
+		return FuncReport{}, false
+	}
+	ctxName, nbrName := signalParams(typ)
+	if ctxName == "" || nbrName == "" {
+		return FuncReport{}, false
+	}
+	fr := FuncReport{
+		Name:          name,
+		Line:          fset.Position(typ.Pos()).Line,
+		CtxParam:      ctxName,
+		NeighborParam: nbrName,
+	}
+	fr.AlreadyInstrumented = containsCall(body, ctxName, "EmitDep")
+	for _, loop := range neighborLoops(body, nbrName) {
+		lr := LoopReport{Line: fset.Position(loop.Pos()).Line}
+		breaks := loopBreaks(loop)
+		lr.Breaks = len(breaks)
+		lr.HasBreak = len(breaks) > 0
+		lr.CarriedVars = carriedVars(loop, body)
+		fr.Loops = append(fr.Loops, lr)
+		if lr.HasBreak {
+			fr.LoopCarried = true
+		}
+	}
+	return fr, true
+}
+
+// signalParams identifies the context and neighbor-slice parameters of a
+// dense-signal UDF: a pointer-to-DenseCtx parameter and a slice-of-
+// VertexID parameter. Empty strings mean "not a signal UDF".
+func signalParams(typ *ast.FuncType) (ctxName, nbrName string) {
+	for _, field := range typ.Params.List {
+		switch {
+		case isDenseCtxPtr(field.Type):
+			if len(field.Names) > 0 && ctxName == "" {
+				ctxName = field.Names[0].Name
+			}
+		case isVertexSlice(field.Type):
+			if len(field.Names) > 0 && nbrName == "" {
+				nbrName = field.Names[0].Name
+			}
+		}
+	}
+	return ctxName, nbrName
+}
+
+// isDenseCtxPtr matches *pkg.DenseCtx[...] and *DenseCtx[...].
+func isDenseCtxPtr(e ast.Expr) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	inner := star.X
+	if idx, ok := inner.(*ast.IndexExpr); ok {
+		inner = idx.X
+	} else if idx, ok := inner.(*ast.IndexListExpr); ok {
+		inner = idx.X
+	}
+	return typeName(inner) == "DenseCtx"
+}
+
+// isVertexSlice matches []pkg.VertexID and []VertexID.
+func isVertexSlice(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	return typeName(arr.Elt) == "VertexID"
+}
+
+// typeName returns the rightmost identifier of a (possibly selector)
+// type expression.
+func typeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// neighborLoop is a loop that traverses the neighbor parameter — either
+// a range loop over it or a C-style index loop bounded by its length.
+type neighborLoop struct {
+	rng *ast.RangeStmt // nil for index loops
+	fr  *ast.ForStmt   // nil for range loops
+}
+
+func (nl neighborLoop) Pos() token.Pos {
+	if nl.rng != nil {
+		return nl.rng.Pos()
+	}
+	return nl.fr.Pos()
+}
+
+func (nl neighborLoop) body() *ast.BlockStmt {
+	if nl.rng != nil {
+		return nl.rng.Body
+	}
+	return nl.fr.Body
+}
+
+// neighborLoops returns the loops over the neighbor parameter, anywhere
+// in the body (the paper's analyzer similarly searches "all for-loops
+// that traverse neighbors"): `for _, u := range srcs` and
+// `for i := 0; i < len(srcs); i++` shapes both count.
+func neighborLoops(body *ast.BlockStmt, nbrName string) []neighborLoop {
+	var loops []neighborLoop
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			if id, ok := l.X.(*ast.Ident); ok && id.Name == nbrName {
+				loops = append(loops, neighborLoop{rng: l})
+			}
+		case *ast.ForStmt:
+			if forBoundsOnLen(l, nbrName) {
+				loops = append(loops, neighborLoop{fr: l})
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// forBoundsOnLen reports whether the for condition compares against
+// len(nbrName) — the index-loop traversal shape.
+func forBoundsOnLen(l *ast.ForStmt, nbrName string) bool {
+	bin, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	isLen := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "len" || len(call.Args) != 1 {
+			return false
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		return ok && arg.Name == nbrName
+	}
+	return isLen(bin.X) || isLen(bin.Y)
+}
+
+// loopBreaks returns the break statements that bind to this loop: plain
+// breaks not captured by a nested for/range/switch/select, plus labeled
+// breaks naming the loop's label. The binding rules mirror the Go spec.
+func loopBreaks(loop neighborLoop) []*ast.BranchStmt {
+	var out []*ast.BranchStmt
+	// The loop's label, when the loop is the direct child of a labeled
+	// statement, is not visible from the RangeStmt itself; labeled
+	// breaks are matched by the caller context instead. Here we accept
+	// any labeled break as not-ours (conservative: labeled breaks out
+	// of the neighbor loop are rare in UDFs, and a labeled break to an
+	// *outer* statement must not count).
+	var walk func(n ast.Stmt, inOurLoop bool)
+	walk = func(n ast.Stmt, inOurLoop bool) {
+		switch s := n.(type) {
+		case nil:
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && s.Label == nil && inOurLoop {
+				out = append(out, s)
+			}
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walk(st, inOurLoop)
+			}
+		case *ast.IfStmt:
+			walk(s.Body, inOurLoop)
+			walk(s.Else, inOurLoop)
+		case *ast.ForStmt:
+			// A nested loop captures plain breaks.
+			walk(s.Body, false)
+		case *ast.RangeStmt:
+			walk(s.Body, false)
+		case *ast.SwitchStmt:
+			walk(s.Body, false)
+		case *ast.TypeSwitchStmt:
+			walk(s.Body, false)
+		case *ast.SelectStmt:
+			walk(s.Body, false)
+		case *ast.CaseClause:
+			for _, st := range s.Body {
+				walk(st, inOurLoop)
+			}
+		case *ast.CommClause:
+			for _, st := range s.Body {
+				walk(st, inOurLoop)
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, inOurLoop)
+		}
+	}
+	walk(loop.body(), true)
+	return out
+}
+
+// carriedVars lists identifiers assigned inside the loop but declared
+// outside it within the function — loop-carried data state. Loop
+// iteration variables and blank identifiers are excluded.
+func carriedVars(loop neighborLoop, body *ast.BlockStmt) []string {
+	declaredInLoop := map[string]bool{}
+	if loop.rng != nil {
+		if id, ok := loop.rng.Key.(*ast.Ident); ok && id.Name != "_" {
+			declaredInLoop[id.Name] = true
+		}
+		if id, ok := loop.rng.Value.(*ast.Ident); ok && id.Name != "_" {
+			declaredInLoop[id.Name] = true
+		}
+	} else if init, ok := loop.fr.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				declaredInLoop[id.Name] = true
+			}
+		}
+	}
+	ast.Inspect(loop.body(), func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					declaredInLoop[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	declaredOutside := map[string]bool{}
+	collect := func(n ast.Node) bool {
+		// Skip the loop subtree itself.
+		if n == ast.Node(loop.rng) && loop.rng != nil {
+			return false
+		}
+		if n == ast.Node(loop.fr) && loop.fr != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						declaredOutside[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							declaredOutside[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, collect)
+
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(loop.body(), func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if s.Tok == token.DEFINE || declaredInLoop[id.Name] || !declaredOutside[id.Name] {
+					continue
+				}
+				if !seen[id.Name] {
+					seen[id.Name] = true
+					out = append(out, id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && declaredOutside[id.Name] && !declaredInLoop[id.Name] && !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsCall reports whether body contains a recv.method(...) call.
+func containsCall(body *ast.BlockStmt, recv, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && sel.Sel.Name == method {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// String renders the report in the tool's human format.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, f := range r.Funcs {
+		fmt.Fprintf(&b, "func %s (line %d): ctx=%s neighbors=%s", f.Name, f.Line, f.CtxParam, f.NeighborParam)
+		if f.AlreadyInstrumented {
+			b.WriteString(" [instrumented]")
+		}
+		b.WriteString("\n")
+		for _, l := range f.Loops {
+			fmt.Fprintf(&b, "  loop at line %d: breaks=%d", l.Line, l.Breaks)
+			if len(l.CarriedVars) > 0 {
+				fmt.Fprintf(&b, " carried=%v", l.CarriedVars)
+			}
+			b.WriteString("\n")
+		}
+		if f.LoopCarried {
+			b.WriteString("  => loop-carried dependency: instrument with EmitDep\n")
+		} else {
+			b.WriteString("  => no loop-carried dependency\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,463 @@
+package analyzer
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const bfsInput = `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// bfsSignal is the bottom-up BFS dense signal as a user writes it
+// (paper Figure 1b): plain control flow with a break.
+func bfsSignal(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, weights []float32) {
+	for _, u := range srcs {
+		if frontier.Get(int(u)) {
+			ctx.Emit(uint32(u))
+			break
+		}
+	}
+}
+`
+
+const bfsWant = `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// bfsSignal is the bottom-up BFS dense signal as a user writes it
+// (paper Figure 1b): plain control flow with a break.
+func bfsSignal(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, weights []float32) {
+	for _, u := range srcs {
+		ctx.Edge()
+		if frontier.Get(int(u)) {
+			ctx.Emit(uint32(u))
+			ctx.EmitDep()
+			break
+		}
+	}
+}
+`
+
+func TestAnalyzeDetectsLoopCarriedDependency(t *testing.T) {
+	rep, err := Analyze("bfs.go", []byte(bfsInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Funcs) != 1 {
+		t.Fatalf("found %d signal funcs, want 1", len(rep.Funcs))
+	}
+	f := rep.Funcs[0]
+	if f.Name != "bfsSignal" || f.CtxParam != "ctx" || f.NeighborParam != "srcs" {
+		t.Fatalf("got %+v", f)
+	}
+	if !f.LoopCarried || f.AlreadyInstrumented {
+		t.Fatalf("got %+v", f)
+	}
+	if len(f.Loops) != 1 || f.Loops[0].Breaks != 1 {
+		t.Fatalf("loops: %+v", f.Loops)
+	}
+	if got := rep.LoopCarriedFuncs(); len(got) != 1 || got[0] != "bfsSignal" {
+		t.Fatalf("LoopCarriedFuncs = %v", got)
+	}
+	if !strings.Contains(rep.String(), "loop-carried dependency") {
+		t.Fatalf("report rendering: %q", rep.String())
+	}
+}
+
+func TestInstrumentMatchesFigure5(t *testing.T) {
+	got, rep, err := Instrument("bfs.go", []byte(bfsInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != bfsWant {
+		t.Fatalf("instrumented output:\n%s\nwant:\n%s", got, bfsWant)
+	}
+	if !rep.Funcs[0].LoopCarried {
+		t.Fatal("report lost dependency flag")
+	}
+	// Output must be parseable Go.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", got, 0); err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+}
+
+func TestInstrumentIsIdempotent(t *testing.T) {
+	once, _, err := Instrument("bfs.go", []byte(bfsInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, rep, err := Instrument("bfs.go", once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(twice) {
+		t.Fatalf("second pass changed output:\n%s", twice)
+	}
+	if !rep.Funcs[0].AlreadyInstrumented {
+		t.Fatal("second pass did not flag instrumented function")
+	}
+}
+
+func TestAnalyzeDataDependency(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// kcoreSignal counts active neighbors, exiting at K — control AND data
+// dependency (paper Figure 3b).
+func kcoreSignal(ctx *core.DenseCtx[int64], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	cnt := 0
+	for _, u := range srcs {
+		if active.Get(int(u)) {
+			cnt++
+			if cnt >= k {
+				break
+			}
+		}
+	}
+	ctx.Emit(int64(cnt))
+}
+`
+	rep, err := Analyze("kcore.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Funcs[0]
+	if !f.LoopCarried {
+		t.Fatal("missed control dependency")
+	}
+	if len(f.Loops[0].CarriedVars) != 1 || f.Loops[0].CarriedVars[0] != "cnt" {
+		t.Fatalf("carried vars = %v, want [cnt]", f.Loops[0].CarriedVars)
+	}
+}
+
+func TestAnalyzeNoDependency(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// pagerankSignal has no break: no loop-carried dependency.
+func pagerankSignal(ctx *core.DenseCtx[float64], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	sum := 0.0
+	for _, u := range srcs {
+		sum += rank[u]
+	}
+	ctx.Emit(sum)
+}
+`
+	rep, err := Analyze("pr.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Funcs[0]
+	if f.LoopCarried {
+		t.Fatal("false positive dependency")
+	}
+	if len(f.Loops) != 1 || f.Loops[0].HasBreak {
+		t.Fatalf("loops: %+v", f.Loops)
+	}
+	// Instrumentation still adds traversal accounting but no EmitDep.
+	out, _, err := Instrument("pr.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "ctx.Edge()") {
+		t.Fatal("Edge accounting missing")
+	}
+	if strings.Contains(string(out), "EmitDep") {
+		t.Fatal("EmitDep inserted without dependency")
+	}
+}
+
+func TestBreakBindingRules(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func nested(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
+	for _, u := range srcs {
+		// A break inside a nested loop binds to the inner loop, not
+		// the neighbor loop.
+		for i := 0; i < 3; i++ {
+			if i == 1 {
+				break
+			}
+		}
+		// A break inside a switch binds to the switch.
+		switch u {
+		case 0:
+			break
+		}
+		_ = u
+	}
+}
+`
+	rep, err := Analyze("nested.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Funcs) != 1 {
+		t.Fatalf("funcs: %d", len(rep.Funcs))
+	}
+	if rep.Funcs[0].LoopCarried {
+		t.Fatal("nested/switch breaks misattributed to the neighbor loop")
+	}
+	out, _, err := Instrument("nested.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "EmitDep") {
+		t.Fatalf("EmitDep inserted for non-binding breaks:\n%s", out)
+	}
+}
+
+func TestBreakInsideSwitchCaseBindingToLoop(t *testing.T) {
+	// A break in an if inside a case binds to the switch; but a break
+	// in the loop body after the switch binds to the loop.
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func mixed(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
+	for _, u := range srcs {
+		if u == 5 {
+			break
+		}
+		_ = u
+	}
+}
+`
+	rep, err := Analyze("mixed.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Funcs[0].LoopCarried {
+		t.Fatal("direct break missed")
+	}
+}
+
+func TestFunctionLiteralsAnalyzed(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var signal = func(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		if frontier.Get(int(u)) {
+			ctx.Emit(uint32(u))
+			break
+		}
+	}
+}
+`
+	rep, err := Analyze("lit.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Funcs) != 1 || rep.Funcs[0].Name != "<anonymous>" || !rep.Funcs[0].LoopCarried {
+		t.Fatalf("got %+v", rep.Funcs)
+	}
+	out, _, err := Instrument("lit.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "ctx.EmitDep()") {
+		t.Fatalf("literal not instrumented:\n%s", out)
+	}
+}
+
+func TestNonSignalFunctionsIgnored(t *testing.T) {
+	src := `package udf
+
+func plain(a int, b []string) {
+	for _, s := range b {
+		if s == "" {
+			break
+		}
+	}
+}
+`
+	rep, err := Analyze("plain.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Funcs) != 0 {
+		t.Fatalf("non-signal function analyzed: %+v", rep.Funcs)
+	}
+	out, _, err := Instrument("plain.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "EmitDep") || strings.Contains(string(out), "Edge()") {
+		t.Fatal("non-signal function instrumented")
+	}
+}
+
+func TestMultipleBreaksAllInstrumented(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func multi(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
+	for _, u := range srcs {
+		if u == 1 {
+			break
+		}
+		if u == 2 {
+			break
+		}
+	}
+}
+`
+	out, rep, err := Instrument("multi.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Funcs[0].Loops[0].Breaks != 2 {
+		t.Fatalf("breaks = %d", rep.Funcs[0].Loops[0].Breaks)
+	}
+	if got := strings.Count(string(out), "ctx.EmitDep()"); got != 2 {
+		t.Fatalf("%d EmitDep insertions, want 2:\n%s", got, out)
+	}
+}
+
+func TestAnalyzeRejectsBadSource(t *testing.T) {
+	if _, err := Analyze("bad.go", []byte("not go")); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, _, err := Instrument("bad.go", []byte("func {")); err == nil {
+		t.Fatal("bad source accepted by Instrument")
+	}
+}
+
+func TestSampleUDFCarriedPrefixSum(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// sampleSignal walks the weight prefix sum — data dependency carried in
+// the accumulator (paper Figure 3d).
+func sampleSignal(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	weight := 0.0
+	for _, u := range srcs {
+		weight += weightOf(u)
+		if weight >= r {
+			ctx.Emit(uint32(u))
+			break
+		}
+	}
+}
+`
+	rep, err := Analyze("sample.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Funcs[0]
+	if !f.LoopCarried || len(f.Loops[0].CarriedVars) != 1 || f.Loops[0].CarriedVars[0] != "weight" {
+		t.Fatalf("got %+v", f)
+	}
+}
+
+func TestIndexLoopDetectedAndInstrumented(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// indexed walks neighbors C-style, with parallel weights — the shape the
+// weighted-sampling UDF takes.
+func indexed(ctx *core.DenseCtx[uint32], srcs []graph.VertexID, ws []float32) {
+	acc := 0.0
+	for i := 0; i < len(srcs); i++ {
+		acc += float64(ws[i])
+		if acc >= r {
+			ctx.Emit(uint32(srcs[i]))
+			break
+		}
+	}
+}
+`
+	rep, err := Analyze("idx.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Funcs) != 1 {
+		t.Fatalf("funcs: %+v", rep.Funcs)
+	}
+	f := rep.Funcs[0]
+	if !f.LoopCarried || len(f.Loops) != 1 {
+		t.Fatalf("index loop missed: %+v", f)
+	}
+	if len(f.Loops[0].CarriedVars) != 1 || f.Loops[0].CarriedVars[0] != "acc" {
+		t.Fatalf("carried vars: %v", f.Loops[0].CarriedVars)
+	}
+	out, _, err := Instrument("idx.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "ctx.EmitDep()") || !strings.Contains(string(out), "ctx.Edge()") {
+		t.Fatalf("index loop not instrumented:\n%s", out)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+}
+
+func TestUnboundedForLoopIgnored(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func other(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
+	for i := 0; i < 10; i++ { // not a neighbor loop
+		if i == 3 {
+			break
+		}
+	}
+}
+`
+	rep, err := Analyze("o.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Funcs[0].LoopCarried || len(rep.Funcs[0].Loops) != 0 {
+		t.Fatalf("non-neighbor for loop misdetected: %+v", rep.Funcs[0])
+	}
+}

@@ -1,0 +1,67 @@
+package analyzer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileReport pairs a file path with its analysis.
+type FileReport struct {
+	Path   string
+	Report *Report
+}
+
+// AnalyzeDir analyzes every .go file under dir (recursively, skipping
+// _test.go files, testdata and hidden directories) — the package-level
+// counterpart of the paper's whole-translation-unit analysis. Files that
+// fail to parse are reported as errors; the rest are analyzed
+// independently.
+func AnalyzeDir(dir string) ([]FileReport, error) {
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: walking %s: %w", dir, err)
+	}
+	sort.Strings(files)
+	out := make([]FileReport, 0, len(files))
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Analyze(path, src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FileReport{Path: path, Report: rep})
+	}
+	return out, nil
+}
+
+// Summary aggregates directory results: total signal UDFs found and how
+// many carry loop dependency.
+func Summary(reports []FileReport) (signalFuncs, loopCarried int) {
+	for _, fr := range reports {
+		signalFuncs += len(fr.Report.Funcs)
+		loopCarried += len(fr.Report.LoopCarriedFuncs())
+	}
+	return signalFuncs, loopCarried
+}

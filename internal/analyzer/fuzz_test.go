@@ -1,0 +1,45 @@
+package analyzer
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzInstrument checks that instrumentation of arbitrary Go source never
+// panics and that its output always parses when the input did.
+func FuzzInstrument(f *testing.F) {
+	f.Add(bfsInput)
+	f.Add("package p\n")
+	f.Add("not go")
+	f.Add(`package p
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func s(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
+	for i := 0; i < len(srcs); i++ {
+		switch srcs[i] {
+		case 0:
+			break
+		default:
+			if srcs[i] > 5 {
+				break
+			}
+		}
+	}
+}
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		out, _, err := Instrument("fuzz.go", []byte(src))
+		if err != nil {
+			return
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
+			t.Fatalf("instrumented output does not parse: %v\ninput:\n%s\noutput:\n%s", err, src, out)
+		}
+	})
+}

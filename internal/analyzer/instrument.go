@@ -1,0 +1,134 @@
+package analyzer
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+)
+
+// Instrument runs the source-to-source transformation pass (paper §4.2)
+// on a complete Go file: in every dense-signal UDF with loop-carried
+// dependency it inserts ctx.EmitDep() immediately before each break bound
+// to a neighbor loop, and ctx.Edge() as the loop body's first statement.
+// Functions already containing EmitDep calls are left untouched
+// (idempotence). It returns the formatted transformed source and the
+// analysis report.
+func Instrument(filename string, src []byte) ([]byte, *Report, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyzer: %w", err)
+	}
+	rep := analyzeFile(fset, file)
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		var typ *ast.FuncType
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			typ, body = fn.Type, fn.Body
+		case *ast.FuncLit:
+			typ, body = fn.Type, fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		ctxName, nbrName := signalParams(typ)
+		if ctxName == "" || nbrName == "" {
+			return true
+		}
+		if containsCall(body, ctxName, "EmitDep") {
+			return true // already instrumented
+		}
+		for _, loop := range neighborLoops(body, nbrName) {
+			instrumentLoop(loop, ctxName)
+		}
+		return true
+	})
+
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, file); err != nil {
+		return nil, nil, fmt.Errorf("analyzer: formatting instrumented source: %w", err)
+	}
+	return buf.Bytes(), rep, nil
+}
+
+// instrumentLoop inserts ctx.Edge() at the loop head (unless present)
+// and ctx.EmitDep() before each break bound to the loop.
+func instrumentLoop(loop neighborLoop, ctxName string) {
+	breaks := map[*ast.BranchStmt]bool{}
+	for _, br := range loopBreaks(loop) {
+		breaks[br] = true
+	}
+	body := loop.body()
+	insertBeforeBreaks(body, breaks, ctxName)
+	if !startsWithCall(body, ctxName, "Edge") {
+		body.List = append([]ast.Stmt{callStmt(ctxName, "Edge")}, body.List...)
+	}
+}
+
+func startsWithCall(body *ast.BlockStmt, recv, method string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	es, ok := body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recv && sel.Sel.Name == method
+}
+
+// insertBeforeBreaks rewrites statement lists so that each break in
+// `breaks` is preceded by ctx.EmitDep(). It recurses exactly along the
+// paths loopBreaks walked, so nested loops and switches are untouched.
+func insertBeforeBreaks(n ast.Stmt, breaks map[*ast.BranchStmt]bool, ctxName string) {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		s.List = rewriteList(s.List, breaks, ctxName)
+	case *ast.IfStmt:
+		insertBeforeBreaks(s.Body, breaks, ctxName)
+		if s.Else != nil {
+			insertBeforeBreaks(s.Else, breaks, ctxName)
+		}
+	case *ast.CaseClause:
+		s.Body = rewriteList(s.Body, breaks, ctxName)
+	case *ast.CommClause:
+		s.Body = rewriteList(s.Body, breaks, ctxName)
+	case *ast.LabeledStmt:
+		insertBeforeBreaks(s.Stmt, breaks, ctxName)
+	}
+}
+
+func rewriteList(list []ast.Stmt, breaks map[*ast.BranchStmt]bool, ctxName string) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(list))
+	for _, st := range list {
+		if br, ok := st.(*ast.BranchStmt); ok && breaks[br] {
+			out = append(out, callStmt(ctxName, "EmitDep"), st)
+			continue
+		}
+		insertBeforeBreaks(st, breaks, ctxName)
+		out = append(out, st)
+	}
+	return out
+}
+
+// callStmt builds the statement `recv.method()`.
+func callStmt(recv, method string) ast.Stmt {
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fun: &ast.SelectorExpr{X: ast.NewIdent(recv), Sel: ast.NewIdent(method)},
+	}}
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSuite returns a small suite so harness tests stay fast.
+func testSuite() *Suite { return NewSuite(8) }
+
+func testConfig() Config {
+	return Config{Nodes: 4, BFSRoots: 2, KCoreK: 4, KMeansIters: 2, SampleRounds: 2, Seed: 7}
+}
+
+func TestSuiteDatasets(t *testing.T) {
+	s := testSuite()
+	if len(s.Main) != 5 || len(s.Large) != 2 {
+		t.Fatalf("suite has %d main, %d large", len(s.Main), len(s.Large))
+	}
+	names := map[string]bool{}
+	for _, d := range s.All() {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		g := d.Graph()
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s is empty", d.Name)
+		}
+		if g != d.Graph() {
+			t.Fatalf("%s rebuilt on second access", d.Name)
+		}
+	}
+	if s.ByName("tw") == nil || s.ByName("nope") != nil {
+		t.Fatal("ByName wrong")
+	}
+	// The cl stand-in must be low-skew relative to the R-MAT graphs.
+	cl := s.ByName("cl").Graph()
+	tw := s.ByName("tw").Graph()
+	if cl.HighDegreeFraction(32) > tw.HighDegreeFraction(32) {
+		t.Fatalf("cl skew %.3f >= tw skew %.3f", cl.HighDegreeFraction(32), tw.HighDegreeFraction(32))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Nodes == 0 || c.BFSRoots == 0 || c.KCoreK == 0 || c.KMeansIters == 0 || c.SampleRounds == 0 || c.Seed == 0 {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+	c2 := Config{Nodes: 3}.Defaults()
+	if c2.Nodes != 3 {
+		t.Fatal("explicit value overridden")
+	}
+}
+
+func TestRunVariantAllAlgos(t *testing.T) {
+	s := testSuite()
+	d := s.ByName("s27")
+	for _, a := range Algos {
+		m, err := RunVariant(VariantSympleGraph, a, d, testConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !m.Supported || m.EdgesTraversed == 0 {
+			t.Fatalf("%s: %+v", a, m)
+		}
+		if m.System != "SympleGraph" || m.Algo != a || m.Dataset != "s27" {
+			t.Fatalf("%s: labels %+v", a, m)
+		}
+	}
+}
+
+func TestRunDGalois(t *testing.T) {
+	s := testSuite()
+	d := s.ByName("s27")
+	m, err := RunDGalois(AlgoMIS, d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Supported || m.UpdateBytes == 0 {
+		t.Fatalf("%+v", m)
+	}
+	samp, err := RunDGalois(AlgoSampling, d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samp.Supported {
+		t.Fatal("D-Galois sampling should be unsupported")
+	}
+}
+
+func TestRunSequential(t *testing.T) {
+	s := testSuite()
+	d := s.ByName("tw")
+	for _, a := range Algos {
+		m, err := RunSequential(a, d, testConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !m.Supported {
+			t.Fatalf("%s unsupported", a)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1(testSuite())
+	for _, name := range []string{"tw", "fr", "s27", "s28", "s29", "gsh", "cl"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestMatrixAndMainTables runs a reduced matrix and checks the shape
+// claims the paper's tables make: SympleGraph traverses fewer edges than
+// Gemini, dependency traffic only exists for SympleGraph, and rendering
+// includes all cells.
+func TestMatrixAndMainTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in short mode")
+	}
+	s := testSuite()
+	cfg := testConfig()
+	m, err := RunMatrix(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 datasets × 5 algos × 3 systems.
+	if len(m.Cells) != 75 {
+		t.Fatalf("%d cells, want 75", len(m.Cells))
+	}
+	for _, a := range []Algo{AlgoBFS, AlgoKCore, AlgoMIS, AlgoKMeans} {
+		for _, d := range s.Main {
+			gem, ok1 := m.Get("Gemini", a, d.Name)
+			sym, ok2 := m.Get("SympleGraph", a, d.Name)
+			if !ok1 || !ok2 {
+				t.Fatalf("missing cells for %s/%s", a, d.Name)
+			}
+			if sym.EdgesTraversed > gem.EdgesTraversed {
+				t.Errorf("%s/%s: SympleGraph traversed %d > Gemini %d", a, d.Name,
+					sym.EdgesTraversed, gem.EdgesTraversed)
+			}
+			if gem.DependencyBytes != 0 || sym.DependencyBytes == 0 {
+				t.Errorf("%s/%s: dep bytes gem=%d sym=%d", a, d.Name,
+					gem.DependencyBytes, sym.DependencyBytes)
+			}
+		}
+	}
+	t4, err := Table4(s, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t4, "Speedup") || !strings.Contains(t4, "N/A") {
+		t.Fatalf("Table 4:\n%s", t4)
+	}
+	t5 := Table5(s, m)
+	if !strings.Contains(t5, "SympG./Gemini") {
+		t.Fatalf("Table 5:\n%s", t5)
+	}
+	t6 := Table6(s, m)
+	if !strings.Contains(t6, "SymG.dep") {
+		t.Fatalf("Table 6:\n%s", t6)
+	}
+}
+
+func TestFigure10SeriesComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	rows, err := Figure10(testSuite(), testConfig(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, sys := range []string{"Gemini", "SympleGraph", "D-Galois"} {
+			if r.Seconds[sys] <= 0 {
+				t.Fatalf("node %d system %s: %g", r.Nodes, sys, r.Seconds[sys])
+			}
+		}
+	}
+	out := FormatFigure10(rows)
+	if !strings.Contains(out, "#nodes") {
+		t.Fatal(out)
+	}
+	if FormatFigure10(nil) == "" {
+		t.Fatal("empty series render failed")
+	}
+}
+
+func TestFigure11AblationComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in short mode")
+	}
+	s := NewSuite(7)
+	cfg := testConfig()
+	rows, err := Figure11(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Main) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Normalized[VariantCirculant.Name] != 1.0 {
+			t.Fatalf("baseline not normalized: %+v", r)
+		}
+		for name, v := range r.Normalized {
+			if v <= 0 {
+				t.Fatalf("%s/%s: %g", r.Dataset, name, v)
+			}
+		}
+	}
+	if out := FormatFigure11(rows); !strings.Contains(out, "Circulant") {
+		t.Fatal(out)
+	}
+}
+
+func TestCOSTRenders(t *testing.T) {
+	out, err := COST(testSuite(), testConfig(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "single-thread") || !strings.Contains(out, "SympleGraph") {
+		t.Fatal(out)
+	}
+}
+
+func TestTable2And3Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps in short mode")
+	}
+	s := testSuite()
+	cfg := testConfig()
+	t2, err := Table2(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2, "Speedup") || strings.Count(t2, "\n") < 10 {
+		t.Fatalf("Table 2:\n%s", t2)
+	}
+	t3, err := Table3(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3, "gsh") || !strings.Contains(t3, "cl") {
+		t.Fatalf("Table 3:\n%s", t3)
+	}
+}
+
+func TestTable7Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	s := NewSuite(7)
+	out, err := Table7(s, testConfig(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "D-Galois") {
+		t.Fatal(out)
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV exports every matrix cell as CSV — system, algorithm, dataset,
+// seconds, edges traversed, update/dependency/control bytes, supported —
+// sorted by (algo, dataset, system) so exports diff cleanly.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"system", "algo", "dataset", "seconds",
+		"edges_traversed", "update_bytes", "dependency_bytes", "control_bytes", "supported",
+	}); err != nil {
+		return err
+	}
+	for _, c := range m.sortedCells() {
+		rec := []string{
+			c.System, string(c.Algo), c.Dataset,
+			fmt.Sprintf("%.6f", c.Seconds),
+			fmt.Sprint(c.EdgesTraversed),
+			fmt.Sprint(c.UpdateBytes),
+			fmt.Sprint(c.DependencyBytes),
+			fmt.Sprint(c.ControlBytes),
+			fmt.Sprint(c.Supported),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON exports the sorted cells as a JSON array.
+func (m *Matrix) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.sortedCells())
+}
+
+func (m *Matrix) sortedCells() []Measurement {
+	cells := make([]Measurement, 0, len(m.Cells))
+	for _, c := range m.Cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Algo != cells[j].Algo {
+			return cells[i].Algo < cells[j].Algo
+		}
+		if cells[i].Dataset != cells[j].Dataset {
+			return cells[i].Dataset < cells[j].Dataset
+		}
+		return cells[i].System < cells[j].System
+	})
+	return cells
+}

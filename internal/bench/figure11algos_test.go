@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// TestFigure11AlgosDependencyBound exercises the dependency-bound
+// ablation path sgbench uses: sampling only, on a slow link. The
+// differentiated-propagation variant must not be slower than
+// circulant-only (it sends ~6× less dependency data).
+func TestFigure11AlgosDependencyBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow-link sweep")
+	}
+	s := NewSuite(9)
+	cfg := Config{
+		Nodes: 4, BFSRoots: 1, KMeansIters: 1, SampleRounds: 2, Seed: 3, Repeats: 2,
+		Link: &comm.LinkModel{Latency: 100 * time.Microsecond, BytesPerSecond: 1e6},
+	}
+	rows, err := Figure11Algos(s, cfg, []Algo{AlgoSampling})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Main) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	betterOrEqual := 0
+	for _, r := range rows {
+		if r.Normalized[VariantCirculant.Name] != 1.0 {
+			t.Fatalf("baseline not 1.0: %+v", r)
+		}
+		if r.Normalized[VariantDP.Name] <= 1.05 {
+			betterOrEqual++
+		}
+	}
+	// Allow noise on a couple of datasets but demand the trend.
+	if betterOrEqual < len(rows)-1 {
+		t.Fatalf("DP slower than circulant-only on %d/%d datasets: %+v",
+			len(rows)-betterOrEqual, len(rows), rows)
+	}
+}

@@ -1,0 +1,93 @@
+package comm
+
+import "encoding/binary"
+
+// Collectives used by the engine between iterations: a barrier, integer
+// all-reduce (for frontier sizes, active counts and termination votes),
+// and all-gather of byte blobs (for frontier bitmap exchange in dense
+// mode). All are implemented over point-to-point Control messages with a
+// gather-to-root/broadcast tree of depth 1, which is plenty at the
+// cluster sizes the paper evaluates (≤16 nodes).
+//
+// Each collective call site must pass a tag that is unique within the
+// current communication phase; the engine derives tags from iteration and
+// phase numbers. All nodes must call the same collectives in the same
+// order — the usual SPMD contract.
+
+// Barrier blocks until every node in the cluster has entered it.
+func Barrier(e Endpoint, tag int32) error {
+	_, err := AllReduceInt64(e, 0, tag, func(a, b int64) int64 { return a + b })
+	return err
+}
+
+// AllReduceInt64 combines x across all nodes with op (which must be
+// associative and commutative) and returns the result on every node.
+func AllReduceInt64(e Endpoint, x int64, tag int32, op func(a, b int64) int64) (int64, error) {
+	var buf [8]byte
+	if e.ID() != 0 {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		if err := e.Send(0, KindControl, tag, append([]byte(nil), buf[:]...)); err != nil {
+			return 0, err
+		}
+		m, err := e.Recv(0, KindControl, tag)
+		if err != nil {
+			return 0, err
+		}
+		return int64(binary.LittleEndian.Uint64(m.Payload)), nil
+	}
+	acc := x
+	for from := 1; from < e.N(); from++ {
+		m, err := e.Recv(NodeID(from), KindControl, tag)
+		if err != nil {
+			return 0, err
+		}
+		acc = op(acc, int64(binary.LittleEndian.Uint64(m.Payload)))
+	}
+	for to := 1; to < e.N(); to++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
+		if err := e.Send(NodeID(to), KindControl, tag, append([]byte(nil), buf[:]...)); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// AllReduceBool ORs a boolean across all nodes (used for "any vertex still
+// active" termination checks).
+func AllReduceBool(e Endpoint, x bool, tag int32) (bool, error) {
+	v := int64(0)
+	if x {
+		v = 1
+	}
+	r, err := AllReduceInt64(e, v, tag, func(a, b int64) int64 { return a | b })
+	return r != 0, err
+}
+
+// AllGatherBytes distributes each node's blob to every node; the result
+// slice is indexed by node ID. Blobs may have different lengths. The
+// caller's own blob is aliased, not copied.
+func AllGatherBytes(e Endpoint, blob []byte, tag int32) ([][]byte, error) {
+	out := make([][]byte, e.N())
+	out[e.ID()] = blob
+	// Send to all peers, then collect from all peers. The per-stream
+	// demux queues make the all-to-all exchange deadlock-free.
+	for to := 0; to < e.N(); to++ {
+		if NodeID(to) == e.ID() {
+			continue
+		}
+		if err := e.Send(NodeID(to), KindControl, tag, blob); err != nil {
+			return nil, err
+		}
+	}
+	for from := 0; from < e.N(); from++ {
+		if NodeID(from) == e.ID() {
+			continue
+		}
+		m, err := e.Recv(NodeID(from), KindControl, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = m.Payload
+	}
+	return out, nil
+}

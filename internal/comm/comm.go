@@ -1,0 +1,237 @@
+// Package comm is the communication substrate of SympleGraph-Go. It plays
+// the role MPI plays in the paper's implementation (§6): point-to-point
+// messaging between the machines of a cluster, simple collectives
+// (barrier, all-reduce), and per-kind byte accounting.
+//
+// Two transports are provided. MemCluster connects N simulated machines in
+// one process through channels — the default for experiments, benchmarks
+// and tests. TCPCluster connects endpoints over real sockets (loopback or
+// LAN) with length-prefixed frames. Both serialize every message to bytes,
+// so communication-volume measurements (Table 6 of the paper) are
+// identical across transports.
+//
+// Messages carry a Kind so that the paper's two traffic classes — update
+// communication (mirror→master partial aggregates) and dependency
+// communication (the circulating skip bitmaps SympleGraph adds) — are
+// tallied separately, plus a Control kind for collectives.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeID identifies a machine within a cluster, in [0, N).
+type NodeID int
+
+// Kind classifies message traffic for accounting and demultiplexing.
+type Kind uint8
+
+const (
+	// KindUpdate is mirror→master update communication: the partial
+	// signal results existing frameworks already send.
+	KindUpdate Kind = iota
+	// KindDependency is the dependency communication SympleGraph adds:
+	// skip bitmaps and data-dependency payloads circulating the ring.
+	KindDependency
+	// KindControl is framework-internal traffic: barriers, reductions,
+	// frontier exchanges and termination votes.
+	KindControl
+	numKinds
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindUpdate:
+		return "update"
+	case KindDependency:
+		return "dependency"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is a unit of communication. Tag disambiguates messages of the
+// same kind between the same pair of nodes (the engine uses step and
+// iteration numbers); a mismatch indicates a protocol bug and panics at
+// the receiver.
+type Message struct {
+	From    NodeID
+	Kind    Kind
+	Tag     int32
+	Payload []byte
+}
+
+// headerBytes is the accounted per-message overhead: from(4) kind(1)
+// tag(4) length(4), matching the TCP frame encoding so both transports
+// report identical volumes.
+const headerBytes = 13
+
+// Endpoint is one machine's connection to the cluster.
+//
+// Send may block if the destination's inbox is full (memory transport) or
+// the socket buffer is full (TCP); the engine's communication protocol is
+// deadlock-free because every send has a matching posted receive within
+// the same superstep. Recv blocks until a message with the given source
+// and kind arrives, and panics if its tag does not match — tags are a
+// protocol assertion, not a selection mechanism.
+//
+// Concurrent Recv calls are safe as long as no two goroutines receive the
+// same (from, kind) pair concurrently, which the engine guarantees by
+// dedicating dependency traffic to the coordinator goroutine (§6 of the
+// paper: "a dependency communication coordinator thread").
+type Endpoint interface {
+	// ID returns this endpoint's node ID.
+	ID() NodeID
+	// N returns the cluster size.
+	N() int
+	// Send delivers payload to node `to`. The payload is owned by the
+	// transport after the call and must not be reused by the caller.
+	Send(to NodeID, kind Kind, tag int32, payload []byte) error
+	// Recv returns the next message from `from` of kind `kind`,
+	// blocking as needed.
+	Recv(from NodeID, kind Kind, tag int32) (Message, error)
+	// Stats returns this endpoint's traffic counters.
+	Stats() *Stats
+	// Close releases transport resources. The endpoint is unusable
+	// afterwards.
+	Close() error
+}
+
+// Stats counts traffic by kind. Sent counters are updated by Send,
+// received counters by the transport's delivery path. All methods are
+// safe for concurrent use.
+type Stats struct {
+	sentMsgs  [numKinds]atomic.Int64
+	sentBytes [numKinds]atomic.Int64
+	recvMsgs  [numKinds]atomic.Int64
+	recvBytes [numKinds]atomic.Int64
+}
+
+func (s *Stats) countSend(kind Kind, payloadLen int) {
+	s.sentMsgs[kind].Add(1)
+	s.sentBytes[kind].Add(int64(payloadLen) + headerBytes)
+}
+
+func (s *Stats) countRecv(kind Kind, payloadLen int) {
+	s.recvMsgs[kind].Add(1)
+	s.recvBytes[kind].Add(int64(payloadLen) + headerBytes)
+}
+
+// SentBytes returns the bytes sent of the given kind, including per-message
+// header overhead.
+func (s *Stats) SentBytes(kind Kind) int64 { return s.sentBytes[kind].Load() }
+
+// SentMessages returns the number of messages sent of the given kind.
+func (s *Stats) SentMessages(kind Kind) int64 { return s.sentMsgs[kind].Load() }
+
+// ReceivedBytes returns the bytes received of the given kind.
+func (s *Stats) ReceivedBytes(kind Kind) int64 { return s.recvBytes[kind].Load() }
+
+// ReceivedMessages returns the number of messages received of the given kind.
+func (s *Stats) ReceivedMessages(kind Kind) int64 { return s.recvMsgs[kind].Load() }
+
+// TotalSentBytes returns bytes sent across all kinds.
+func (s *Stats) TotalSentBytes() int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		t += s.SentBytes(k)
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	for k := Kind(0); k < numKinds; k++ {
+		s.sentMsgs[k].Store(0)
+		s.sentBytes[k].Store(0)
+		s.recvMsgs[k].Store(0)
+		s.recvBytes[k].Store(0)
+	}
+}
+
+// Snapshot is an immutable copy of one kind's counters.
+type Snapshot struct {
+	SentMessages, SentBytes         int64
+	ReceivedMessages, ReceivedBytes int64
+}
+
+// Snapshot returns a copy of the counters for a kind.
+func (s *Stats) Snapshot(kind Kind) Snapshot {
+	return Snapshot{
+		SentMessages:     s.SentMessages(kind),
+		SentBytes:        s.SentBytes(kind),
+		ReceivedMessages: s.ReceivedMessages(kind),
+		ReceivedBytes:    s.ReceivedBytes(kind),
+	}
+}
+
+// demux routes incoming messages to per-(from, kind) queues so that
+// concurrent receivers of disjoint streams never contend, mirroring the
+// paper's separation of worker (update) and coordinator (dependency)
+// threads.
+type demux struct {
+	n      int
+	mu     sync.Mutex
+	queues map[demuxKey]chan Message
+	closed bool
+}
+
+type demuxKey struct {
+	from NodeID
+	kind Kind
+}
+
+func newDemux(n int) *demux {
+	return &demux{n: n, queues: make(map[demuxKey]chan Message)}
+}
+
+// queueCap bounds each (from, kind) stream. The engine protocol keeps at
+// most a handful of in-flight messages per stream (double buffering sends
+// a few group frames ahead); 1024 gives slack without unbounded memory.
+const queueCap = 1024
+
+func (d *demux) queue(from NodeID, kind Kind) chan Message {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := demuxKey{from, kind}
+	q, ok := d.queues[key]
+	if !ok {
+		q = make(chan Message, queueCap)
+		if d.closed {
+			close(q)
+		}
+		d.queues[key] = q
+	}
+	return q
+}
+
+func (d *demux) deliver(m Message) { d.queue(m.From, m.Kind) <- m }
+
+func (d *demux) recv(from NodeID, kind Kind, tag int32) (Message, error) {
+	m, ok := <-d.queue(from, kind)
+	if !ok {
+		return Message{}, fmt.Errorf("comm: endpoint closed while receiving from %d kind %v", from, kind)
+	}
+	if m.Tag != tag {
+		panic(fmt.Sprintf("comm: protocol violation: received tag %d from node %d kind %v, expected %d",
+			m.Tag, from, kind, tag))
+	}
+	return m, nil
+}
+
+func (d *demux) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, q := range d.queues {
+		close(q)
+	}
+}

@@ -1,0 +1,86 @@
+package comm
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// LinkModel models the interconnect for the in-memory transport. Each
+// machine has one NIC: a message sent at time t occupies both the
+// sender's egress and the receiver's ingress for len/bandwidth, starting
+// when both are free, and arrives one latency after the transfer
+// completes — so a node's total traffic is bandwidth-bound the way the
+// paper's InfiniBand NICs are, while transfers between disjoint node
+// pairs proceed in parallel. Messages between one ordered pair deliver
+// in order. The model makes communication a real wall-clock cost in
+// simulated clusters, so time-based comparisons reflect traffic volume
+// and overlap — including the latency hiding that double buffering
+// (§5.3) is designed for. A nil model delivers instantly.
+type LinkModel struct {
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// BytesPerSecond is the per-NIC bandwidth. Zero means infinite.
+	BytesPerSecond float64
+}
+
+// DefaultLink returns the harness's standard simulated interconnect:
+// 10µs latency and 10 MB/s per NIC — FDR InfiniBand scaled down roughly
+// in proportion to the graphs (the paper moves gigabytes per node over
+// 56 Gb/s; the harness moves hundreds of kilobytes), so laptop-scale
+// runs are bandwidth-bound the way the paper's billion-edge runs are.
+func DefaultLink() *LinkModel {
+	return &LinkModel{Latency: 10 * time.Microsecond, BytesPerSecond: 10e6}
+}
+
+// waitUntil blocks until the deadline with OS-timer sleep for the bulk
+// and a yielding loop for the tail, keeping microsecond-scale link
+// delays reasonably accurate despite coarse timer granularity without
+// starving the scheduler on small machines.
+func waitUntil(deadline time.Time) {
+	const yieldWindow = 200 * time.Microsecond
+	if wait := time.Until(deadline) - yieldWindow; wait > 0 {
+		time.Sleep(wait)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// transferTime returns the serialization delay of n bytes.
+func (l *LinkModel) transferTime(n int) time.Duration {
+	if l.BytesPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.BytesPerSecond * float64(time.Second))
+}
+
+// nics tracks every node's egress and ingress busy horizons.
+type nics struct {
+	mu      sync.Mutex
+	egress  []time.Time
+	ingress []time.Time
+}
+
+func newNICs(n int) *nics {
+	return &nics{egress: make([]time.Time, n), ingress: make([]time.Time, n)}
+}
+
+// claim reserves both NICs for a transfer of size bytes from src to dst
+// and returns the time the transfer completes (delivery is one latency
+// later).
+func (ns *nics) claim(model *LinkModel, src, dst int, size int, sent time.Time) time.Time {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	start := sent
+	if ns.egress[src].After(start) {
+		start = ns.egress[src]
+	}
+	if ns.ingress[dst].After(start) {
+		start = ns.ingress[dst]
+	}
+	done := start.Add(model.transferTime(size))
+	ns.egress[src] = done
+	ns.ingress[dst] = done
+	return done
+}

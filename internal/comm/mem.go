@@ -1,0 +1,170 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MemCluster is an in-process cluster of N endpoints connected by
+// channels. It is the default substrate for experiments: it preserves the
+// paper's message protocol and byte accounting exactly while running the
+// "machines" as goroutine groups on one host. With a LinkModel attached,
+// message delivery additionally pays simulated interconnect latency and
+// bandwidth, making wall-clock comparisons communication-aware.
+type MemCluster struct {
+	endpoints []*memEndpoint
+	link      *LinkModel
+
+	nics   *nics
+	linkMu sync.Mutex
+	links  map[[2]NodeID]*linkWorker
+	closed bool
+}
+
+// NewMemCluster creates a cluster with n endpoints and instant delivery.
+func NewMemCluster(n int) *MemCluster { return NewMemClusterWithLink(n, nil) }
+
+// NewMemClusterWithLink creates a cluster whose deliveries follow the
+// link model (nil = instant).
+func NewMemClusterWithLink(n int, link *LinkModel) *MemCluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: cluster size %d", n))
+	}
+	c := &MemCluster{
+		endpoints: make([]*memEndpoint, n),
+		link:      link,
+		links:     make(map[[2]NodeID]*linkWorker),
+		nics:      newNICs(n),
+	}
+	for i := range c.endpoints {
+		c.endpoints[i] = &memEndpoint{
+			id:    NodeID(i),
+			inbox: newDemux(n),
+			peers: c,
+		}
+	}
+	return c
+}
+
+// Endpoint returns node i's endpoint.
+func (c *MemCluster) Endpoint(i NodeID) Endpoint { return c.endpoints[i] }
+
+// Endpoints returns all endpoints in ID order.
+func (c *MemCluster) Endpoints() []Endpoint {
+	out := make([]Endpoint, len(c.endpoints))
+	for i, e := range c.endpoints {
+		out[i] = e
+	}
+	return out
+}
+
+// Close shuts the cluster down. It must not race with in-flight Sends;
+// call it after all programs have completed (Cluster.Run guarantees
+// this). In-flight simulated deliveries are abandoned.
+func (c *MemCluster) Close() error {
+	c.linkMu.Lock()
+	if !c.closed {
+		c.closed = true
+		for _, lw := range c.links {
+			close(lw.ch)
+		}
+	}
+	c.linkMu.Unlock()
+	for _, e := range c.endpoints {
+		e.Close()
+	}
+	return nil
+}
+
+// linkWorker serializes one ordered pair's deliveries: messages arrive in
+// send order, claim the two NICs in turn, wait out the transfer plus
+// latency, and are delivered FIFO.
+type linkWorker struct {
+	ch      chan delayedMsg
+	cluster *MemCluster
+	from    NodeID
+	to      NodeID
+}
+
+type delayedMsg struct {
+	dst  *memEndpoint
+	m    Message
+	sent time.Time
+}
+
+func (c *MemCluster) linkFor(from, to NodeID) *linkWorker {
+	key := [2]NodeID{from, to}
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	lw, ok := c.links[key]
+	if !ok {
+		lw = &linkWorker{ch: make(chan delayedMsg, 4096), cluster: c, from: from, to: to}
+		c.links[key] = lw
+		go lw.run(c.link)
+	}
+	return lw
+}
+
+func (lw *linkWorker) run(model *LinkModel) {
+	for d := range lw.ch {
+		done := lw.cluster.nics.claim(model, int(lw.from), int(lw.to), len(d.m.Payload), d.sent)
+		waitUntil(done.Add(model.Latency))
+		d.dst.deliverSafe(d.m)
+	}
+}
+
+type memEndpoint struct {
+	id        NodeID
+	inbox     *demux
+	peers     *MemCluster
+	stats     Stats
+	closeOnce sync.Once
+}
+
+func (e *memEndpoint) ID() NodeID { return e.id }
+
+func (e *memEndpoint) N() int { return len(e.peers.endpoints) }
+
+func (e *memEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) error {
+	if int(to) < 0 || int(to) >= e.N() {
+		return fmt.Errorf("comm: send to node %d of %d", to, e.N())
+	}
+	e.stats.countSend(kind, len(payload))
+	dst := e.peers.endpoints[to]
+	m := Message{From: e.id, Kind: kind, Tag: tag, Payload: payload}
+	if e.peers.link == nil {
+		dst.stats.countRecv(kind, len(payload))
+		dst.inbox.deliver(m)
+		return nil
+	}
+	lw := e.peers.linkFor(e.id, to)
+	if lw == nil {
+		return fmt.Errorf("comm: cluster closed")
+	}
+	lw.ch <- delayedMsg{dst: dst, m: m, sent: time.Now()}
+	return nil
+}
+
+// deliverSafe delivers a (possibly delayed) message, absorbing the racy
+// teardown case where the cluster closed while a simulated delivery was
+// in flight.
+func (e *memEndpoint) deliverSafe(m Message) {
+	defer func() { recover() }()
+	e.stats.countRecv(m.Kind, len(m.Payload))
+	e.inbox.deliver(m)
+}
+
+func (e *memEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
+	return e.inbox.recv(from, kind, tag)
+}
+
+func (e *memEndpoint) Stats() *Stats { return &e.stats }
+
+func (e *memEndpoint) Close() error {
+	e.closeOnce.Do(e.inbox.close)
+	return nil
+}

@@ -1,0 +1,252 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPEndpoint connects one node to a cluster over TCP with a full mesh of
+// connections, replacing the paper's MPI/InfiniBand layer. Frames are
+// length-prefixed: from(4) kind(1) tag(4) len(4) payload, so the measured
+// bytes match the accounted headerBytes exactly.
+//
+// Connection establishment is symmetric-free: node i dials every node
+// j < i and accepts connections from every j > i; the dialer announces its
+// ID in a 4-byte hello. Dials retry until the peer's listener is up.
+type TCPEndpoint struct {
+	id    NodeID
+	n     int
+	ln    net.Listener
+	conns []*tcpConn
+	inbox *demux
+	stats Stats
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writers
+	c  net.Conn
+}
+
+// dialTimeout bounds how long an endpoint retries dialing a peer before
+// giving up on cluster formation.
+const dialTimeout = 30 * time.Second
+
+// NewTCPEndpoint joins a cluster of n nodes as node id. ln must already be
+// listening on addrs[id]; addrs lists every node's address. The call
+// blocks until the full mesh is established.
+func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string) (*TCPEndpoint, error) {
+	n := len(addrs)
+	if int(id) < 0 || int(id) >= n {
+		return nil, fmt.Errorf("comm: node id %d outside cluster of %d", id, n)
+	}
+	e := &TCPEndpoint{
+		id:    id,
+		n:     n,
+		ln:    ln,
+		conns: make([]*tcpConn, n),
+		inbox: newDemux(n),
+	}
+
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	// Dial lower-numbered peers.
+	for j := 0; j < int(id); j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			c, err := dialWithRetry(addrs[j])
+			if err != nil {
+				errc <- fmt.Errorf("comm: node %d dialing node %d: %w", id, j, err)
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(id))
+			if _, err := c.Write(hello[:]); err != nil {
+				errc <- fmt.Errorf("comm: node %d hello to node %d: %w", id, j, err)
+				return
+			}
+			e.conns[j] = &tcpConn{c: c}
+		}(j)
+	}
+	// Accept higher-numbered peers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < n-1-int(id); accepted++ {
+			c, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("comm: node %d accepting: %w", id, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				errc <- fmt.Errorf("comm: node %d reading hello: %w", id, err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= int(id) || peer >= n {
+				errc <- fmt.Errorf("comm: node %d got hello from invalid peer %d", id, peer)
+				return
+			}
+			e.conns[peer] = &tcpConn{c: c}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errc:
+		e.Close()
+		return nil, err
+	default:
+	}
+	for j := 0; j < n; j++ {
+		if j != int(id) {
+			go e.readLoop(NodeID(j))
+		}
+	}
+	return e, nil
+}
+
+func dialWithRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialTimeout)
+	delay := 5 * time.Millisecond
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay < 200*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+func (e *TCPEndpoint) readLoop(from NodeID) {
+	conn := e.conns[from].c
+	var hdr [headerBytes]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // connection closed; Recv callers see closed queues after Close
+		}
+		m := Message{
+			From: NodeID(binary.LittleEndian.Uint32(hdr[0:])),
+			Kind: Kind(hdr[4]),
+			Tag:  int32(binary.LittleEndian.Uint32(hdr[5:])),
+		}
+		size := binary.LittleEndian.Uint32(hdr[9:])
+		m.Payload = make([]byte, size)
+		if _, err := io.ReadFull(conn, m.Payload); err != nil {
+			return
+		}
+		if m.From != from {
+			panic(fmt.Sprintf("comm: frame from %d arrived on connection to %d", m.From, from))
+		}
+		e.stats.countRecv(m.Kind, len(m.Payload))
+		e.inbox.deliver(m)
+	}
+}
+
+// ID returns this endpoint's node ID.
+func (e *TCPEndpoint) ID() NodeID { return e.id }
+
+// N returns the cluster size.
+func (e *TCPEndpoint) N() int { return e.n }
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) error {
+	if int(to) < 0 || int(to) >= e.n || to == e.id {
+		return fmt.Errorf("comm: node %d cannot send to %d", e.id, to)
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(e.id))
+	hdr[4] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
+	conn := e.conns[to]
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if _, err := conn.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("comm: node %d send to %d: %w", e.id, to, err)
+	}
+	if _, err := conn.c.Write(payload); err != nil {
+		return fmt.Errorf("comm: node %d send to %d: %w", e.id, to, err)
+	}
+	e.stats.countSend(kind, len(payload))
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
+	return e.inbox.recv(from, kind, tag)
+}
+
+// Stats implements Endpoint.
+func (e *TCPEndpoint) Stats() *Stats { return &e.stats }
+
+// Close shuts down all connections and the listener.
+func (e *TCPEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		if e.ln != nil {
+			e.closeErr = e.ln.Close()
+		}
+		for _, c := range e.conns {
+			if c != nil {
+				c.c.Close()
+			}
+		}
+		e.inbox.close()
+	})
+	return e.closeErr
+}
+
+// NewTCPClusterLoopback forms an n-node TCP cluster on 127.0.0.1 ephemeral
+// ports within this process — the transport-integration configuration used
+// by tests and the tcpcluster example. For a genuinely distributed run,
+// call NewTCPEndpoint in each process with a shared address list.
+func NewTCPClusterLoopback(n int) ([]*TCPEndpoint, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	endpoints := make([]*TCPEndpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			endpoints[i], errs[i] = NewTCPEndpoint(NodeID(i), listeners[i], addrs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, e := range endpoints {
+				if e != nil {
+					e.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return endpoints, nil
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Cluster owns a partitioned graph and the transport connecting its
+// simulated machines. A Cluster is created once per (graph, options) pair
+// and can execute many programs; communication statistics are collected
+// per Run.
+type Cluster struct {
+	g       *graph.Graph
+	opts    Options
+	part    *partition.Partition
+	class   *partition.DegreeClass
+	layouts []*partition.Layout
+
+	endpoints []comm.Endpoint
+	mem       *comm.MemCluster // non-nil when the cluster owns a memory transport
+	// localNode is -1 for in-process clusters (Run spawns every
+	// machine); otherwise the single machine this process hosts
+	// (distributed mode, NewDistributedNode).
+	localNode int
+
+	statsMu   sync.Mutex
+	lastStats RunStats
+}
+
+// RunStats aggregates one Run's work and traffic across all machines.
+// Byte counts are sender-side and include per-message header overhead.
+type RunStats struct {
+	// EdgesTraversed counts neighbor visits inside signal UDFs — the
+	// paper's computation metric (Table 5).
+	EdgesTraversed int64
+	// VerticesSkipped counts (vertex, block) signal executions skipped
+	// because a dependency bit was set by an earlier machine.
+	VerticesSkipped int64
+	// UpdateBytes / DependencyBytes / ControlBytes break down sent
+	// traffic by kind — the paper's communication metric (Table 6).
+	UpdateBytes     int64
+	DependencyBytes int64
+	ControlBytes    int64
+	// UpdateMessages / DependencyMessages count sent messages.
+	UpdateMessages     int64
+	DependencyMessages int64
+	// DependencyWait / UpdateWait are the total times machines spent
+	// blocked on dependency frames and update messages (summed over
+	// machines) — the synchronization costs double buffering and update
+	// overlap are designed to hide (§5.3).
+	DependencyWait time.Duration
+	UpdateWait     time.Duration
+	// Elapsed is the wall-clock duration of the Run.
+	Elapsed time.Duration
+}
+
+// TotalBytes returns all sent traffic.
+func (s RunStats) TotalBytes() int64 { return s.UpdateBytes + s.DependencyBytes + s.ControlBytes }
+
+// Add accumulates other into s (for multi-run experiments).
+func (s *RunStats) Add(other RunStats) {
+	s.EdgesTraversed += other.EdgesTraversed
+	s.VerticesSkipped += other.VerticesSkipped
+	s.UpdateBytes += other.UpdateBytes
+	s.DependencyBytes += other.DependencyBytes
+	s.ControlBytes += other.ControlBytes
+	s.UpdateMessages += other.UpdateMessages
+	s.DependencyMessages += other.DependencyMessages
+	s.DependencyWait += other.DependencyWait
+	s.UpdateWait += other.UpdateWait
+	s.Elapsed += other.Elapsed
+}
+
+// NewCluster partitions g across opts.NumNodes machines and connects
+// them. Close releases the transport.
+func NewCluster(g *graph.Graph, opts Options) (*Cluster, error) {
+	if err := opts.validateAndDefault(); err != nil {
+		return nil, err
+	}
+	pt, err := partition.NewChunked(g, opts.NumNodes, opts.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	threshold := opts.DepThreshold
+	if opts.Mode == ModeGemini {
+		threshold = 0 // classification irrelevant; track-all keeps layouts uniform
+	}
+	class := partition.BuildDegreeClass(g, pt, threshold)
+	c := &Cluster{
+		g:         g,
+		opts:      opts,
+		part:      pt,
+		class:     class,
+		layouts:   make([]*partition.Layout, opts.NumNodes),
+		localNode: -1,
+	}
+	for m := 0; m < opts.NumNodes; m++ {
+		c.layouts[m] = partition.BuildLayout(g, pt, class, m)
+	}
+	if opts.Endpoints != nil {
+		c.endpoints = opts.Endpoints
+	} else {
+		c.mem = comm.NewMemClusterWithLink(opts.NumNodes, opts.Link)
+		c.endpoints = c.mem.Endpoints()
+	}
+	return c, nil
+}
+
+// NewDistributedNode creates this process's view of a genuinely
+// distributed cluster: ep connects to opts.NumNodes peers (for example a
+// comm.TCPEndpoint built from a shared address list), this process hosts
+// machine ep.ID() only, and Run executes the program once for that
+// machine. Every process of the cluster must load the same graph and
+// call the same programs in the same order; results materialize on the
+// node-0 process, and LastRunStats reports this machine's share.
+// opts.Endpoints and opts.Link are ignored.
+func NewDistributedNode(g *graph.Graph, opts Options, ep comm.Endpoint) (*Cluster, error) {
+	if err := opts.validateAndDefault(); err != nil {
+		return nil, err
+	}
+	if ep.N() != opts.NumNodes {
+		return nil, fmt.Errorf("core: endpoint knows %d nodes, options say %d", ep.N(), opts.NumNodes)
+	}
+	pt, err := partition.NewChunked(g, opts.NumNodes, opts.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	threshold := opts.DepThreshold
+	if opts.Mode == ModeGemini {
+		threshold = 0
+	}
+	class := partition.BuildDegreeClass(g, pt, threshold)
+	id := int(ep.ID())
+	c := &Cluster{
+		g:         g,
+		opts:      opts,
+		part:      pt,
+		class:     class,
+		layouts:   make([]*partition.Layout, opts.NumNodes),
+		endpoints: make([]comm.Endpoint, opts.NumNodes),
+		localNode: id,
+	}
+	// Only the local machine's layout and endpoint exist in this
+	// process — the memory footprint a real cluster member would have.
+	c.layouts[id] = partition.BuildLayout(g, pt, class, id)
+	c.endpoints[id] = ep
+	return c, nil
+}
+
+// Graph returns the cluster's graph.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Options returns the cluster's configuration.
+func (c *Cluster) Options() Options { return c.opts }
+
+// Partition returns the vertex partition.
+func (c *Cluster) Partition() *partition.Partition { return c.part }
+
+// Close releases the transport if the cluster owns it. Externally
+// supplied endpoints are left open for the caller to close.
+func (c *Cluster) Close() error {
+	if c.mem != nil {
+		return c.mem.Close()
+	}
+	return nil
+}
+
+// Run executes prog SPMD-style: one invocation per machine, concurrently,
+// each with its own Worker. It blocks until every machine finishes and
+// returns the first error. Statistics for the run are available from
+// LastRunStats afterwards.
+func (c *Cluster) Run(prog func(w *Worker) error) error {
+	nodes := c.localNodes()
+	before := make(map[int]map[comm.Kind]comm.Snapshot, len(nodes))
+	for _, i := range nodes {
+		ep := c.endpoints[i]
+		before[i] = map[comm.Kind]comm.Snapshot{
+			comm.KindUpdate:     ep.Stats().Snapshot(comm.KindUpdate),
+			comm.KindDependency: ep.Stats().Snapshot(comm.KindDependency),
+			comm.KindControl:    ep.Stats().Snapshot(comm.KindControl),
+		}
+	}
+
+	workers := make([]*Worker, c.opts.NumNodes)
+	errs := make([]error, c.opts.NumNodes)
+	start := time.Now()
+	done := make(chan int, len(nodes))
+	for _, i := range nodes {
+		workers[i] = &Worker{
+			cluster: c,
+			id:      i,
+			ep:      c.endpoints[i],
+			layout:  c.layouts[i],
+		}
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("core: node %d panicked: %v", i, r)
+				}
+				done <- i
+			}()
+			errs[i] = prog(workers[i])
+		}(i)
+	}
+	// A failed worker would leave its peers blocked in Recv; on the first
+	// error, poison the transport so every pending receive returns. The
+	// cluster is unusable after a failed Run.
+	poisoned := false
+	for k := 0; k < len(nodes); k++ {
+		i := <-done
+		if errs[i] != nil && !poisoned {
+			poisoned = true
+			for _, j := range nodes {
+				c.endpoints[j].Close()
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	var stats RunStats
+	stats.Elapsed = elapsed
+	for _, i := range nodes {
+		ep := c.endpoints[i]
+		w := workers[i]
+		stats.EdgesTraversed += w.edges.Load()
+		stats.VerticesSkipped += w.skipped.Load()
+		stats.DependencyWait += time.Duration(w.depWait.Load())
+		stats.UpdateWait += time.Duration(w.updWait.Load())
+		u := ep.Stats().Snapshot(comm.KindUpdate)
+		d := ep.Stats().Snapshot(comm.KindDependency)
+		ct := ep.Stats().Snapshot(comm.KindControl)
+		stats.UpdateBytes += u.SentBytes - before[i][comm.KindUpdate].SentBytes
+		stats.UpdateMessages += u.SentMessages - before[i][comm.KindUpdate].SentMessages
+		stats.DependencyBytes += d.SentBytes - before[i][comm.KindDependency].SentBytes
+		stats.DependencyMessages += d.SentMessages - before[i][comm.KindDependency].SentMessages
+		stats.ControlBytes += ct.SentBytes - before[i][comm.KindControl].SentBytes
+	}
+	c.statsMu.Lock()
+	c.lastStats = stats
+	c.statsMu.Unlock()
+
+	for _, i := range nodes {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// localNodes lists the machine IDs this process hosts.
+func (c *Cluster) localNodes() []int {
+	if c.localNode >= 0 {
+		return []int{c.localNode}
+	}
+	out := make([]int, c.opts.NumNodes)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LastRunStats returns statistics for the most recent Run.
+func (c *Cluster) LastRunStats() RunStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.lastStats
+}

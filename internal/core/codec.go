@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Codec serializes fixed-size update messages. Update communication in
+// both dense and sparse modes carries (vertex, message) records; a fixed
+// message size keeps framing trivial and byte accounting exact.
+type Codec[M any] interface {
+	// Size is the encoded size in bytes. It must be constant.
+	Size() int
+	// Encode writes m into dst[:Size()].
+	Encode(dst []byte, m M)
+	// Decode reads a message from src[:Size()].
+	Decode(src []byte) M
+}
+
+// UnitCodec encodes struct{} in zero bytes, for algorithms whose update
+// message is pure presence (MIS vetoes).
+type UnitCodec struct{}
+
+// Size implements Codec.
+func (UnitCodec) Size() int { return 0 }
+
+// Encode implements Codec.
+func (UnitCodec) Encode([]byte, struct{}) {}
+
+// Decode implements Codec.
+func (UnitCodec) Decode([]byte) struct{} { return struct{}{} }
+
+// U32Codec encodes a uint32 (BFS parent IDs, K-means cluster IDs).
+type U32Codec struct{}
+
+// Size implements Codec.
+func (U32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (U32Codec) Encode(dst []byte, m uint32) { binary.LittleEndian.PutUint32(dst, m) }
+
+// Decode implements Codec.
+func (U32Codec) Decode(src []byte) uint32 { return binary.LittleEndian.Uint32(src) }
+
+// I64Codec encodes an int64 (K-core partial counts, distance sums).
+type I64Codec struct{}
+
+// Size implements Codec.
+func (I64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (I64Codec) Encode(dst []byte, m int64) { binary.LittleEndian.PutUint64(dst, uint64(m)) }
+
+// Decode implements Codec.
+func (I64Codec) Decode(src []byte) int64 { return int64(binary.LittleEndian.Uint64(src)) }
+
+// F64Codec encodes a float64.
+type F64Codec struct{}
+
+// Size implements Codec.
+func (F64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (F64Codec) Encode(dst []byte, m float64) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(m))
+}
+
+// Decode implements Codec.
+func (F64Codec) Decode(src []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(src))
+}
+
+// F32Codec encodes a float32 (SSSP distances).
+type F32Codec struct{}
+
+// Size implements Codec.
+func (F32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (F32Codec) Encode(dst []byte, m float32) {
+	binary.LittleEndian.PutUint32(dst, math.Float32bits(m))
+}
+
+// Decode implements Codec.
+func (F32Codec) Decode(src []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(src))
+}
+
+// WeightedPick is the Gemini-mode sampling message: a machine's local
+// weight mass and its local candidate, hierarchically combined at the
+// master (§2.1's graph sampling under a framework without dependency
+// propagation).
+type WeightedPick struct {
+	Sum  float64
+	Cand uint32
+}
+
+// WeightedPickCodec encodes WeightedPick in 12 bytes.
+type WeightedPickCodec struct{}
+
+// Size implements Codec.
+func (WeightedPickCodec) Size() int { return 12 }
+
+// Encode implements Codec.
+func (WeightedPickCodec) Encode(dst []byte, m WeightedPick) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(m.Sum))
+	binary.LittleEndian.PutUint32(dst[8:], m.Cand)
+}
+
+// Decode implements Codec.
+func (WeightedPickCodec) Decode(src []byte) WeightedPick {
+	return WeightedPick{
+		Sum:  math.Float64frombits(binary.LittleEndian.Uint64(src)),
+		Cand: binary.LittleEndian.Uint32(src[8:]),
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// DenseParams configure one dense (pull-mode) edge-processing pass — the
+// paper's signal/slot in pull mode (Figure 4), with dependency enforcement
+// when the cluster runs in ModeSympleGraph.
+type DenseParams[M any] struct {
+	// Codec serializes update messages.
+	Codec Codec[M]
+	// ActiveDst filters destination vertices; it is evaluated on the
+	// processing machine against replicated state (e.g. "not yet
+	// visited"). nil processes every destination.
+	ActiveDst func(dst graph.VertexID) bool
+	// Signal is the dense-signal UDF, executed once per (destination,
+	// block): it scans the destination's incoming neighbors local to
+	// the machine, calling ctx.Edge per neighbor examined, ctx.Emit to
+	// send a partial result to the master, and ctx.EmitDep when the
+	// loop-carried break condition fires.
+	Signal func(ctx *DenseCtx[M], dst graph.VertexID, srcs []graph.VertexID, weights []float32)
+	// Slot aggregates one update at the destination's master (it runs
+	// only there) and returns a contribution to the pass's global
+	// reduced value. It must be commutative and associative across
+	// messages for the same destination.
+	Slot func(dst graph.VertexID, msg M) int64
+	// Finalize, when non-nil, is called at the master for every tracked
+	// destination of its own partition after the circulant ring
+	// completes, with the final carried dependency state (skip bit and
+	// data lanes). This is where algorithms with data dependency decide
+	// from the fully accumulated value — e.g. K-core compares the
+	// carried neighbor count against K. It is invoked only when
+	// dependency propagation is active (ModeSympleGraph, p > 1); UDFs
+	// must emit ordinary updates for untracked vertices instead, which
+	// also covers ModeGemini and single-machine runs where ctx.Tracked
+	// reports false.
+	Finalize func(dst graph.VertexID, skip bool, data []float64) int64
+	// Lanes is the number of float64 data-dependency lanes carried per
+	// tracked vertex in this pass's dependency frames, for algorithms
+	// whose loop-carried state is data (K-core counts, sampling prefix
+	// sums). 0 for control-only dependency (BFS, MIS, K-means).
+	Lanes int
+}
+
+// DenseCtx is the per-worker signal context. It carries the update buffer,
+// traversal counters, and — in SympleGraph mode — the dependency state of
+// the destination being processed (the engine-side realization of the
+// paper's receive_dep/emit_dep primitives, Figure 5).
+type DenseCtx[M any] struct {
+	codec Codec[M]
+	size  int
+	buf   []byte
+
+	edges   int64
+	skipped int64
+
+	depOn    bool
+	tracked  bool
+	trackIdx int32
+	curDst   graph.VertexID
+	depBreak bool
+	depSkip  *bitset.Bitmap
+	depData  [][]float64
+}
+
+// Edge records one neighbor traversal (the paper's computation metric).
+// Instrumented UDFs call it once per neighbor examined.
+func (ctx *DenseCtx[M]) Edge() { ctx.edges++ }
+
+// Emit sends msg for the current destination to its master's slot.
+func (ctx *DenseCtx[M]) Emit(msg M) {
+	off := len(ctx.buf)
+	ctx.buf = append(ctx.buf, make([]byte, 4+ctx.size)...)
+	binary.LittleEndian.PutUint32(ctx.buf[off:], uint32(ctx.curDst))
+	ctx.codec.Encode(ctx.buf[off+4:], msg)
+}
+
+// EmitDep marks the loop-carried break: all following neighbors of the
+// current destination — on this machine (the UDF breaks) and on machines
+// later in the circulant ring (the engine propagates the bit) — are
+// skipped. It has no cross-machine effect for untracked vertices or in
+// ModeGemini; the UDF's local break still applies.
+func (ctx *DenseCtx[M]) EmitDep() { ctx.depBreak = true }
+
+// Tracked reports whether dependency state propagates across machines for
+// the current destination. UDFs with data dependency use it to fall back
+// to a parallel-decomposable path (e.g. hierarchical sampling) when the
+// carried state is unavailable.
+func (ctx *DenseCtx[M]) Tracked() bool { return ctx.depOn && ctx.tracked }
+
+// DepFloat returns the carried data-dependency value of lane for the
+// current destination, accumulated by machines earlier in the ring; 0 for
+// untracked destinations and at the ring head.
+func (ctx *DenseCtx[M]) DepFloat(lane int) float64 {
+	if !ctx.Tracked() {
+		return 0
+	}
+	return ctx.depData[lane][ctx.trackIdx]
+}
+
+// SetDepFloat stores the data-dependency value handed to machines later
+// in the ring. A no-op for untracked destinations.
+func (ctx *DenseCtx[M]) SetDepFloat(lane int, v float64) {
+	if !ctx.Tracked() {
+		return
+	}
+	ctx.depData[lane][ctx.trackIdx] = v
+}
+
+// ProcessEdgesDense runs one dense pass under the cluster's mode and
+// returns the global sum of slot contributions.
+//
+// The pass executes the circulant schedule (paper §5.1): in step j this
+// machine processes the block destined to partition (id+1+j) mod p.
+// Untracked (low-degree) destinations are processed at step start — they
+// need no dependency input, so their computation overlaps the
+// predecessor's work (§5.3's low/high overlap). Tracked destinations are
+// processed in NumBuffers groups: each group's dependency frame is
+// received from the right neighbor just before the group and forwarded to
+// the left neighbor right after (double buffering). Updates for the block
+// are sent to the destination partition's master machine at the end of
+// the step, and the update destined to this machine for the same step is
+// received and slotted before the next step begins.
+func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
+	p := w.N()
+	opts := w.cluster.opts
+	B := opts.NumBuffers
+	lanes := params.Lanes
+	if lanes < 0 {
+		return 0, fmt.Errorf("core: negative Lanes %d", lanes)
+	}
+	depOn := opts.Mode == ModeSympleGraph && p > 1
+	base := w.nextTags(int32(p*B + p)) // p*B dependency frames + p update rounds
+	rn := (w.id + 1) % p
+	ln := (w.id - 1 + p) % p
+
+	var reduced int64
+	var localPayload []byte    // our own block's updates, applied in ring order below
+	var depSkip *bitset.Bitmap // state for the step in flight; after the
+	var depData [][]float64    // loop, the final state of our own partition
+	for j := 0; j < p; j++ {
+		d := (w.id + 1 + j) % p
+		block := w.layout.Blocks[d]
+		tracked := len(w.cluster.class.Highs[d])
+
+		if depOn {
+			depSkip = bitset.New(tracked)
+			depData = make([][]float64, lanes)
+			for l := range depData {
+				depData[l] = make([]float64, tracked)
+			}
+		}
+
+		var bufs [][]byte
+		var bufsMu sync.Mutex
+		// Low-degree destinations first: no dependency input needed, so
+		// this computation overlaps the predecessor still working on the
+		// groups we are about to wait for.
+		processDensePositions(w, &params, block, block.LowPos, false, nil, nil, &bufs, &bufsMu)
+
+		bounds := groupBounds(tracked, B)
+		splits := splitTrackedByGroup(w.cluster.class, block, bounds)
+		for g := 0; g < B; g++ {
+			if depOn && j > 0 {
+				m, err := w.recvTimed(&w.depWait, comm.NodeID(rn), comm.KindDependency, base+int32((j-1)*B+g))
+				if err != nil {
+					return 0, err
+				}
+				if err := applyDepFrame(m.Payload, depSkip, depData, bounds[g], bounds[g+1]); err != nil {
+					return 0, err
+				}
+			}
+			processDensePositions(w, &params, block, splits[g], depOn, depSkip, depData, &bufs, &bufsMu)
+			if depOn && j < p-1 {
+				frame := encodeDepFrame(depSkip, depData, bounds[g], bounds[g+1])
+				if err := w.ep.Send(comm.NodeID(ln), comm.KindDependency, base+int32(j*B+g), frame); err != nil {
+					return 0, err
+				}
+			}
+		}
+
+		var total int
+		for _, b := range bufs {
+			total += len(b)
+		}
+		payload := make([]byte, 0, total)
+		for _, b := range bufs {
+			payload = append(payload, b...)
+		}
+		updateTag := base + int32(p*B+j)
+		if d != w.id {
+			if err := w.ep.Send(comm.NodeID(d), comm.KindUpdate, updateTag, payload); err != nil {
+				return 0, err
+			}
+		} else {
+			localPayload = payload // our own block, applied in ring position below
+		}
+	}
+	// Update communication overlaps with computation (§5.1: "the
+	// computation and update communication of each step can be largely
+	// overlapped"): the per-step messages were sent as each block
+	// finished; collect and slot them only now that all steps are done,
+	// in ring order so first-wins slots stay deterministic.
+	for j := 0; j < p; j++ {
+		src := ((w.id-1-j)%p + p) % p
+		if src == w.id {
+			reduced += applyDenseUpdates(w, &params, localPayload)
+			continue
+		}
+		m, err := w.recvTimed(&w.updWait, comm.NodeID(src), comm.KindUpdate, base+int32(p*B+j))
+		if err != nil {
+			return 0, err
+		}
+		reduced += applyDenseUpdates(w, &params, m.Payload)
+	}
+	if depOn && params.Finalize != nil {
+		// depSkip/depData now hold the fully circulated state of our
+		// own partition (processed in the final step).
+		lane := make([]float64, lanes)
+		for idx, dst := range w.cluster.class.Highs[w.id] {
+			if params.ActiveDst != nil && !params.ActiveDst(dst) {
+				continue
+			}
+			for l := range lane {
+				lane[l] = depData[l][idx]
+			}
+			reduced += params.Finalize(dst, depSkip.Get(idx), lane)
+		}
+	}
+	return w.AllReduceSum(reduced)
+}
+
+// processDensePositions runs the signal over the block destinations at
+// the given positions, in parallel chunks, collecting update buffers.
+func processDensePositions[M any](w *Worker, params *DenseParams[M], block *partition.Block,
+	positions []int32, depOn bool, depSkip *bitset.Bitmap, depData [][]float64,
+	bufs *[][]byte, bufsMu *sync.Mutex) {
+	if len(positions) == 0 {
+		return
+	}
+	class := w.cluster.class
+	w.parallelRange(len(positions), func(start, end int) {
+		ctx := &DenseCtx[M]{
+			codec:   params.Codec,
+			size:    params.Codec.Size(),
+			depOn:   depOn,
+			depSkip: depSkip,
+			depData: depData,
+		}
+		for _, pos := range positions[start:end] {
+			dst := block.Dsts[pos]
+			if params.ActiveDst != nil && !params.ActiveDst(dst) {
+				continue
+			}
+			idx := class.TrackIndex[dst]
+			ctx.tracked = idx >= 0
+			ctx.trackIdx = idx
+			if depOn && ctx.tracked && depSkip.GetAtomic(int(idx)) {
+				ctx.skipped++
+				continue
+			}
+			ctx.curDst = dst
+			ctx.depBreak = false
+			params.Signal(ctx, dst, block.Sources(int(pos)), block.SourceWeights(int(pos)))
+			if depOn && ctx.tracked && ctx.depBreak {
+				depSkip.SetAtomic(int(idx))
+			}
+		}
+		w.addEdges(ctx.edges)
+		w.addSkipped(ctx.skipped)
+		if len(ctx.buf) > 0 {
+			bufsMu.Lock()
+			*bufs = append(*bufs, ctx.buf)
+			bufsMu.Unlock()
+		}
+	})
+}
+
+// applyDenseUpdates decodes (dst, msg) records and applies the slot at
+// the master, returning the summed slot contributions.
+func applyDenseUpdates[M any](w *Worker, params *DenseParams[M], payload []byte) int64 {
+	rec := 4 + params.Codec.Size()
+	var reduced int64
+	for off := 0; off+rec <= len(payload); off += rec {
+		dst := graph.VertexID(binary.LittleEndian.Uint32(payload[off:]))
+		if !w.Owns(dst) {
+			panic(fmt.Sprintf("core: node %d received update for vertex %d it does not own", w.id, dst))
+		}
+		reduced += params.Slot(dst, params.Codec.Decode(payload[off+4:]))
+	}
+	return reduced
+}
+
+// groupBounds splits the tracked index space [0, T) into B contiguous
+// groups with 64-aligned interior boundaries, so dependency frames
+// exchange whole bitmap words.
+func groupBounds(T, B int) []int {
+	bounds := make([]int, B+1)
+	for g := 1; g < B; g++ {
+		b := (T*g/B + 63) &^ 63
+		if b > T {
+			b = T
+		}
+		bounds[g] = b
+	}
+	bounds[B] = T
+	for g := 1; g <= B; g++ {
+		if bounds[g] < bounds[g-1] {
+			bounds[g] = bounds[g-1]
+		}
+	}
+	return bounds
+}
+
+// splitTrackedByGroup slices block.TrackedPos into per-group position
+// lists. TrackedPos is ascending by tracked index, so a single pass
+// suffices.
+func splitTrackedByGroup(class *partition.DegreeClass, block *partition.Block, bounds []int) [][]int32 {
+	B := len(bounds) - 1
+	splits := make([][]int32, B)
+	tp := block.TrackedPos
+	i := 0
+	for g := 0; g < B; g++ {
+		start := i
+		for i < len(tp) && int(class.TrackIndex[block.Dsts[tp[i]]]) < bounds[g+1] {
+			i++
+		}
+		splits[g] = tp[start:i]
+	}
+	return splits
+}
+
+// encodeDepFrame serializes the dependency state for tracked indices
+// [gLo, gHi): the skip bitmap words followed by each data lane's values —
+// the paper's DepMessage in struct-of-arrays form (§6).
+func encodeDepFrame(depSkip *bitset.Bitmap, depData [][]float64, gLo, gHi int) []byte {
+	if gLo >= gHi {
+		return nil
+	}
+	if gLo%64 != 0 {
+		panic("core: dependency frame start not word-aligned")
+	}
+	wLo, wHi := gLo/64, (gHi+63)/64
+	out := make([]byte, 0, (wHi-wLo)*8+len(depData)*(gHi-gLo)*8)
+	words := depSkip.Words()
+	var tmp [8]byte
+	for _, word := range words[wLo:wHi] {
+		binary.LittleEndian.PutUint64(tmp[:], word)
+		out = append(out, tmp[:]...)
+	}
+	for _, lane := range depData {
+		for _, v := range lane[gLo:gHi] {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+			out = append(out, tmp[:]...)
+		}
+	}
+	return out
+}
+
+// applyDepFrame merges a received dependency frame: skip bits are OR-ed
+// (a break anywhere earlier in the ring holds), data lanes are
+// overwritten (the predecessor's value is the accumulated state).
+func applyDepFrame(payload []byte, depSkip *bitset.Bitmap, depData [][]float64, gLo, gHi int) error {
+	if gLo >= gHi {
+		if len(payload) != 0 {
+			return fmt.Errorf("core: non-empty dependency frame for empty group")
+		}
+		return nil
+	}
+	wLo, wHi := gLo/64, (gHi+63)/64
+	want := (wHi-wLo)*8 + len(depData)*(gHi-gLo)*8
+	if len(payload) != want {
+		return fmt.Errorf("core: dependency frame is %d bytes, want %d", len(payload), want)
+	}
+	words := depSkip.Words()
+	off := 0
+	for wi := wLo; wi < wHi; wi++ {
+		words[wi] |= binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+	}
+	for _, lane := range depData {
+		for i := gLo; i < gHi; i++ {
+			lane[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+	}
+	return nil
+}

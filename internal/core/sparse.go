@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+)
+
+// SparseParams configure one sparse (push-mode) edge-processing pass:
+// each machine scans the out-edges of its frontier masters (all local
+// under outgoing edge-cut) and routes messages to the destinations'
+// masters. Sparse mode has no cross-machine loop-carried dependency — the
+// paper's optimization targets pull mode (§2.2: "SympleGraph optimization
+// focuses on pull mode") — but it is required by direction-optimizing BFS
+// and general Gemini programs.
+type SparseParams[M any] struct {
+	// Codec serializes update messages.
+	Codec Codec[M]
+	// Frontier lists the local master vertices to process.
+	Frontier []graph.VertexID
+	// Signal is the sparse-signal UDF: it scans src's outgoing
+	// neighbors, calling ctx.Edge per neighbor examined and ctx.EmitTo
+	// to send a message to a destination's master.
+	Signal func(ctx *SparseCtx[M], src graph.VertexID, dsts []graph.VertexID, weights []float32)
+	// Slot aggregates one message at the destination's master and
+	// returns a contribution to the pass's reduced value.
+	Slot func(dst graph.VertexID, msg M) int64
+}
+
+// SparseCtx is the per-worker sparse signal context.
+type SparseCtx[M any] struct {
+	w     *Worker
+	codec Codec[M]
+	size  int
+	bufs  [][]byte // per destination machine
+	edges int64
+}
+
+// Edge records one neighbor traversal.
+func (ctx *SparseCtx[M]) Edge() { ctx.edges++ }
+
+// EmitTo sends msg to dst's master slot.
+func (ctx *SparseCtx[M]) EmitTo(dst graph.VertexID, msg M) {
+	owner := ctx.w.cluster.part.Owner(dst)
+	buf := ctx.bufs[owner]
+	off := len(buf)
+	buf = append(buf, make([]byte, 4+ctx.size)...)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(dst))
+	ctx.codec.Encode(buf[off+4:], msg)
+	ctx.bufs[owner] = buf
+}
+
+// ProcessEdgesSparse runs one sparse pass and returns the global sum of
+// slot contributions. Every frontier vertex must be a local master.
+func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error) {
+	p := w.N()
+	base := w.nextTags(1)
+	g := w.cluster.g
+
+	merged := make([][][]byte, 0) // per-chunk per-peer buffers
+	var mu sync.Mutex
+	w.parallelRange(len(params.Frontier), func(start, end int) {
+		ctx := &SparseCtx[M]{
+			w:     w,
+			codec: params.Codec,
+			size:  params.Codec.Size(),
+			bufs:  make([][]byte, p),
+		}
+		for _, src := range params.Frontier[start:end] {
+			if !w.Owns(src) {
+				panic(fmt.Sprintf("core: node %d asked to push from vertex %d it does not own", w.id, src))
+			}
+			params.Signal(ctx, src, g.OutNeighbors(src), g.OutWeights(src))
+		}
+		w.addEdges(ctx.edges)
+		mu.Lock()
+		merged = append(merged, ctx.bufs)
+		mu.Unlock()
+	})
+
+	perPeer := make([][]byte, p)
+	for _, bufs := range merged {
+		for peer, b := range bufs {
+			perPeer[peer] = append(perPeer[peer], b...)
+		}
+	}
+
+	var reduced int64
+	for peer := 0; peer < p; peer++ {
+		if peer == w.id {
+			reduced += applySparseUpdates(w, &params, perPeer[peer])
+			continue
+		}
+		if err := w.ep.Send(comm.NodeID(peer), comm.KindUpdate, base, perPeer[peer]); err != nil {
+			return 0, err
+		}
+	}
+	for peer := 0; peer < p; peer++ {
+		if peer == w.id {
+			continue
+		}
+		m, err := w.recvTimed(&w.updWait, comm.NodeID(peer), comm.KindUpdate, base)
+		if err != nil {
+			return 0, err
+		}
+		reduced += applySparseUpdates(w, &params, m.Payload)
+	}
+	return w.AllReduceSum(reduced)
+}
+
+func applySparseUpdates[M any](w *Worker, params *SparseParams[M], payload []byte) int64 {
+	rec := 4 + params.Codec.Size()
+	var reduced int64
+	for off := 0; off+rec <= len(payload); off += rec {
+		dst := graph.VertexID(binary.LittleEndian.Uint32(payload[off:]))
+		if !w.Owns(dst) {
+			panic(fmt.Sprintf("core: node %d received sparse update for vertex %d it does not own", w.id, dst))
+		}
+		reduced += params.Slot(dst, params.Codec.Decode(payload[off+4:]))
+	}
+	return reduced
+}

@@ -1,0 +1,395 @@
+package gluon
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/seq"
+	"repro/internal/xrand"
+)
+
+// Inf marks unreached/unset entries in gluon label arrays.
+const Inf = ^uint32(0)
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func addU32(a, b uint32) uint32 { return a + b }
+
+// BFS computes hop distances from root with push-style rounds and
+// reduce+broadcast label sync. No direction adaptivity, no dependency
+// pruning — the baseline profile the paper measures for D-Galois (with
+// adaptive switch treated as an orthogonal fairness add-on).
+func BFS(e *Engine, root graph.VertexID) ([]uint32, error) {
+	g := e.g
+	n := g.NumVertices()
+	out := make([]uint32, n)
+	err := e.Run(func(w *Worker) error {
+		depth := make([]uint32, n)
+		for i := range depth {
+			depth[i] = Inf
+		}
+		depth[root] = 0
+		touched := bitset.New(n)
+		if w.Owns(root) {
+			touched.Set(int(root))
+		}
+		if _, err := w.SyncReduceBroadcastU32(depth, touched, minU32); err != nil {
+			return err
+		}
+		local := w.Local()
+		for round := uint32(1); ; round++ {
+			for i, u := range local.Srcs {
+				if depth[u] != round-1 {
+					continue
+				}
+				for _, v := range local.Dests(i) {
+					w.CountEdge()
+					if round < depth[v] {
+						depth[v] = round
+						touched.Set(int(v))
+					}
+				}
+			}
+			changed, err := w.SyncReduceBroadcastU32(depth, touched, minU32)
+			if err != nil {
+				return err
+			}
+			if changed == 0 {
+				break
+			}
+		}
+		if w.ID() == 0 {
+			copy(out, depth)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Owns reports master ownership of v.
+func (w *Worker) Owns(v graph.VertexID) bool {
+	lo, hi := w.MasterRange()
+	return int(v) >= lo && int(v) < hi
+}
+
+// MIS computes the color-based maximal independent set (same rule as
+// algorithms.MIS and seq.GreedyMIS) under gluon synchronization: veto
+// flags and membership are full-array reduce+broadcast fields. The graph
+// must be symmetric.
+func MIS(e *Engine, seedVal uint64) ([]bool, error) {
+	g := e.g
+	n := g.NumVertices()
+	colors := seq.MISColors(n, seedVal)
+	out := make([]bool, n)
+	err := e.Run(func(w *Worker) error {
+		active := make([]uint32, n)
+		for i := range active {
+			active[i] = 1
+		}
+		inMIS := make([]uint32, n)
+		touched := bitset.New(n)
+		lo, hi := w.MasterRange()
+		local := w.Local()
+		for {
+			// Veto pass over local edges (u → v proxies).
+			veto := make([]uint32, n)
+			for i, u := range local.Srcs {
+				if active[u] == 0 {
+					continue
+				}
+				for _, v := range local.Dests(i) {
+					w.CountEdge()
+					if active[v] != 0 && colors[u] < colors[v] && veto[v] == 0 {
+						veto[v] = 1
+						touched.Set(int(v))
+					}
+				}
+			}
+			if _, err := w.SyncReduceBroadcastU32(veto, touched, maxU32); err != nil {
+				return err
+			}
+			// Join: unvetoed active masters enter the set.
+			joinedLocal := int64(0)
+			for v := lo; v < hi; v++ {
+				if active[v] != 0 && veto[v] == 0 {
+					inMIS[v] = 1
+					touched.Set(v)
+					joinedLocal++
+				}
+			}
+			joined, err := w.SyncReduceBroadcastU32(inMIS, touched, maxU32)
+			if err != nil {
+				return err
+			}
+			_ = joined
+			total, err := w.AllReduceSum(joinedLocal)
+			if err != nil {
+				return err
+			}
+			if total == 0 {
+				break
+			}
+			// Cover pass: members deactivate (masters), and their
+			// neighbors deactivate via the local edges.
+			for v := lo; v < hi; v++ {
+				if inMIS[v] != 0 && active[v] != 0 {
+					active[v] = 0
+					touched.Set(v)
+				}
+			}
+			for i, u := range local.Srcs {
+				if inMIS[u] == 0 {
+					continue
+				}
+				for _, v := range local.Dests(i) {
+					w.CountEdge()
+					if active[v] != 0 {
+						active[v] = 0
+						touched.Set(int(v))
+					}
+				}
+			}
+			if _, err := w.SyncReduceBroadcastU32(active, touched, minU32); err != nil {
+				return err
+			}
+			remaining := int64(0)
+			for v := lo; v < hi; v++ {
+				if active[v] != 0 {
+					remaining++
+				}
+			}
+			left, err := w.AllReduceSum(remaining)
+			if err != nil {
+				return err
+			}
+			if left == 0 {
+				break
+			}
+		}
+		if w.ID() == 0 {
+			for v := range out {
+				out[v] = inMIS[v] == 1
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KCore computes the K-core with full-scan counting rounds and summed
+// reductions — no count-to-K break across machines. The graph must be
+// symmetric.
+func KCore(e *Engine, k int) ([]bool, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gluon: KCore k = %d", k)
+	}
+	g := e.g
+	n := g.NumVertices()
+	out := make([]bool, n)
+	err := e.Run(func(w *Worker) error {
+		active := make([]uint32, n)
+		for i := range active {
+			active[i] = 1
+		}
+		touched := bitset.New(n)
+		lo, hi := w.MasterRange()
+		local := w.Local()
+		for {
+			count := make([]uint32, n)
+			for i, u := range local.Srcs {
+				if active[u] == 0 {
+					continue
+				}
+				for _, v := range local.Dests(i) {
+					w.CountEdge()
+					if active[v] != 0 {
+						count[v]++
+						touched.Set(int(v))
+					}
+				}
+			}
+			if _, err := w.SyncReduceBroadcastU32(count, touched, addU32); err != nil {
+				return err
+			}
+			removedLocal := int64(0)
+			for v := lo; v < hi; v++ {
+				if active[v] != 0 && count[v] < uint32(k) {
+					active[v] = 0
+					touched.Set(v)
+					removedLocal++
+				}
+			}
+			if _, err := w.SyncReduceBroadcastU32(active, touched, minU32); err != nil {
+				return err
+			}
+			removed, err := w.AllReduceSum(removedLocal)
+			if err != nil {
+				return err
+			}
+			if removed == 0 {
+				break
+			}
+		}
+		if w.ID() == 0 {
+			for v := range out {
+				out[v] = active[v] == 1
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KMeans runs the assignment phase of graph K-means (the measured kernel)
+// under gluon sync: candidate clusters propagate with min-combine, so the
+// tie-break is "smallest cluster ID" rather than ring order — a valid
+// assignment with the same per-iteration BFS levels.
+func KMeans(e *Engine, centers, iters int, seedVal uint64) (*seq.KMeansResult, error) {
+	if centers < 1 || iters < 1 {
+		return nil, fmt.Errorf("gluon: KMeans centers=%d iters=%d", centers, iters)
+	}
+	g := e.g
+	n := g.NumVertices()
+	if centers > n {
+		return nil, fmt.Errorf("gluon: %d centers for %d vertices", centers, n)
+	}
+	res := &seq.KMeansResult{}
+	err := e.Run(func(w *Worker) error {
+		cs := seqInitialCenters(n, centers, seedVal)
+		cluster := make([]uint32, n)
+		dist := make([]int32, n)
+		touched := bitset.New(n)
+		lo, hi := w.MasterRange()
+		local := w.Local()
+		var distSums []int64
+		rounds := 0
+		for iter := 0; iter < iters; iter++ {
+			for v := range cluster {
+				cluster[v] = Inf
+				dist[v] = -1
+			}
+			for cid, cv := range cs {
+				cluster[cv] = uint32(cid)
+				dist[cv] = 0
+			}
+			for round := int32(1); ; round++ {
+				rounds++
+				cand := make([]uint32, n)
+				for i := range cand {
+					cand[i] = Inf
+				}
+				for i, u := range local.Srcs {
+					if dist[u] < 0 || dist[u] >= round {
+						continue
+					}
+					for _, v := range local.Dests(i) {
+						w.CountEdge()
+						if cluster[v] == Inf && cluster[u] < cand[v] {
+							cand[v] = cluster[u]
+							touched.Set(int(v))
+						}
+					}
+				}
+				if _, err := w.SyncReduceBroadcastU32(cand, touched, minU32); err != nil {
+					return err
+				}
+				adoptedLocal := int64(0)
+				for v := lo; v < hi; v++ {
+					if cluster[v] == Inf && cand[v] != Inf {
+						cluster[v] = cand[v]
+						dist[v] = round
+						touched.Set(v)
+						adoptedLocal++
+					}
+				}
+				if _, err := w.SyncReduceBroadcastU32(cluster, touched, minU32); err != nil {
+					return err
+				}
+				// Distances are derivable (assignment round), broadcast
+				// via recompute: proxies learn dist from round number.
+				for v := 0; v < n; v++ {
+					if cluster[v] != Inf && dist[v] < 0 {
+						dist[v] = round
+					}
+				}
+				adopted, err := w.AllReduceSum(adoptedLocal)
+				if err != nil {
+					return err
+				}
+				if adopted == 0 {
+					break
+				}
+			}
+			sumLocal := int64(0)
+			for v := lo; v < hi; v++ {
+				if dist[v] > 0 {
+					sumLocal += int64(dist[v])
+				}
+			}
+			sum, err := w.AllReduceSum(sumLocal)
+			if err != nil {
+				return err
+			}
+			distSums = append(distSums, sum)
+			if iter == iters-1 {
+				break
+			}
+			cs = seqRecenter(cluster, cs, seedVal, iter)
+		}
+		if w.ID() == 0 {
+			res.Cluster = append([]uint32(nil), cluster...)
+			res.Dist = append([]int32(nil), dist...)
+			res.Centers = cs
+			res.DistSums = distSums
+			res.Rounds = rounds
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// seqInitialCenters mirrors algorithms.KMeans's deterministic center
+// choice so the two engines start from identical configurations.
+func seqInitialCenters(n, centers int, seedVal uint64) []graph.VertexID {
+	perm := xrand.Perm(n, xrand.Mix(seedVal, 0x4b3))
+	cs := make([]graph.VertexID, 0, centers)
+	for _, v := range perm {
+		if len(cs) == centers {
+			break
+		}
+		cs = append(cs, graph.VertexID(v))
+	}
+	return cs
+}
+
+// seqRecenter applies the shared deterministic re-centering rule; the
+// cluster array is fully replicated under gluon sync so every machine
+// computes the same centers locally.
+func seqRecenter(cluster []uint32, prev []graph.VertexID, seedVal uint64, iter int) []graph.VertexID {
+	return seq.Recenter(cluster, len(prev), seedVal, iter, prev)
+}

@@ -1,0 +1,107 @@
+package gluon
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PartitionKind selects how the gluon engine distributes edges.
+type PartitionKind int
+
+const (
+	// PartitionCVC is the Cartesian vertex-cut D-Galois defaults to
+	// ("since it performs well at scale", paper §2.3): machines form an
+	// r×c grid, edge (u,v) is placed on the machine at (row of u's
+	// owner, column of v's owner), so both endpoints' proxies may be
+	// remote.
+	PartitionCVC PartitionKind = iota
+	// Partition1D places every out-edge with its source's owner —
+	// the outgoing edge-cut, for comparison with the core engine.
+	Partition1D
+)
+
+// String returns the kind's name.
+func (k PartitionKind) String() string {
+	switch k {
+	case PartitionCVC:
+		return "cvc"
+	case Partition1D:
+		return "1d"
+	default:
+		return fmt.Sprintf("PartitionKind(%d)", int(k))
+	}
+}
+
+// localCSR is one machine's edge share grouped by source: Srcs lists the
+// sources with ≥1 local edge (ascending), Offsets delimits each source's
+// destination run in Dsts.
+type localCSR struct {
+	Srcs    []graph.VertexID
+	Offsets []int64
+	Dsts    []graph.VertexID
+}
+
+// Dests returns the destinations of the i-th source.
+func (l *localCSR) Dests(i int) []graph.VertexID {
+	return l.Dsts[l.Offsets[i]:l.Offsets[i+1]]
+}
+
+// NumEdges returns the machine's local edge count.
+func (l *localCSR) NumEdges() int64 { return int64(len(l.Dsts)) }
+
+// gridShape picks the most square r×c factorization of p (r ≤ c).
+func gridShape(p int) (r, c int) {
+	r = 1
+	for f := 1; f*f <= p; f++ {
+		if p%f == 0 {
+			r = f
+		}
+	}
+	return r, p / r
+}
+
+// buildLocalCSRs distributes g's edges to p machines under the given
+// partition kind (owner is the 1D master assignment shared with the sync
+// layer) and builds each machine's local CSR.
+func buildLocalCSRs(g *graph.Graph, owner func(graph.VertexID) int, p int, kind PartitionKind) []*localCSR {
+	type rec struct{ src, dst graph.VertexID }
+	perMachine := make([][]rec, p)
+	rows, cols := gridShape(p)
+	_ = rows
+	for u := 0; u < g.NumVertices(); u++ {
+		src := graph.VertexID(u)
+		for _, dst := range g.OutNeighbors(src) {
+			var m int
+			switch kind {
+			case Partition1D:
+				m = owner(src)
+			default: // PartitionCVC
+				m = (owner(src)/cols)*cols + owner(dst)%cols
+			}
+			perMachine[m] = append(perMachine[m], rec{src, dst})
+		}
+	}
+	out := make([]*localCSR, p)
+	for m := 0; m < p; m++ {
+		recs := perMachine[m]
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].src != recs[j].src {
+				return recs[i].src < recs[j].src
+			}
+			return recs[i].dst < recs[j].dst
+		})
+		csr := &localCSR{}
+		for _, r := range recs {
+			if len(csr.Srcs) == 0 || csr.Srcs[len(csr.Srcs)-1] != r.src {
+				csr.Srcs = append(csr.Srcs, r.src)
+				csr.Offsets = append(csr.Offsets, int64(len(csr.Dsts)))
+			}
+			csr.Dsts = append(csr.Dsts, r.dst)
+		}
+		csr.Offsets = append(csr.Offsets, int64(len(csr.Dsts)))
+		out[m] = csr
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g := RMAT(8, 4, Graph500Params(), 11)
+	var buf bytes.Buffer
+	if err := WriteEdgeListText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeListText(&buf, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got |V|=%d |E|=%d, want |V|=%d |E|=%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if !equalEdges(g, g2) {
+		t.Fatal("round trip changed edges")
+	}
+}
+
+func TestTextWeightedRoundTrip(t *testing.T) {
+	g := RandomWeights(Ring(8), 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeListText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeListText(&buf, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() {
+		t.Fatal("weights lost in text round trip")
+	}
+	for v := VertexID(0); v < 8; v++ {
+		a, b := g.OutWeights(v), g2.OutWeights(v)
+		for i := range a {
+			// Text uses %g, so compare loosely.
+			if diff := a[i] - b[i]; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("weight drift at %d: %g vs %g", v, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := "# a comment\n% another\n\n0 1\n1 2\n"
+	g, err := ReadEdgeListText(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadTextHeaderVertexCount(t *testing.T) {
+	in := "# vertices 10 edges 1\n0 1\n"
+	g, err := ReadEdgeListText(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("|V| = %d, want 10 from header", g.NumVertices())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "0 1 2 3\n", "x 1\n", "1 y\n", "1 2 z\n"} {
+		if _, err := ReadEdgeListText(strings.NewReader(in), BuildOptions{}); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadTextEmpty(t *testing.T) {
+	g, err := ReadEdgeListText(strings.NewReader(""), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatalf("|V| = %d for empty input", g.NumVertices())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		RMAT(8, 4, Graph500Params(), 11),
+		RandomWeights(Grid(5, 5), 2),
+		MustFromEdges(0, nil, BuildOptions{}),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumVertices() != g.NumVertices() || !equalEdges(g, g2) {
+			t.Fatal("binary round trip changed graph")
+		}
+		if g2.Weighted() != g.Weighted() {
+			t.Fatal("binary round trip changed weightedness")
+		}
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	g := Ring(4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	if _, err := ReadBinary(bytes.NewReader(full[:3])); err == nil {
+		t.Fatal("accepted truncated magic")
+	}
+	bad := append([]byte("XXXX"), full[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(full[:len(full)-3])); err == nil {
+		t.Fatal("accepted truncated edge records")
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 3
+1 2
+2 3
+3 1
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("edges wrong")
+	}
+	if g.Weighted() {
+		t.Fatal("pattern matrix weighted")
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 1
+2 1 0.5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatalf("symmetric expansion wrong: %v", g)
+	}
+	if !g.Weighted() || g.OutWeights(1)[0] != 0.5 {
+		t.Fatal("weight lost")
+	}
+	if !IsSymmetric(g) {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestReadMatrixMarketRectangular(t *testing.T) {
+	// Rectangular matrices map to max(rows, cols) vertices.
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 5 1
+1 5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || !g.HasEdge(0, 4) {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2 4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate pattern skew-symmetric\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate pattern general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n", // out of range
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n", // count mismatch
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",    // missing value
+		"%%MatrixMarket matrix coordinate pattern general\nx y z\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in), BuildOptions{}); err == nil {
+			t.Fatalf("case %d accepted:\n%s", i, in)
+		}
+	}
+}
+
+func TestMatrixMarketSelfLoopAndDedupe(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+2 2 2
+1 1
+2 1
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), BuildOptions{DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.HasEdge(0, 0) {
+		t.Fatalf("self loop handling wrong: %v", g)
+	}
+}

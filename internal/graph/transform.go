@@ -1,0 +1,69 @@
+package graph
+
+// Symmetrize returns a graph with every edge of g present in both
+// directions (deduplicated, self loops dropped). This is how the paper
+// runs undirected algorithms — MIS, K-core, K-means — on directed
+// datasets.
+func Symmetrize(g *Graph) *Graph {
+	edges := g.Edges()
+	both := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		both = append(both, e, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+	}
+	return MustFromEdges(g.NumVertices(), both, BuildOptions{
+		Dedupe:        true,
+		DropSelfLoops: true,
+		Weighted:      g.Weighted(),
+	})
+}
+
+// Reverse returns the transpose of g: edge (u,v) becomes (v,u).
+func Reverse(g *Graph) *Graph {
+	edges := g.Edges()
+	for i := range edges {
+		edges[i].Src, edges[i].Dst = edges[i].Dst, edges[i].Src
+	}
+	return MustFromEdges(g.NumVertices(), edges, BuildOptions{Weighted: g.Weighted()})
+}
+
+// IsSymmetric reports whether every edge has its reverse edge.
+func IsSymmetric(g *Graph) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(VertexID(v)) {
+			if !g.HasEdge(u, VertexID(v)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LargestOutDegreeVertex returns the vertex with the highest out-degree,
+// a convenient deterministic BFS root for skewed graphs, and its degree.
+// Returns (0, 0) for an empty graph.
+func LargestOutDegreeVertex(g *Graph) (VertexID, int) {
+	var best VertexID
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > bestDeg {
+			best, bestDeg = VertexID(v), d
+		}
+	}
+	if bestDeg < 0 {
+		return 0, 0
+	}
+	return best, bestDeg
+}
+
+// NonIsolatedVertices returns all vertices with at least one outgoing
+// edge, used to draw valid BFS roots the way the paper samples "64
+// randomly generated non-isolated roots".
+func NonIsolatedVertices(g *Graph) []VertexID {
+	var vs []VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(VertexID(v)) > 0 {
+			vs = append(vs, VertexID(v))
+		}
+	}
+	return vs
+}

@@ -1,0 +1,119 @@
+package seq
+
+import (
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// MISColors returns the deterministic distinct colors (a permutation of
+// vertex IDs) used by the MIS algorithms; every machine and the oracle
+// compute the same assignment from the seed.
+func MISColors(n int, seed uint64) []uint32 {
+	return xrand.Perm(n, xrand.Mix(seed, 0x6d15))
+}
+
+// GreedyMIS computes the lexicographically-first maximal independent set
+// by ascending color: a vertex joins unless a neighbor of smaller color
+// already joined. This is the sequential equivalent of the round-based
+// algorithm (the classic Luby-style equivalence for distinct priorities)
+// and the package's MIS oracle. The graph must be symmetric.
+func GreedyMIS(g *graph.Graph, colors []uint32) []bool {
+	n := g.NumVertices()
+	byColor := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		byColor[colors[v]] = graph.VertexID(v)
+	}
+	inMIS := make([]bool, n)
+	blocked := make([]bool, n)
+	for _, v := range byColor {
+		if blocked[v] {
+			continue
+		}
+		inMIS[v] = true
+		for _, u := range g.InNeighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return inMIS
+}
+
+// RoundMIS computes the same MIS with the paper's iterative algorithm
+// (Figure 3a): each round, active vertices whose color is smaller than
+// all active neighbors' colors join the set; joined vertices and their
+// neighbors deactivate. It mirrors the distributed execution round for
+// round and returns the set plus the number of rounds.
+func RoundMIS(g *graph.Graph, colors []uint32) ([]bool, int) {
+	n := g.NumVertices()
+	inMIS := make([]bool, n)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	rounds := 0
+	for {
+		rounds++
+		var newMIS []graph.VertexID
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			smallest := true
+			for _, u := range g.InNeighbors(graph.VertexID(v)) {
+				if active[u] && colors[u] < colors[graph.VertexID(v)] {
+					smallest = false
+					break // the loop-carried dependency
+				}
+			}
+			if smallest {
+				newMIS = append(newMIS, graph.VertexID(v))
+			}
+		}
+		if len(newMIS) == 0 {
+			break
+		}
+		for _, v := range newMIS {
+			inMIS[v] = true
+			active[v] = false
+			for _, u := range g.InNeighbors(v) {
+				active[u] = false
+			}
+		}
+		remaining := false
+		for v := 0; v < n; v++ {
+			if active[v] {
+				remaining = true
+				break
+			}
+		}
+		if !remaining {
+			break
+		}
+	}
+	return inMIS, rounds
+}
+
+// ValidateMIS checks independence and maximality of a set on a symmetric
+// graph, returning a description of the first violation or "".
+func ValidateMIS(g *graph.Graph, inMIS []bool) string {
+	for v := 0; v < g.NumVertices(); v++ {
+		if inMIS[v] {
+			for _, u := range g.InNeighbors(graph.VertexID(v)) {
+				if inMIS[u] && int(u) != v {
+					return "two adjacent vertices in set"
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, u := range g.InNeighbors(graph.VertexID(v)) {
+			if inMIS[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return "vertex neither in set nor adjacent to it"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,115 @@
+package seq
+
+import (
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// NotSampled marks vertices that drew no neighbor (no incoming edges).
+const NotSampled = ^uint32(0)
+
+// SampleNeighbors draws, for every vertex, one incoming neighbor with
+// probability proportional to the neighbor's vertex weight — the paper's
+// graph-sampling kernel (Figure 3d): walk the neighbor prefix sums until
+// they cross a uniform draw, the loop-carried data dependency. The draw
+// r_v is deterministic per (seed, round, v); weights come from
+// VertexWeight(seed, ·). The visit order decides which neighbor a given
+// prefix crossing selects, so exact distributed equivalence requires the
+// matching NeighborOrder.
+//
+// It returns the picked neighbor per vertex and the number of neighbor
+// visits (the traversal cost the paper's Table 5 reports).
+func SampleNeighbors(g *graph.Graph, seed uint64, round int, order NeighborOrder) ([]uint32, int64) {
+	if order == nil {
+		order = AscendingOrder
+	}
+	n := g.NumVertices()
+	pick := make([]uint32, n)
+	var visits int64
+	for v := 0; v < n; v++ {
+		pick[v] = NotSampled
+		nbrs, _ := order(g, graph.VertexID(v))
+		if len(nbrs) == 0 {
+			continue
+		}
+		r := SampleThresholdOrdered(seed, round, graph.VertexID(v), nbrs)
+		acc := 0.0
+		for _, u := range nbrs {
+			visits++
+			acc += VertexWeight(seed, u)
+			if acc >= r {
+				pick[v] = uint32(u)
+				break // the loop-carried dependency
+			}
+		}
+		if pick[v] == NotSampled {
+			// Floating-point shortfall at the tail: take the last.
+			pick[v] = uint32(nbrs[len(nbrs)-1])
+		}
+	}
+	return pick, visits
+}
+
+// TotalInWeight returns the sum of in-neighbor weights of v.
+func TotalInWeight(g *graph.Graph, seed uint64, v graph.VertexID) float64 {
+	total := 0.0
+	for _, u := range g.InNeighbors(v) {
+		total += VertexWeight(seed, u)
+	}
+	return total
+}
+
+// SampleThresholdOrdered returns r_v: the deterministic uniform draw in
+// (0, W_v], where W_v is the sum of the listed neighbors' weights
+// accumulated *in the given order*. The same left-to-right addition chain
+// is used by the prefix walk, so floating-point non-associativity cannot
+// push r_v past the final prefix sum — the walk is guaranteed to cross.
+// The distributed engine computes the same W_v through a dependency-lane
+// pass over the same ring order.
+func SampleThresholdOrdered(seed uint64, round int, v graph.VertexID, ordered []graph.VertexID) float64 {
+	var w float64
+	for _, u := range ordered {
+		w += VertexWeight(seed, u)
+	}
+	return SampleThresholdFromTotal(seed, round, v, w)
+}
+
+// SampleThresholdFromTotal returns r_v given a precomputed total weight.
+func SampleThresholdFromTotal(seed uint64, round int, v graph.VertexID, total float64) float64 {
+	return sampleUnit(seed, round, v) * total
+}
+
+func sampleUnit(seed uint64, round int, v graph.VertexID) float64 {
+	// Keep the draw in (0, 1] so a zero cannot select "before" the
+	// first neighbor.
+	return 1 - xrand.Uniform01(seed, 0x5a, uint64(round), uint64(v))
+}
+
+// ValidateSample checks that every vertex with incoming edges picked one
+// of its in-neighbors and isolated-in vertices picked nothing. Returns ""
+// if valid.
+func ValidateSample(g *graph.Graph, pick []uint32) string {
+	for v := 0; v < g.NumVertices(); v++ {
+		in := g.InNeighbors(graph.VertexID(v))
+		if len(in) == 0 {
+			if pick[v] != NotSampled {
+				return "pick for vertex without in-edges"
+			}
+			continue
+		}
+		if pick[v] == NotSampled {
+			return "no pick for vertex with in-edges"
+		}
+		found := false
+		for _, u := range in {
+			if uint32(u) == pick[v] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "picked non-neighbor"
+		}
+	}
+	return ""
+}

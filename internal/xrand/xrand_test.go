@@ -1,0 +1,105 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix not deterministic")
+	}
+	if Mix(1, 2, 3) == Mix(1, 2, 4) || Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix collides on trivially different tuples")
+	}
+}
+
+func TestUniform01Range(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := Uniform01(42, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform01 = %g out of [0,1)", u)
+		}
+	}
+}
+
+func TestUniform01Distribution(t *testing.T) {
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := uint64(0); i < n; i++ {
+		u := Uniform01(7, i)
+		sum += u
+		buckets[int(u*10)]++
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %g, want ~0.5", mean)
+	}
+	for b, c := range buckets {
+		if c < n/10-n/100 || c > n/10+n/100 {
+			t.Fatalf("bucket %d has %d of %d", b, c, n)
+		}
+	}
+}
+
+func TestUniformWeightPositive(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		w := UniformWeight(3, i)
+		if w <= 0 || w > 1 {
+			t.Fatalf("UniformWeight = %g out of (0,1]", w)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	seen := make([]bool, 7)
+	for i := uint64(0); i < 1000; i++ {
+		v := Intn(7, 5, i)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("value %d never drawn", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	Intn(0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(nRaw uint8, seed uint64) bool {
+		n := int(nRaw)
+		p := Perm(n, seed)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermVariesWithSeed(t *testing.T) {
+	a, b := Perm(100, 1), Perm(100, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds gave identical permutations")
+	}
+}
