@@ -1,0 +1,20 @@
+# Tier-1 verification gate: build everything, vet, race-test the engine
+# and transport, then run the full suite (which includes the CLI trace
+# smoke test).
+.PHONY: verify build test race smoke
+
+verify: build race test
+
+build:
+	go build ./...
+	go vet ./...
+
+race:
+	go test -race -count=1 ./internal/core ./internal/comm
+
+test:
+	go test ./...
+
+# The -trace acceptance path on its own, for quick iteration.
+smoke:
+	go test -run TestCLITraceOutput -count=1 .

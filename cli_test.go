@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -118,6 +119,74 @@ func TestCLITextFormat(t *testing.T) {
 	out := run(t, tools["sggen"], "-type", "grid", "-rows", "4", "-cols", "4", "-format", "text")
 	if !strings.Contains(out, "# vertices 16") {
 		t.Fatalf("text output:\n%s", out)
+	}
+}
+
+// TestCLITraceOutput runs BFS with -trace and checks the emitted file
+// is a parseable Chrome trace_event document whose DenseStep/DepWait
+// spans show the circulant pipeline overlapping across nodes.
+func TestCLITraceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "symplegraph")
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out := run(t, tools["symplegraph"], "-algo", "bfs", "-rmat", "10,8,3",
+		"-nodes", "4", "-mode", "symplegraph", "-buffers", "2",
+		"-trace", tracePath, "-v")
+	if !strings.Contains(out, "bfs: root=") || !strings.Contains(out, "phase node") {
+		t.Fatalf("run output:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	type span struct {
+		tid     int
+		ts, dur float64
+	}
+	var dense, depWait []span
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Name {
+		case "DenseStep":
+			dense = append(dense, span{ev.Tid, ev.Ts, ev.Dur})
+		case "DepWait":
+			depWait = append(depWait, span{ev.Tid, ev.Ts, ev.Dur})
+		}
+	}
+	if len(dense) == 0 || len(depWait) == 0 {
+		t.Fatalf("trace has %d DenseStep and %d DepWait spans", len(dense), len(depWait))
+	}
+	// The circulant schedule runs dense steps on all nodes concurrently:
+	// some node's DenseStep must overlap another node's DenseStep in
+	// wall time (DepWait spans nest inside them).
+	overlap := false
+	for _, a := range dense {
+		for _, b := range dense {
+			if a.tid != b.tid && a.ts < b.ts+b.dur && b.ts < a.ts+a.dur {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Fatal("no cross-node DenseStep overlap in trace")
 	}
 }
 

@@ -10,6 +10,7 @@
 //	sgbench -table 4 -scale 14   # just Table 4 at base scale 14
 //	sgbench -figure 11 -nodes 8
 //	sgbench -cost
+//	sgbench -table 4 -trace t4.json -v
 package main
 
 import (
@@ -20,10 +21,13 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/comm"
 )
 
 func main() {
+	var obsFlags cliutil.Obs
+	obsFlags.Register(flag.CommandLine)
 	var (
 		table   = flag.Int("table", 0, "regenerate one table (1-7)")
 		figure  = flag.Int("figure", 0, "regenerate one figure (10 or 11)")
@@ -36,11 +40,16 @@ func main() {
 		repeats = flag.Int("repeats", 3, "re-run each cell, keep fastest time")
 		study   = flag.String("study", "", "extra study: partition or direction")
 		export  = flag.String("export", "", "write the Table 4/5/6 matrix to a .csv or .json file")
+		verbose = flag.Bool("v", false, "verbose: per-phase histogram summary after tracing runs")
 	)
 	flag.Parse()
 
+	if err := obsFlags.Start("sgbench"); err != nil {
+		cliutil.Fatalf("sgbench", "%v", err)
+	}
 	suite := bench.NewSuite(*scale)
-	cfg := bench.Config{Nodes: *nodes, Seed: *seed, BFSRoots: *roots, Repeats: *repeats}
+	cfg := bench.Config{Nodes: *nodes, Seed: *seed, BFSRoots: *roots, Repeats: *repeats,
+		Tracer: obsFlags.Tracer}
 	sweep := []int{2, 4, 8, 16}
 
 	ran := false
@@ -49,8 +58,7 @@ func main() {
 		ran = true
 	}
 	fail := func(what string, err error) {
-		fmt.Fprintf(os.Stderr, "sgbench: %s: %v\n", what, err)
-		os.Exit(1)
+		cliutil.Fatalf("sgbench", "%s: %v", what, err)
 	}
 
 	var matrix *bench.Matrix
@@ -172,5 +180,18 @@ func main() {
 	if !ran {
 		fmt.Fprintln(os.Stderr, "sgbench: nothing selected; use -all, -table N, -figure N, -cost, -study or -export")
 		os.Exit(2)
+	}
+	if *verbose && obsFlags.Tracer != nil {
+		fmt.Println("=== Phase histograms ===")
+		for _, ps := range obsFlags.Tracer.Summaries() {
+			if ps.Hist.Count == 0 {
+				continue
+			}
+			fmt.Printf("node%d %-11s count=%d p50=%v p95=%v max=%v\n",
+				ps.Node, ps.Phase, ps.Hist.Count, ps.Hist.P50, ps.Hist.P95, ps.Hist.Max)
+		}
+	}
+	if err := obsFlags.Close(); err != nil {
+		cliutil.Fatalf("sgbench", "%v", err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/analyzer"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	write := fs.Bool("w", false, "rewrite files in place (instrument)")
 	out := fs.String("o", "", "output path (instrument; default stdout)")
 	recursive := fs.Bool("r", false, "treat arguments as directories (analyze)")
+	verbose := fs.Bool("v", false, "verbose: include files without signal UDFs, print reports while instrumenting")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatalf("%v", err)
 	}
@@ -48,6 +50,9 @@ func main() {
 				}
 				for _, fr := range reports {
 					if len(fr.Report.Funcs) == 0 {
+						if *verbose {
+							fmt.Printf("== %s ==\n(no signal UDFs)\n", fr.Path)
+						}
 						continue
 					}
 					fmt.Printf("== %s ==\n%s", fr.Path, fr.Report)
@@ -80,6 +85,9 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "%s: %d signal UDFs, %d with loop-carried dependency\n",
 				path, len(rep.Funcs), len(rep.LoopCarriedFuncs()))
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "%s", rep)
+			}
 			switch {
 			case *write:
 				if err := os.WriteFile(path, instrumented, 0o644); err != nil {
@@ -99,11 +107,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sgc analyze|instrument [-w] [-o out.go] file.go...")
+	fmt.Fprintln(os.Stderr, "usage: sgc analyze|instrument [-w] [-o out.go] [-v] file.go...")
 	os.Exit(2)
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sgc: "+format+"\n", args...)
-	os.Exit(1)
+	cliutil.Fatalf("sgc", format, args...)
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/graph"
 )
 
@@ -22,7 +23,7 @@ func main() {
 		typ        = flag.String("type", "rmat", "graph type: rmat, uniform, ring, star, grid")
 		scale      = flag.Int("scale", 14, "log2 of vertex count (rmat, uniform)")
 		ef         = flag.Int("ef", 16, "edge factor: average out-degree (rmat, uniform)")
-		seed       = flag.Int64("seed", 1, "generator seed")
+		seed       = flag.Uint64("seed", 1, "generator seed")
 		rows       = flag.Int("rows", 64, "grid rows")
 		cols       = flag.Int("cols", 64, "grid cols")
 		n          = flag.Int("n", 1024, "vertex count (ring, star)")
@@ -30,16 +31,18 @@ func main() {
 		weights    = flag.Bool("weights", false, "attach deterministic edge weights")
 		format     = flag.String("format", "binary", "output format: binary or text")
 		out        = flag.String("out", "", "output path (default stdout)")
+		verbose    = flag.Bool("v", false, "verbose: degree statistics for the generated graph")
 	)
 	flag.Parse()
+	gseed := int64(*seed)
 
 	var g *graph.Graph
 	switch *typ {
 	case "rmat":
-		g = graph.RMAT(*scale, *ef, graph.Graph500Params(), *seed)
+		g = graph.RMAT(*scale, *ef, graph.Graph500Params(), gseed)
 	case "uniform":
 		nv := 1 << uint(*scale)
-		g = graph.Uniform(nv, int64(nv)*int64(*ef), *seed)
+		g = graph.Uniform(nv, int64(nv)*int64(*ef), gseed)
 	case "ring":
 		g = graph.Ring(*n)
 	case "star":
@@ -53,7 +56,7 @@ func main() {
 		g = graph.Symmetrize(g)
 	}
 	if *weights {
-		g = graph.RandomWeights(g, *seed)
+		g = graph.RandomWeights(g, gseed)
 	}
 
 	w := os.Stdout
@@ -78,9 +81,14 @@ func main() {
 		fatalf("writing graph: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "generated %v (high-degree fraction %.3f)\n", g, g.HighDegreeFraction(32))
+	if *verbose {
+		hub, deg := graph.LargestOutDegreeVertex(g)
+		nonIsolated := len(graph.NonIsolatedVertices(g))
+		fmt.Fprintf(os.Stderr, "largest out-degree: vertex %d (%d edges); non-isolated vertices: %d/%d; weighted: %v\n",
+			hub, deg, nonIsolated, g.NumVertices(), g.Weighted())
+	}
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sggen: "+format+"\n", args...)
-	os.Exit(1)
+	cliutil.Fatalf("sggen", format, args...)
 }

@@ -8,6 +8,8 @@
 //	symplegraph -algo bfs -rmat 14,16,1 -nodes 8 -mode symplegraph
 //	symplegraph -algo kcore -k 8 -graph web.sg -mode gemini
 //	symplegraph -algo sampling -rounds 8 -nodes 4
+//	symplegraph -algo bfs -rmat 14,16,1 -trace out.json -v
+//	symplegraph -algo pagerank -iters 20 -debug-addr :6060
 package main
 
 import (
@@ -16,19 +18,21 @@ import (
 	"math"
 	"net"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/algorithms"
+	"repro/internal/cliutil"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
 
 func main() {
+	var gspec cliutil.GraphSpec
+	var obsFlags cliutil.Obs
+	gspec.Register(flag.CommandLine)
+	obsFlags.Register(flag.CommandLine)
 	var (
-		graphPath  = flag.String("graph", "", "binary graph file (see sggen)")
-		rmatSpec   = flag.String("rmat", "12,16,1", "generate R-MAT graph: scale,edgefactor,seed")
 		algo       = flag.String("algo", "bfs", "algorithm: bfs, mis, kcore, kmeans, sampling, cc, sssp, pagerank")
 		nodes      = flag.Int("nodes", 8, "simulated cluster size")
 		mode       = flag.String("mode", "symplegraph", "engine mode: symplegraph or gemini")
@@ -42,12 +46,13 @@ func main() {
 		rounds     = flag.Int("rounds", 4, "sampling rounds")
 		seed       = flag.Uint64("seed", 42, "algorithm seed")
 		symmetrize = flag.Bool("symmetrize", true, "symmetrize for undirected algorithms")
+		verbose    = flag.Bool("v", false, "verbose: per-node stats, phase histograms, engine warnings")
 		tcpID      = flag.Int("tcp-id", -1, "multi-process mode: this process's node ID")
 		tcpAddrs   = flag.String("tcp-addrs", "", "multi-process mode: comma-separated listen addresses, one per node")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *rmatSpec)
+	g, err := gspec.Load()
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -59,14 +64,19 @@ func main() {
 		g = graph.RandomWeights(g, 7)
 	}
 
-	var m core.Mode
-	switch *mode {
-	case "symplegraph":
-		m = core.ModeSympleGraph
-	case "gemini":
-		m = core.ModeGemini
-	default:
-		fatalf("unknown mode %q", *mode)
+	m, err := cliutil.ParseMode(*mode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := obsFlags.Start("symplegraph"); err != nil {
+		fatalf("%v", err)
+	}
+	opts := core.Options{
+		Mode:         m,
+		DepThreshold: *threshold,
+		NumBuffers:   *buffers,
+		Workers:      *workers,
+		Tracer:       obsFlags.Tracer,
 	}
 	var cluster *core.Cluster
 	if *tcpID >= 0 {
@@ -85,31 +95,27 @@ func main() {
 			fatalf("joining cluster: %v", err)
 		}
 		defer ep.Close()
-		cluster, err = core.NewDistributedNode(g, core.Options{
-			NumNodes:     len(addrs),
-			Mode:         m,
-			DepThreshold: *threshold,
-			NumBuffers:   *buffers,
-			Workers:      *workers,
-		}, ep)
+		opts.NumNodes = len(addrs)
+		cluster, err = core.NewDistributedNode(g, opts, ep)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		*nodes = len(addrs)
 	} else {
 		var err error
-		cluster, err = core.NewCluster(g, core.Options{
-			NumNodes:     *nodes,
-			Mode:         m,
-			DepThreshold: *threshold,
-			NumBuffers:   *buffers,
-			Workers:      *workers,
-		})
+		opts.NumNodes = *nodes
+		cluster, err = core.NewCluster(g, opts)
 		if err != nil {
 			fatalf("%v", err)
 		}
 	}
 	defer cluster.Close()
+	if obsFlags.Registry != nil {
+		cluster.RegisterMetrics(obsFlags.Registry)
+	}
+	for _, warn := range cluster.Stats().Warnings {
+		cliutil.Warnf("symplegraph", "%s", warn)
+	}
 
 	fmt.Printf("graph: %v  nodes: %d  mode: %v\n", g, *nodes, m)
 	rootV := graph.VertexID(*root)
@@ -209,39 +215,12 @@ func main() {
 		fatalf("unknown algorithm %q", *algo)
 	}
 
-	s := cluster.LastRunStats()
-	fmt.Printf("time: %v\n", s.Elapsed)
-	fmt.Printf("edges traversed: %d (%.3f of |E|)\n", s.EdgesTraversed,
-		float64(s.EdgesTraversed)/float64(g.NumEdges()))
-	fmt.Printf("communication: update=%dB dependency=%dB control=%dB total=%dB\n",
-		s.UpdateBytes, s.DependencyBytes, s.ControlBytes, s.TotalBytes())
-	fmt.Printf("dependency-skipped signal executions: %d\n", s.VerticesSkipped)
-	fmt.Printf("wait: dependency=%v update=%v\n", s.DependencyWait, s.UpdateWait)
-}
-
-func loadGraph(path, rmatSpec string) (*graph.Graph, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadBinary(f)
+	cliutil.PrintStats(os.Stdout, cluster.Stats(), g.NumEdges(), *verbose)
+	if err := obsFlags.Close(); err != nil {
+		fatalf("%v", err)
 	}
-	parts := strings.Split(rmatSpec, ",")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("bad -rmat spec %q, want scale,edgefactor,seed", rmatSpec)
-	}
-	scale, err1 := strconv.Atoi(parts[0])
-	ef, err2 := strconv.Atoi(parts[1])
-	seed, err3 := strconv.ParseInt(parts[2], 10, 64)
-	if err1 != nil || err2 != nil || err3 != nil {
-		return nil, fmt.Errorf("bad -rmat spec %q", rmatSpec)
-	}
-	return graph.RMAT(scale, ef, graph.Graph500Params(), seed), nil
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "symplegraph: "+format+"\n", args...)
-	os.Exit(1)
+	cliutil.Fatalf("symplegraph", format, args...)
 }

@@ -44,7 +44,7 @@ func main() {
 				size++
 			}
 		}
-		s := cluster.LastRunStats()
+		s := cluster.Stats().Totals
 		fmt.Printf("  %2d-core: %6d members (%d rounds, %.2f of |E| traversed)\n",
 			k, size, res.Rounds, float64(s.EdgesTraversed)/float64(g.NumEdges()))
 	}

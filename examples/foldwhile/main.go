@@ -95,7 +95,7 @@ func main() {
 			found++
 		}
 	}
-	s := cluster.LastRunStats()
+	s := cluster.Stats().Totals
 	fmt.Printf("== fold_while execution ==\n")
 	fmt.Printf("one bottom-up step: %d vertices found frontier parents\n", found)
 	fmt.Printf("edges traversed: %d of %d (loop-carried dependency pruned the rest)\n",

@@ -40,7 +40,7 @@ func main() {
 				reached++
 			}
 		}
-		s := cluster.LastRunStats()
+		s := cluster.Stats().Totals
 		fmt.Printf("%-12s reached=%d in %v\n", mode, reached, s.Elapsed)
 		fmt.Printf("  edges traversed: %8d (%.2f of |E|)\n",
 			s.EdgesTraversed, float64(s.EdgesTraversed)/float64(g.NumEdges()))

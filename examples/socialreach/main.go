@@ -53,7 +53,7 @@ func main() {
 	for h := int32(0); h <= maxHop; h++ {
 		fmt.Printf("  hop %d: %6d accounts\n", h, byHop[h])
 	}
-	s := cluster.LastRunStats()
+	s := cluster.Stats().Totals
 	fmt.Printf("(bottom-up steps: %d, dependency-skipped signals: %d)\n\n",
 		res.BottomUpSteps, s.VerticesSkipped)
 
@@ -71,7 +71,7 @@ func main() {
 		fmt.Printf("%d ", sample.Picks[r][influencer])
 	}
 	fmt.Println()
-	ss := cluster.LastRunStats()
+	ss := cluster.Stats().Totals
 	fmt.Printf("sampling communication: update=%dB dependency=%dB (data dependency costs 8B/vertex/step — the paper's Table 6 sampling row)\n",
 		ss.UpdateBytes, ss.DependencyBytes)
 }

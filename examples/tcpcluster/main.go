@@ -55,7 +55,7 @@ func main() {
 			size++
 		}
 	}
-	s := cluster.LastRunStats()
+	s := cluster.Stats().Totals
 	fmt.Printf("MIS size %d in %d rounds, %v\n", size, res.Rounds, s.Elapsed)
 	fmt.Printf("bytes over TCP: update=%d dependency=%d control=%d\n",
 		s.UpdateBytes, s.DependencyBytes, s.ControlBytes)

@@ -284,7 +284,7 @@ func TestSympleGraphBeatsGeminiOnWork(t *testing.T) {
 		if _, err := BFS(c, root); err != nil {
 			t.Fatal(err)
 		}
-		return c.LastRunStats()
+		return c.Stats().Totals
 	}
 	gem := run(core.ModeGemini)
 	sym := run(core.ModeSympleGraph)

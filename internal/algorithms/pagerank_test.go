@@ -96,7 +96,7 @@ func TestPageRankNoDependencySavings(t *testing.T) {
 		if _, err := PageRank(c, 3, 0.85); err != nil {
 			t.Fatal(err)
 		}
-		return c.LastRunStats().EdgesTraversed
+		return c.Stats().Totals.EdgesTraversed
 	}
 	if gem, sym := run(core.ModeGemini), run(core.ModeSympleGraph); gem != sym {
 		t.Fatalf("edge traversals differ without dependency: gemini %d, symple %d", gem, sym)

@@ -175,7 +175,7 @@ func TestBottomUpDependencySavings(t *testing.T) {
 		if _, err := BFSWithDirection(c, root, DirectionBottomUp); err != nil {
 			t.Fatal(err)
 		}
-		return c.LastRunStats().EdgesTraversed
+		return c.Stats().Totals.EdgesTraversed
 	}
 	gem, sym := run(core.ModeGemini), run(core.ModeSympleGraph)
 	if sym >= gem {

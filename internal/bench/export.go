@@ -9,13 +9,15 @@ import (
 )
 
 // WriteCSV exports every matrix cell as CSV — system, algorithm, dataset,
-// seconds, edges traversed, update/dependency/control bytes, supported —
-// sorted by (algo, dataset, system) so exports diff cleanly.
+// seconds, edges traversed, update/dependency/control bytes, dependency/
+// update wait seconds, supported — sorted by (algo, dataset, system) so
+// exports diff cleanly.
 func (m *Matrix) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"system", "algo", "dataset", "seconds",
-		"edges_traversed", "update_bytes", "dependency_bytes", "control_bytes", "supported",
+		"edges_traversed", "update_bytes", "dependency_bytes", "control_bytes",
+		"dependency_wait_seconds", "update_wait_seconds", "supported",
 	}); err != nil {
 		return err
 	}
@@ -27,6 +29,8 @@ func (m *Matrix) WriteCSV(w io.Writer) error {
 			fmt.Sprint(c.UpdateBytes),
 			fmt.Sprint(c.DependencyBytes),
 			fmt.Sprint(c.ControlBytes),
+			fmt.Sprintf("%.6f", c.DependencyWaitSeconds),
+			fmt.Sprintf("%.6f", c.UpdateWaitSeconds),
 			fmt.Sprint(c.Supported),
 		}
 		if err := cw.Write(rec); err != nil {

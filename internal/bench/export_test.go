@@ -13,7 +13,7 @@ func smallMatrix(t *testing.T) *Matrix {
 	m := &Matrix{Cells: map[string]Measurement{}}
 	for _, cell := range []Measurement{
 		{System: "Gemini", Algo: AlgoBFS, Dataset: "tw", Seconds: 1.5, EdgesTraversed: 10, UpdateBytes: 100, Supported: true},
-		{System: "SympleGraph", Algo: AlgoBFS, Dataset: "tw", Seconds: 1.0, EdgesTraversed: 5, UpdateBytes: 60, DependencyBytes: 7, Supported: true},
+		{System: "SympleGraph", Algo: AlgoBFS, Dataset: "tw", Seconds: 1.0, EdgesTraversed: 5, UpdateBytes: 60, DependencyBytes: 7, DependencyWaitSeconds: 0.25, Supported: true},
 		{System: "D-Galois", Algo: AlgoSampling, Dataset: "tw"},
 	} {
 		m.Cells[cellKey(cell.System, cell.Algo, cell.Dataset)] = cell
@@ -33,7 +33,7 @@ func TestWriteCSV(t *testing.T) {
 	if len(records) != 4 { // header + 3 cells
 		t.Fatalf("%d records", len(records))
 	}
-	if records[0][0] != "system" || len(records[0]) != 9 {
+	if records[0][0] != "system" || len(records[0]) != 11 {
 		t.Fatalf("header %v", records[0])
 	}
 	// Sorted: BFS before Sampling; Gemini before SympleGraph.
@@ -43,7 +43,10 @@ func TestWriteCSV(t *testing.T) {
 	if records[2][6] != "7" {
 		t.Fatalf("dependency bytes column: %v", records[2])
 	}
-	if records[3][8] != "false" {
+	if records[2][8] != "0.250000" {
+		t.Fatalf("dependency wait column: %v", records[2])
+	}
+	if records[3][10] != "false" {
 		t.Fatalf("supported column: %v", records[3])
 	}
 }

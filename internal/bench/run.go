@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gluon"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/xrand"
 )
@@ -84,6 +85,9 @@ type Config struct {
 	// Repeats re-runs each cell and keeps the fastest time (work and
 	// traffic are deterministic across repeats). Defaults to 1.
 	Repeats int
+	// Tracer, when non-nil, records per-phase spans for every core-engine
+	// cell (gluon and sequential baselines are not traced).
+	Tracer *obs.Tracer
 }
 
 // Defaults fills zero fields with the harness defaults.
@@ -127,6 +131,11 @@ type Measurement struct {
 	UpdateBytes     int64
 	DependencyBytes int64
 	ControlBytes    int64
+	// DependencyWaitSeconds and UpdateWaitSeconds sum the per-node time
+	// blocked on dependency and update receives (zero for systems that
+	// do not report them).
+	DependencyWaitSeconds float64
+	UpdateWaitSeconds     float64
 	// Supported is false for cells the system cannot run (D-Galois has
 	// no sampling implementation, §7.1).
 	Supported bool
@@ -204,6 +213,7 @@ func runVariantOnce(v Variant, a Algo, d *Dataset, cfg Config) (Measurement, err
 		NumBuffers:   v.NumBuffers,
 		Workers:      cfg.Workers,
 		Link:         cfg.Link,
+		Tracer:       cfg.Tracer,
 	})
 	if err != nil {
 		return Measurement{}, err
@@ -212,12 +222,14 @@ func runVariantOnce(v Variant, a Algo, d *Dataset, cfg Config) (Measurement, err
 
 	m := Measurement{System: v.Name, Dataset: d.Name, Algo: a, Supported: true}
 	accumulate := func() {
-		s := c.LastRunStats()
+		s := c.Stats().Totals
 		m.Seconds += s.Elapsed.Seconds()
 		m.EdgesTraversed += s.EdgesTraversed
 		m.UpdateBytes += s.UpdateBytes
 		m.DependencyBytes += s.DependencyBytes
 		m.ControlBytes += s.ControlBytes
+		m.DependencyWaitSeconds += s.DependencyWait.Seconds()
+		m.UpdateWaitSeconds += s.UpdateWait.Seconds()
 	}
 	switch a {
 	case AlgoBFS:

@@ -169,7 +169,7 @@ func DirectionStudy(s *Suite, cfg Config) (string, error) {
 						c.Close()
 						return "", err
 					}
-					edges[mode] += c.LastRunStats().EdgesTraversed
+					edges[mode] += c.Stats().Totals.EdgesTraversed
 				}
 				c.Close()
 			}

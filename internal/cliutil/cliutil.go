@@ -1,0 +1,176 @@
+// Package cliutil holds the flag vocabulary and glue shared by the
+// repository's command-line tools (symplegraph, sgbench, sggen, sgc).
+// Every tool spells common knobs the same way — -nodes, -mode, -graph,
+// -seed, -v — and the observability flags -trace and -debug-addr are
+// wired through one helper so each main stays a thin dispatcher.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Fatalf prints "tool: message" to stderr and exits with status 1.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// Warnf prints "tool: warning: message" to stderr.
+func Warnf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, tool+": warning: "+format+"\n", args...)
+}
+
+// ParseMode maps the shared -mode vocabulary onto core.Mode.
+func ParseMode(s string) (core.Mode, error) {
+	switch s {
+	case "symplegraph":
+		return core.ModeSympleGraph, nil
+	case "gemini":
+		return core.ModeGemini, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (flag -mode): want symplegraph or gemini", s)
+}
+
+// GraphSpec holds the shared graph-input flags: -graph (a binary file
+// produced by sggen) and -rmat (generate in-process).
+type GraphSpec struct {
+	Path string
+	RMAT string
+}
+
+// Register installs -graph and -rmat on fs.
+func (s *GraphSpec) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Path, "graph", "", "binary graph file (see sggen)")
+	fs.StringVar(&s.RMAT, "rmat", "12,16,1", "generate R-MAT graph: scale,edgefactor,seed")
+}
+
+// Load reads -graph if set, otherwise generates the -rmat graph.
+func (s *GraphSpec) Load() (*graph.Graph, error) {
+	if s.Path != "" {
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadBinary(f)
+	}
+	parts := strings.Split(s.RMAT, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -rmat spec %q, want scale,edgefactor,seed", s.RMAT)
+	}
+	scale, err1 := strconv.Atoi(parts[0])
+	ef, err2 := strconv.Atoi(parts[1])
+	seed, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("bad -rmat spec %q", s.RMAT)
+	}
+	return graph.RMAT(scale, ef, graph.Graph500Params(), seed), nil
+}
+
+// Obs bundles the shared observability flags. After Start, Tracer and
+// Registry are non-nil when any observability surface was requested and
+// may be handed to core.Options and Cluster.RegisterMetrics; Close
+// flushes the Chrome trace and stops the debug server.
+type Obs struct {
+	TracePath string
+	DebugAddr string
+
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
+	server   *obs.DebugServer
+}
+
+// Register installs -trace and -debug-addr on fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event timeline to this file")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/{metrics,vars,trace,pprof} on this address")
+}
+
+// Enabled reports whether any observability flag was set.
+func (o *Obs) Enabled() bool { return o.TracePath != "" || o.DebugAddr != "" }
+
+// Start allocates the tracer/registry and starts the debug server if
+// requested. Safe to call when no observability flag is set: Tracer and
+// Registry stay nil (a nil *obs.Tracer is a valid, disabled tracer).
+func (o *Obs) Start(tool string) error {
+	if !o.Enabled() {
+		return nil
+	}
+	o.Tracer = obs.NewCapturingTracer(obs.DefaultMaxEvents)
+	o.Registry = obs.NewRegistry()
+	if o.DebugAddr == "" {
+		return nil
+	}
+	srv, err := obs.StartDebugServer(o.DebugAddr, o.Registry, o.Tracer)
+	if err != nil {
+		return fmt.Errorf("starting debug server: %w", err)
+	}
+	o.server = srv
+	fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/metrics\n", tool, srv.Addr)
+	return nil
+}
+
+// Close writes the -trace file (if requested) and stops the debug
+// server. Call it on the tool's success path; the trace of a failed run
+// is intentionally not written.
+func (o *Obs) Close() error {
+	if o.server != nil {
+		o.server.Close()
+		o.server = nil
+	}
+	if o.TracePath == "" || o.Tracer == nil {
+		return nil
+	}
+	f, err := os.Create(o.TracePath)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, o.Tracer); err != nil {
+		f.Close()
+		return err
+	}
+	if dropped := o.Tracer.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d events dropped (capture buffer full)\n", dropped)
+	}
+	return f.Close()
+}
+
+// PrintStats writes the standard stats report shared by symplegraph
+// runs: totals always, per-node breakdown and engine warnings when
+// verbose.
+func PrintStats(w *os.File, s core.StatsSnapshot, numEdges int64, verbose bool) {
+	t := s.Totals
+	fmt.Fprintf(w, "time: %v\n", t.Elapsed)
+	fmt.Fprintf(w, "edges traversed: %d (%.3f of |E|)\n", t.EdgesTraversed,
+		float64(t.EdgesTraversed)/float64(numEdges))
+	fmt.Fprintf(w, "communication: update=%dB dependency=%dB control=%dB total=%dB\n",
+		t.UpdateBytes, t.DependencyBytes, t.ControlBytes, t.TotalBytes())
+	fmt.Fprintf(w, "dependency-skipped signal executions: %d\n", t.VerticesSkipped)
+	fmt.Fprintf(w, "wait: dependency=%v update=%v\n", t.DependencyWait, t.UpdateWait)
+	if !verbose {
+		return
+	}
+	for _, n := range s.Nodes {
+		fmt.Fprintf(w, "node %d: edges=%d update=%dB dependency=%dB control=%dB dep-wait=%v upd-wait=%v\n",
+			n.Node, n.EdgesTraversed, n.UpdateBytes, n.DependencyBytes, n.ControlBytes,
+			n.DependencyWait, n.UpdateWait)
+	}
+	for _, ps := range s.Phases {
+		if ps.Hist.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "phase node%d %-11s count=%d p50=%v p95=%v max=%v\n",
+			ps.Node, ps.Phase, ps.Hist.Count, ps.Hist.P50, ps.Hist.P95, ps.Hist.Max)
+	}
+	for _, warn := range s.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+}

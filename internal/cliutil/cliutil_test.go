@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode("symplegraph"); err != nil || m != core.ModeSympleGraph {
+		t.Fatalf("symplegraph: %v %v", m, err)
+	}
+	if m, err := ParseMode("gemini"); err != nil || m != core.ModeGemini {
+		t.Fatalf("gemini: %v %v", m, err)
+	}
+	if _, err := ParseMode("giraph"); err == nil || !strings.Contains(err.Error(), "-mode") {
+		t.Fatalf("bad mode error: %v", err)
+	}
+}
+
+func TestGraphSpecLoad(t *testing.T) {
+	var s GraphSpec
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s.Register(fs)
+	if err := fs.Parse([]string{"-rmat", "8,4,7"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1<<8 {
+		t.Fatalf("vertices %d", g.NumVertices())
+	}
+
+	s.RMAT = "8,4"
+	if _, err := s.Load(); err == nil || !strings.Contains(err.Error(), "-rmat") {
+		t.Fatalf("bad spec error: %v", err)
+	}
+}
+
+func TestObsStartClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	o := Obs{TracePath: path}
+	if err := o.Start("test"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer == nil || o.Registry == nil {
+		t.Fatal("tracer/registry not allocated")
+	}
+	o.Tracer.Record(0, obs.PhaseBarrier, 0, 0, 0, o.Tracer.Epoch(), 1000)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "traceEvents") {
+		t.Fatalf("trace file:\n%s", raw)
+	}
+
+	// Disabled observability is a no-op.
+	var off Obs
+	if err := off.Start("test"); err != nil || off.Tracer != nil {
+		t.Fatalf("disabled Start: %v %v", err, off.Tracer)
+	}
+	if err := off.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,7 +19,6 @@ package comm
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // NodeID identifies a machine within a cluster, in [0, N).
@@ -100,74 +99,6 @@ type Endpoint interface {
 	// Close releases transport resources. The endpoint is unusable
 	// afterwards.
 	Close() error
-}
-
-// Stats counts traffic by kind. Sent counters are updated by Send,
-// received counters by the transport's delivery path. All methods are
-// safe for concurrent use.
-type Stats struct {
-	sentMsgs  [numKinds]atomic.Int64
-	sentBytes [numKinds]atomic.Int64
-	recvMsgs  [numKinds]atomic.Int64
-	recvBytes [numKinds]atomic.Int64
-}
-
-func (s *Stats) countSend(kind Kind, payloadLen int) {
-	s.sentMsgs[kind].Add(1)
-	s.sentBytes[kind].Add(int64(payloadLen) + headerBytes)
-}
-
-func (s *Stats) countRecv(kind Kind, payloadLen int) {
-	s.recvMsgs[kind].Add(1)
-	s.recvBytes[kind].Add(int64(payloadLen) + headerBytes)
-}
-
-// SentBytes returns the bytes sent of the given kind, including per-message
-// header overhead.
-func (s *Stats) SentBytes(kind Kind) int64 { return s.sentBytes[kind].Load() }
-
-// SentMessages returns the number of messages sent of the given kind.
-func (s *Stats) SentMessages(kind Kind) int64 { return s.sentMsgs[kind].Load() }
-
-// ReceivedBytes returns the bytes received of the given kind.
-func (s *Stats) ReceivedBytes(kind Kind) int64 { return s.recvBytes[kind].Load() }
-
-// ReceivedMessages returns the number of messages received of the given kind.
-func (s *Stats) ReceivedMessages(kind Kind) int64 { return s.recvMsgs[kind].Load() }
-
-// TotalSentBytes returns bytes sent across all kinds.
-func (s *Stats) TotalSentBytes() int64 {
-	var t int64
-	for k := Kind(0); k < numKinds; k++ {
-		t += s.SentBytes(k)
-	}
-	return t
-}
-
-// Reset zeroes all counters.
-func (s *Stats) Reset() {
-	for k := Kind(0); k < numKinds; k++ {
-		s.sentMsgs[k].Store(0)
-		s.sentBytes[k].Store(0)
-		s.recvMsgs[k].Store(0)
-		s.recvBytes[k].Store(0)
-	}
-}
-
-// Snapshot is an immutable copy of one kind's counters.
-type Snapshot struct {
-	SentMessages, SentBytes         int64
-	ReceivedMessages, ReceivedBytes int64
-}
-
-// Snapshot returns a copy of the counters for a kind.
-func (s *Stats) Snapshot(kind Kind) Snapshot {
-	return Snapshot{
-		SentMessages:     s.SentMessages(kind),
-		SentBytes:        s.SentBytes(kind),
-		ReceivedMessages: s.ReceivedMessages(kind),
-		ReceivedBytes:    s.ReceivedBytes(kind),
-	}
 }
 
 // demux routes incoming messages to per-(from, kind) queues so that

@@ -67,20 +67,20 @@ func newNICs(n int) *nics {
 }
 
 // claim reserves both NICs for a transfer of size bytes from src to dst
-// and returns the time the transfer completes (delivery is one latency
-// later).
-func (ns *nics) claim(model *LinkModel, src, dst int, size int, sent time.Time) time.Time {
+// and returns when the transfer starts (after queueing behind earlier
+// transfers) and when it completes (delivery is one latency later).
+func (ns *nics) claim(model *LinkModel, src, dst int, size int, sent time.Time) (start, done time.Time) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	start := sent
+	start = sent
 	if ns.egress[src].After(start) {
 		start = ns.egress[src]
 	}
 	if ns.ingress[dst].After(start) {
 		start = ns.ingress[dst]
 	}
-	done := start.Add(model.transferTime(size))
+	done = start.Add(model.transferTime(size))
 	ns.egress[src] = done
 	ns.ingress[dst] = done
-	return done
+	return start, done
 }

@@ -43,6 +43,7 @@ func NewMemClusterWithLink(n int, link *LinkModel) *MemCluster {
 			inbox: newDemux(n),
 			peers: c,
 		}
+		c.endpoints[i].stats.initPeers(n)
 	}
 	return c
 }
@@ -110,8 +111,13 @@ func (c *MemCluster) linkFor(from, to NodeID) *linkWorker {
 }
 
 func (lw *linkWorker) run(model *LinkModel) {
+	src := lw.cluster.endpoints[lw.from]
 	for d := range lw.ch {
-		done := lw.cluster.nics.claim(model, int(lw.from), int(lw.to), len(d.m.Payload), d.sent)
+		start, done := lw.cluster.nics.claim(model, int(lw.from), int(lw.to), len(d.m.Payload), d.sent)
+		// Time spent queued behind earlier transfers before this
+		// message's own serialization began — the NIC-contention
+		// component of communication cost.
+		src.stats.countQueueDelay(start.Sub(d.sent))
 		waitUntil(done.Add(model.Latency))
 		d.dst.deliverSafe(d.m)
 	}
@@ -133,11 +139,11 @@ func (e *memEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) erro
 	if int(to) < 0 || int(to) >= e.N() {
 		return fmt.Errorf("comm: send to node %d of %d", to, e.N())
 	}
-	e.stats.countSend(kind, len(payload))
+	e.stats.countSend(to, kind, len(payload))
 	dst := e.peers.endpoints[to]
 	m := Message{From: e.id, Kind: kind, Tag: tag, Payload: payload}
 	if e.peers.link == nil {
-		dst.stats.countRecv(kind, len(payload))
+		dst.stats.countRecv(e.id, kind, len(payload))
 		dst.inbox.deliver(m)
 		return nil
 	}
@@ -154,7 +160,7 @@ func (e *memEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) erro
 // in flight.
 func (e *memEndpoint) deliverSafe(m Message) {
 	defer func() { recover() }()
-	e.stats.countRecv(m.Kind, len(m.Payload))
+	e.stats.countRecv(m.From, m.Kind, len(m.Payload))
 	e.inbox.deliver(m)
 }
 

@@ -53,6 +53,7 @@ func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string) (*TCPEndpoint, e
 		conns: make([]*tcpConn, n),
 		inbox: newDemux(n),
 	}
+	e.stats.initPeers(n)
 
 	errc := make(chan error, n)
 	var wg sync.WaitGroup
@@ -135,8 +136,15 @@ func (e *TCPEndpoint) readLoop(from NodeID) {
 	conn := e.conns[from].c
 	var hdr [headerBytes]byte
 	for {
+		// A peer vanishing — clean close at a frame boundary, or a
+		// short read inside the length-prefixed header or payload — is
+		// fatal to the SPMD run: messages that were due will never
+		// arrive. Closing the inbox turns every pending and future Recv
+		// into an error instead of a hang; already-delivered messages
+		// remain drainable from the closed queues.
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return // connection closed; Recv callers see closed queues after Close
+			e.inbox.close()
+			return
 		}
 		m := Message{
 			From: NodeID(binary.LittleEndian.Uint32(hdr[0:])),
@@ -146,14 +154,23 @@ func (e *TCPEndpoint) readLoop(from NodeID) {
 		size := binary.LittleEndian.Uint32(hdr[9:])
 		m.Payload = make([]byte, size)
 		if _, err := io.ReadFull(conn, m.Payload); err != nil {
+			e.inbox.close()
 			return
 		}
 		if m.From != from {
 			panic(fmt.Sprintf("comm: frame from %d arrived on connection to %d", m.From, from))
 		}
-		e.stats.countRecv(m.Kind, len(m.Payload))
-		e.inbox.deliver(m)
+		e.deliverSafe(m)
 	}
+}
+
+// deliverSafe counts and delivers a frame, absorbing the race where
+// another read loop (or Close) shut the inbox while this delivery was
+// in flight.
+func (e *TCPEndpoint) deliverSafe(m Message) {
+	defer func() { recover() }()
+	e.stats.countRecv(m.From, m.Kind, len(m.Payload))
+	e.inbox.deliver(m)
 }
 
 // ID returns this endpoint's node ID.
@@ -181,7 +198,7 @@ func (e *TCPEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) erro
 	if _, err := conn.c.Write(payload); err != nil {
 		return fmt.Errorf("comm: node %d send to %d: %w", e.id, to, err)
 	}
-	e.stats.countSend(kind, len(payload))
+	e.stats.countSend(to, kind, len(payload))
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -30,6 +31,7 @@ type Cluster struct {
 
 	statsMu   sync.Mutex
 	lastStats RunStats
+	lastNodes []NodeRunStats
 }
 
 // RunStats aggregates one Run's work and traffic across all machines.
@@ -61,6 +63,47 @@ type RunStats struct {
 
 // TotalBytes returns all sent traffic.
 func (s RunStats) TotalBytes() int64 { return s.UpdateBytes + s.DependencyBytes + s.ControlBytes }
+
+// NodeRunStats is one machine's share of a Run: the same work and
+// traffic counters as RunStats, attributed to a single node. Byte
+// counts are sender-side, so summing a field over all nodes yields
+// exactly the corresponding RunStats total.
+type NodeRunStats struct {
+	Node               int
+	EdgesTraversed     int64
+	VerticesSkipped    int64
+	UpdateBytes        int64
+	DependencyBytes    int64
+	ControlBytes       int64
+	UpdateMessages     int64
+	DependencyMessages int64
+	DependencyWait     time.Duration
+	UpdateWait         time.Duration
+}
+
+// TotalBytes returns the node's total sent traffic.
+func (s NodeRunStats) TotalBytes() int64 {
+	return s.UpdateBytes + s.DependencyBytes + s.ControlBytes
+}
+
+// StatsSnapshot is the cluster's full statistics surface for the most
+// recent Run: aggregate totals, per-node shares, per-(node, phase) span
+// histograms (when a tracer is attached), and configuration warnings.
+type StatsSnapshot struct {
+	// Totals aggregates the run across all machines this process
+	// hosts (all of them for in-process clusters; this machine only in
+	// distributed mode).
+	Totals RunStats
+	// Nodes holds each hosted machine's share, ordered by node ID.
+	// Per-field sums over Nodes equal the corresponding Totals fields.
+	Nodes []NodeRunStats
+	// Phases summarizes the spans recorded by Options.Tracer since the
+	// tracer was created (across runs); empty without a tracer.
+	Phases []obs.PhaseSummary
+	// Warnings lists configuration adjustments made during validation
+	// (e.g. an out-of-range NumBuffers clamped to 1).
+	Warnings []string
+}
 
 // Add accumulates other into s (for multi-run experiments).
 func (s *RunStats) Add(other RunStats) {
@@ -196,6 +239,7 @@ func (c *Cluster) Run(prog func(w *Worker) error) error {
 			id:      i,
 			ep:      c.endpoints[i],
 			layout:  c.layouts[i],
+			tr:      c.opts.Tracer,
 		}
 		go func(i int) {
 			defer func() {
@@ -224,24 +268,39 @@ func (c *Cluster) Run(prog func(w *Worker) error) error {
 
 	var stats RunStats
 	stats.Elapsed = elapsed
+	nodeStats := make([]NodeRunStats, 0, len(nodes))
 	for _, i := range nodes {
 		ep := c.endpoints[i]
 		w := workers[i]
-		stats.EdgesTraversed += w.edges.Load()
-		stats.VerticesSkipped += w.skipped.Load()
-		stats.DependencyWait += time.Duration(w.depWait.Load())
-		stats.UpdateWait += time.Duration(w.updWait.Load())
 		u := ep.Stats().Snapshot(comm.KindUpdate)
 		d := ep.Stats().Snapshot(comm.KindDependency)
 		ct := ep.Stats().Snapshot(comm.KindControl)
-		stats.UpdateBytes += u.SentBytes - before[i][comm.KindUpdate].SentBytes
-		stats.UpdateMessages += u.SentMessages - before[i][comm.KindUpdate].SentMessages
-		stats.DependencyBytes += d.SentBytes - before[i][comm.KindDependency].SentBytes
-		stats.DependencyMessages += d.SentMessages - before[i][comm.KindDependency].SentMessages
-		stats.ControlBytes += ct.SentBytes - before[i][comm.KindControl].SentBytes
+		ns := NodeRunStats{
+			Node:               i,
+			EdgesTraversed:     w.edges.Load(),
+			VerticesSkipped:    w.skipped.Load(),
+			DependencyWait:     time.Duration(w.depWait.Load()),
+			UpdateWait:         time.Duration(w.updWait.Load()),
+			UpdateBytes:        u.SentBytes - before[i][comm.KindUpdate].SentBytes,
+			UpdateMessages:     u.SentMessages - before[i][comm.KindUpdate].SentMessages,
+			DependencyBytes:    d.SentBytes - before[i][comm.KindDependency].SentBytes,
+			DependencyMessages: d.SentMessages - before[i][comm.KindDependency].SentMessages,
+			ControlBytes:       ct.SentBytes - before[i][comm.KindControl].SentBytes,
+		}
+		nodeStats = append(nodeStats, ns)
+		stats.EdgesTraversed += ns.EdgesTraversed
+		stats.VerticesSkipped += ns.VerticesSkipped
+		stats.DependencyWait += ns.DependencyWait
+		stats.UpdateWait += ns.UpdateWait
+		stats.UpdateBytes += ns.UpdateBytes
+		stats.UpdateMessages += ns.UpdateMessages
+		stats.DependencyBytes += ns.DependencyBytes
+		stats.DependencyMessages += ns.DependencyMessages
+		stats.ControlBytes += ns.ControlBytes
 	}
 	c.statsMu.Lock()
 	c.lastStats = stats
+	c.lastNodes = nodeStats
 	c.statsMu.Unlock()
 
 	for _, i := range nodes {
@@ -264,9 +323,73 @@ func (c *Cluster) localNodes() []int {
 	return out
 }
 
-// LastRunStats returns statistics for the most recent Run.
+// Stats returns the full statistics snapshot for the most recent Run:
+// aggregate totals, per-node shares, tracer phase histograms, and
+// configuration warnings. The snapshot is a copy, safe to retain.
+func (c *Cluster) Stats() StatsSnapshot {
+	c.statsMu.Lock()
+	totals := c.lastStats
+	nodes := make([]NodeRunStats, len(c.lastNodes))
+	copy(nodes, c.lastNodes)
+	c.statsMu.Unlock()
+	var warnings []string
+	if len(c.opts.warnings) > 0 {
+		warnings = append(warnings, c.opts.warnings...)
+	}
+	return StatsSnapshot{
+		Totals:   totals,
+		Nodes:    nodes,
+		Phases:   c.opts.Tracer.Summaries(),
+		Warnings: warnings,
+	}
+}
+
+// LastRunStats returns aggregate statistics for the most recent Run.
+//
+// Deprecated: use Stats, which additionally exposes per-node shares,
+// per-phase histograms and configuration warnings. LastRunStats is
+// equivalent to Stats().Totals.
 func (c *Cluster) LastRunStats() RunStats {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	return c.lastStats
+}
+
+// RegisterMetrics exposes the cluster's live transport counters in r:
+// per-node, per-kind sent/received bytes and frame counts, per-link
+// traffic, simulated-link queueing delay, and configuration warnings.
+// The registered gauges sample the endpoints at snapshot time, so a
+// /debug/metrics scrape during a Run sees traffic as it happens.
+func (c *Cluster) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Set("config.nodes", c.opts.NumNodes)
+	r.Set("config.mode", c.opts.Mode.String())
+	r.Set("config.buffers", c.opts.NumBuffers)
+	r.Set("config.workers", c.opts.Workers)
+	r.Set("config.warnings", append([]string(nil), c.opts.warnings...))
+	r.RegisterTracer("phases", c.opts.Tracer)
+	for _, i := range c.localNodes() {
+		st := c.endpoints[i].Stats()
+		for _, kind := range []comm.Kind{comm.KindUpdate, comm.KindDependency, comm.KindControl} {
+			kind := kind
+			prefix := fmt.Sprintf("comm.node%d.%s", i, kind)
+			r.RegisterInt(prefix+".sent_bytes", func() int64 { return st.SentBytes(kind) })
+			r.RegisterInt(prefix+".sent_frames", func() int64 { return st.SentMessages(kind) })
+			r.RegisterInt(prefix+".recv_bytes", func() int64 { return st.ReceivedBytes(kind) })
+			r.RegisterInt(prefix+".recv_frames", func() int64 { return st.ReceivedMessages(kind) })
+		}
+		r.RegisterInt(fmt.Sprintf("comm.node%d.link_queue_delay_ns", i),
+			func() int64 { return int64(st.QueueDelay()) })
+		for peer := 0; peer < c.opts.NumNodes; peer++ {
+			if peer == i {
+				continue
+			}
+			peer := peer
+			link := fmt.Sprintf("comm.link.%d-%d", i, peer)
+			r.RegisterInt(link+".sent_bytes", func() int64 { return st.Peer(comm.NodeID(peer)).SentBytes })
+			r.RegisterInt(link+".sent_frames", func() int64 { return st.Peer(comm.NodeID(peer)).SentMessages })
+		}
+	}
 }

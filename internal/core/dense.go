@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -142,12 +143,15 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 	base := w.nextTags(int32(p*B + p)) // p*B dependency frames + p update rounds
 	rn := (w.id + 1) % p
 	ln := (w.id - 1 + p) % p
+	pass := w.densePass
+	w.densePass++
 
 	var reduced int64
 	var localPayload []byte    // our own block's updates, applied in ring order below
 	var depSkip *bitset.Bitmap // state for the step in flight; after the
 	var depData [][]float64    // loop, the final state of our own partition
 	for j := 0; j < p; j++ {
+		stepStart := w.spanStart()
 		d := (w.id + 1 + j) % p
 		block := w.layout.Blocks[d]
 		tracked := len(w.cluster.class.Highs[d])
@@ -171,7 +175,8 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 		splits := splitTrackedByGroup(w.cluster.class, block, bounds)
 		for g := 0; g < B; g++ {
 			if depOn && j > 0 {
-				m, err := w.recvTimed(&w.depWait, comm.NodeID(rn), comm.KindDependency, base+int32((j-1)*B+g))
+				m, err := w.recvTimed(&w.depWait, comm.NodeID(rn), comm.KindDependency, base+int32((j-1)*B+g),
+					obs.PhaseDepWait, pass, j, g)
 				if err != nil {
 					return 0, err
 				}
@@ -181,10 +186,12 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 			}
 			processDensePositions(w, &params, block, splits[g], depOn, depSkip, depData, &bufs, &bufsMu)
 			if depOn && j < p-1 {
+				flushStart := w.spanStart()
 				frame := encodeDepFrame(depSkip, depData, bounds[g], bounds[g+1])
 				if err := w.ep.Send(comm.NodeID(ln), comm.KindDependency, base+int32(j*B+g), frame); err != nil {
 					return 0, err
 				}
+				w.endSpan(obs.PhaseBufferFlush, pass, j, g, flushStart)
 			}
 		}
 
@@ -204,6 +211,7 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 		} else {
 			localPayload = payload // our own block, applied in ring position below
 		}
+		w.endSpan(obs.PhaseDenseStep, pass, j, -1, stepStart)
 	}
 	// Update communication overlaps with computation (§5.1: "the
 	// computation and update communication of each step can be largely
@@ -216,7 +224,8 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 			reduced += applyDenseUpdates(w, &params, localPayload)
 			continue
 		}
-		m, err := w.recvTimed(&w.updWait, comm.NodeID(src), comm.KindUpdate, base+int32(p*B+j))
+		m, err := w.recvTimed(&w.updWait, comm.NodeID(src), comm.KindUpdate, base+int32(p*B+j),
+			obs.PhaseUpdateWait, pass, j, -1)
 		if err != nil {
 			return 0, err
 		}

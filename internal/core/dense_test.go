@@ -67,7 +67,7 @@ func TestDenseInDegreeCount(t *testing.T) {
 				t.Fatalf("vertex %d: count %d, want %d", v, got, want)
 			}
 		}
-		if got, want := c.LastRunStats().EdgesTraversed, g.NumEdges(); got != want {
+		if got, want := c.Stats().Totals.EdgesTraversed, g.NumEdges(); got != want {
 			t.Fatalf("edges traversed %d, want %d", got, want)
 		}
 	})
@@ -152,7 +152,7 @@ func TestDenseBreakFirstMatch(t *testing.T) {
 			}
 		}
 
-		s := c.LastRunStats()
+		s := c.Stats().Totals
 		key := fmt.Sprintf("p=%d", opts.NumNodes)
 		if opts.Mode == ModeGemini {
 			traversed[key] = s.EdgesTraversed
@@ -221,7 +221,7 @@ func TestDenseDepPruningExactness(t *testing.T) {
 			nonIsolated++
 		}
 	}
-	if got := c.LastRunStats().EdgesTraversed; got != nonIsolated {
+	if got := c.Stats().Totals.EdgesTraversed; got != nonIsolated {
 		t.Fatalf("edges traversed %d, want %d", got, nonIsolated)
 	}
 }
@@ -351,7 +351,7 @@ func TestDenseSkippedVerticesCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := c.LastRunStats()
+	s := c.Stats().Totals
 	if s.VerticesSkipped == 0 {
 		t.Fatalf("no skipped vertices recorded: %+v", s)
 	}

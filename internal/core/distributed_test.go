@@ -67,7 +67,7 @@ func TestDistributedNodeClusters(t *testing.T) {
 				return w.GatherU32(local)
 			})
 			if errs[i] == nil {
-				s := c.LastRunStats()
+				s := c.Stats().Totals
 				if s.EdgesTraversed == 0 {
 					t.Errorf("process %d recorded no work", i)
 				}
@@ -128,7 +128,7 @@ func TestWaitInstrumentation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := c.LastRunStats()
+	s := c.Stats().Totals
 	if s.DependencyWait == 0 {
 		t.Fatalf("no dependency wait recorded: %+v", s)
 	}

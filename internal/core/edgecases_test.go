@@ -209,7 +209,7 @@ func TestSingleNodeAllOptionCombos(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if c.LastRunStats().TotalBytes() != 0 {
+				if c.Stats().Totals.TotalBytes() != 0 {
 					t.Fatal("single machine sent bytes")
 				}
 			})

@@ -54,7 +54,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := cluster.LastRunStats()
+	s := cluster.Stats().Totals
 	fmt.Printf("edges traversed: %d of %d\n", s.EdgesTraversed, g.NumEdges())
 	// Output:
 	// found parents for 64 vertices

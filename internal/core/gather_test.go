@@ -165,7 +165,7 @@ func TestClusterWithLinkModel(t *testing.T) {
 			t.Fatalf("vertex %d: %d, want %d", v, got, want)
 		}
 	}
-	if got := c.LastRunStats().Elapsed; got < time.Millisecond {
+	if got := c.Stats().Totals.Elapsed; got < time.Millisecond {
 		t.Fatalf("elapsed %v under a 1ms-latency link", got)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // Mode selects the execution strategy for dense edge processing.
@@ -90,28 +91,56 @@ type Options struct {
 	// (e.g. comm.NewTCPClusterLoopback). When nil, an in-memory
 	// cluster is created. len(Endpoints) must equal NumNodes.
 	Endpoints []comm.Endpoint
+	// Tracer receives per-phase span timings from the workers (dense
+	// steps, dependency/update waits, barriers, buffer flushes). nil
+	// disables tracing; the hot paths then pay one pointer test.
+	Tracer *obs.Tracer
+
+	// warnings records non-fatal adjustments validateAndDefault made
+	// to explicitly set but out-of-range fields, surfaced through
+	// Cluster.Stats().Warnings so misconfiguration is visible.
+	warnings []string
 }
 
+// Warnings lists configuration adjustments recorded during validation
+// (nil before a cluster is built from these options).
+func (o Options) Warnings() []string { return o.warnings }
+
+// validateAndDefault checks o and fills defaults. Error messages name
+// the CLI flag conventionally bound to the offending field so
+// command-line users can see what to change.
 func (o *Options) validateAndDefault() error {
+	o.warnings = nil
 	if o.NumNodes < 1 {
-		return fmt.Errorf("core: NumNodes = %d", o.NumNodes)
+		return fmt.Errorf("core: NumNodes = %d (flag -nodes): need at least 1 machine", o.NumNodes)
 	}
+	// A zero NumBuffers/Workers means "unset, use the default"; other
+	// out-of-range values were explicitly chosen, so clamping them
+	// silently would hide a misconfiguration — record it.
 	if o.NumBuffers < 1 {
+		if o.NumBuffers != 0 {
+			o.warnings = append(o.warnings,
+				fmt.Sprintf("NumBuffers clamped from %d to 1 (flag -buffers)", o.NumBuffers))
+		}
 		o.NumBuffers = 1
 	}
 	if o.Workers < 1 {
+		if o.Workers != 0 {
+			o.warnings = append(o.warnings,
+				fmt.Sprintf("Workers clamped from %d to 1 (flag -workers)", o.Workers))
+		}
 		o.Workers = 1
 	}
 	if o.DepThreshold < 0 {
-		return fmt.Errorf("core: DepThreshold = %d", o.DepThreshold)
+		return fmt.Errorf("core: DepThreshold = %d (flag -threshold): must be ≥ 0", o.DepThreshold)
 	}
 	if o.Endpoints != nil && len(o.Endpoints) != o.NumNodes {
-		return fmt.Errorf("core: %d endpoints for %d nodes", len(o.Endpoints), o.NumNodes)
+		return fmt.Errorf("core: %d endpoints for %d nodes (flag -nodes must match Options.Endpoints)", len(o.Endpoints), o.NumNodes)
 	}
 	switch o.Mode {
 	case ModeSympleGraph, ModeGemini:
 	default:
-		return fmt.Errorf("core: unknown mode %v", o.Mode)
+		return fmt.Errorf("core: unknown mode %v (flag -mode): want symplegraph or gemini", o.Mode)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // SparseParams configure one sparse (push-mode) edge-processing pass:
@@ -59,6 +60,9 @@ func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error)
 	p := w.N()
 	base := w.nextTags(1)
 	g := w.cluster.g
+	pass := w.sparsePass
+	w.sparsePass++
+	pushStart := w.spanStart()
 
 	merged := make([][][]byte, 0) // per-chunk per-peer buffers
 	var mu sync.Mutex
@@ -98,11 +102,13 @@ func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error)
 			return 0, err
 		}
 	}
+	w.endSpan(obs.PhaseSparsePush, pass, -1, -1, pushStart)
 	for peer := 0; peer < p; peer++ {
 		if peer == w.id {
 			continue
 		}
-		m, err := w.recvTimed(&w.updWait, comm.NodeID(peer), comm.KindUpdate, base)
+		m, err := w.recvTimed(&w.updWait, comm.NodeID(peer), comm.KindUpdate, base,
+			obs.PhaseUpdateWait, pass, -1, -1)
 		if err != nil {
 			return 0, err
 		}

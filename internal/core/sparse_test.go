@@ -74,7 +74,7 @@ func TestSparsePushCounts(t *testing.T) {
 						frontierEdges += int64(g.OutDegree(graph.VertexID(v)))
 					}
 				}
-				if got := c.LastRunStats().EdgesTraversed; got != frontierEdges {
+				if got := c.Stats().Totals.EdgesTraversed; got != frontierEdges {
 					t.Fatalf("edges traversed %d, want %d", got, frontierEdges)
 				}
 			})

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// denseCountProgram is a representative workload for stats tests: one
+// dense in-degree pass with a break (so SympleGraph mode emits
+// dependency traffic), a sparse push, and a barrier.
+func denseCountProgram(breakEarly bool) func(w *Worker) error {
+	return func(w *Worker) error {
+		_, err := ProcessEdgesDense(w, DenseParams[uint32]{
+			Codec: U32Codec{},
+			Signal: func(ctx *DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+				for range srcs {
+					ctx.Edge()
+					if breakEarly {
+						ctx.Emit(1)
+						ctx.EmitDep()
+						return
+					}
+				}
+				ctx.Emit(uint32(len(srcs)))
+			},
+			Slot: func(dst graph.VertexID, msg uint32) int64 { return int64(msg) },
+		})
+		if err != nil {
+			return err
+		}
+		lo, hi := w.MasterRange()
+		frontier := make([]graph.VertexID, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			frontier = append(frontier, graph.VertexID(v))
+		}
+		if _, err := ProcessEdgesSparse(w, SparseParams[uint32]{
+			Codec:    U32Codec{},
+			Frontier: frontier,
+			Signal: func(ctx *SparseCtx[uint32], src graph.VertexID, dsts []graph.VertexID, _ []float32) {
+				for _, d := range dsts {
+					ctx.Edge()
+					ctx.EmitTo(d, 1)
+				}
+			},
+			Slot: func(dst graph.VertexID, msg uint32) int64 { return int64(msg) },
+		}); err != nil {
+			return err
+		}
+		return w.Barrier()
+	}
+}
+
+// TestStatsNodeSharesSumToTotals is the snapshot API's core invariant:
+// per-node byte/message/work shares sum exactly to the aggregate
+// counters, across modes and transports.
+func TestStatsNodeSharesSumToTotals(t *testing.T) {
+	g := graph.RMAT(9, 8, graph.Graph500Params(), 11)
+	for _, mode := range []Mode{ModeSympleGraph, ModeGemini} {
+		for _, transport := range []string{"mem", "tcp"} {
+			t.Run(mode.String()+"/"+transport, func(t *testing.T) {
+				opts := Options{NumNodes: 4, Mode: mode, DepThreshold: 8, NumBuffers: 2}
+				if transport == "tcp" {
+					eps, err := comm.NewTCPClusterLoopback(4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts.Endpoints = make([]comm.Endpoint, len(eps))
+					for i, e := range eps {
+						opts.Endpoints[i] = e
+						defer e.Close()
+					}
+				}
+				c := mustCluster(t, g, opts)
+				if err := c.Run(denseCountProgram(mode == ModeSympleGraph)); err != nil {
+					t.Fatal(err)
+				}
+				s := c.Stats()
+				if len(s.Nodes) != 4 {
+					t.Fatalf("%d node entries", len(s.Nodes))
+				}
+				var sum NodeRunStats
+				for i, n := range s.Nodes {
+					if n.Node != i {
+						t.Fatalf("node entry %d has ID %d", i, n.Node)
+					}
+					sum.EdgesTraversed += n.EdgesTraversed
+					sum.VerticesSkipped += n.VerticesSkipped
+					sum.UpdateBytes += n.UpdateBytes
+					sum.DependencyBytes += n.DependencyBytes
+					sum.ControlBytes += n.ControlBytes
+					sum.UpdateMessages += n.UpdateMessages
+					sum.DependencyMessages += n.DependencyMessages
+					sum.DependencyWait += n.DependencyWait
+					sum.UpdateWait += n.UpdateWait
+				}
+				tot := s.Totals
+				if sum.UpdateBytes != tot.UpdateBytes ||
+					sum.DependencyBytes != tot.DependencyBytes ||
+					sum.ControlBytes != tot.ControlBytes {
+					t.Fatalf("byte shares %+v do not sum to totals %+v", sum, tot)
+				}
+				if sum.UpdateBytes+sum.DependencyBytes+sum.ControlBytes != tot.TotalBytes() {
+					t.Fatalf("per-node TotalBytes mismatch")
+				}
+				if sum.EdgesTraversed != tot.EdgesTraversed ||
+					sum.VerticesSkipped != tot.VerticesSkipped ||
+					sum.UpdateMessages != tot.UpdateMessages ||
+					sum.DependencyMessages != tot.DependencyMessages ||
+					sum.DependencyWait != tot.DependencyWait ||
+					sum.UpdateWait != tot.UpdateWait {
+					t.Fatalf("work shares %+v do not sum to totals %+v", sum, tot)
+				}
+				if mode == ModeSympleGraph && tot.DependencyBytes == 0 {
+					t.Fatal("no dependency traffic in SympleGraph mode")
+				}
+				if mode == ModeGemini && tot.DependencyBytes != 0 {
+					t.Fatalf("Gemini sent %d dependency bytes", tot.DependencyBytes)
+				}
+				// The deprecated accessor remains the totals view.
+				if c.LastRunStats() != tot {
+					t.Fatal("LastRunStats disagrees with Stats().Totals")
+				}
+			})
+		}
+	}
+}
+
+// TestStatsTracerPhases checks that an attached tracer yields per-phase
+// histograms in the snapshot, covering dense steps, waits and barriers.
+func TestStatsTracerPhases(t *testing.T) {
+	g := graph.RMAT(9, 8, graph.Graph500Params(), 11)
+	tr := obs.NewTracer()
+	c := mustCluster(t, g, Options{
+		NumNodes: 4, Mode: ModeSympleGraph, DepThreshold: 8, NumBuffers: 2, Tracer: tr,
+	})
+	if err := c.Run(denseCountProgram(true)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	byPhase := map[obs.Phase]int64{}
+	nodesSeen := map[int]bool{}
+	for _, ps := range s.Phases {
+		byPhase[ps.Phase] += ps.Hist.Count
+		nodesSeen[ps.Node] = true
+	}
+	// 4 nodes × 4 steps per dense pass.
+	if byPhase[obs.PhaseDenseStep] != 16 {
+		t.Fatalf("DenseStep count %d, want 16", byPhase[obs.PhaseDenseStep])
+	}
+	// Each node receives (p-1)×B dependency frames.
+	if byPhase[obs.PhaseDepWait] != 4*3*2 {
+		t.Fatalf("DepWait count %d, want 24", byPhase[obs.PhaseDepWait])
+	}
+	if byPhase[obs.PhaseBufferFlush] != 4*3*2 {
+		t.Fatalf("BufferFlush count %d, want 24", byPhase[obs.PhaseBufferFlush])
+	}
+	if byPhase[obs.PhaseSparsePush] != 4 {
+		t.Fatalf("SparsePush count %d, want 4", byPhase[obs.PhaseSparsePush])
+	}
+	if byPhase[obs.PhaseBarrier] == 0 || byPhase[obs.PhaseUpdateWait] == 0 {
+		t.Fatalf("missing barrier/update-wait spans: %v", byPhase)
+	}
+	if len(nodesSeen) != 4 {
+		t.Fatalf("phases cover %d nodes", len(nodesSeen))
+	}
+}
+
+// TestStatsWarningsReportClamps checks that explicitly out-of-range
+// NumBuffers/Workers are clamped loudly, while the zero default stays
+// silent.
+func TestStatsWarningsReportClamps(t *testing.T) {
+	g := graph.Ring(64)
+	c := mustCluster(t, g, Options{NumNodes: 2, NumBuffers: -3, Workers: -1})
+	warns := c.Stats().Warnings
+	if len(warns) != 2 {
+		t.Fatalf("warnings %v, want 2 entries", warns)
+	}
+	joined := strings.Join(warns, "\n")
+	for _, want := range []string{"NumBuffers clamped from -3", "-buffers", "Workers clamped from -1", "-workers"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("warnings %v missing %q", warns, want)
+		}
+	}
+	if c.Options().NumBuffers != 1 || c.Options().Workers != 1 {
+		t.Fatalf("clamp not applied: %+v", c.Options())
+	}
+
+	quiet := mustCluster(t, g, Options{NumNodes: 2})
+	if w := quiet.Stats().Warnings; len(w) != 0 {
+		t.Fatalf("default options produced warnings %v", w)
+	}
+}
+
+// TestOptionErrorsNameFlags checks validation errors carry the CLI flag
+// vocabulary.
+func TestOptionErrorsNameFlags(t *testing.T) {
+	g := graph.Ring(8)
+	cases := []struct {
+		opts Options
+		flag string
+	}{
+		{Options{NumNodes: 0}, "-nodes"},
+		{Options{NumNodes: 2, DepThreshold: -1}, "-threshold"},
+		{Options{NumNodes: 2, Mode: Mode(99)}, "-mode"},
+	}
+	for _, tc := range cases {
+		_, err := NewCluster(g, tc.opts)
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Fatalf("opts %+v: error %v does not name %s", tc.opts, err, tc.flag)
+		}
+	}
+}
+
+// TestClusterRegisterMetrics checks the live-gauge registration against
+// a run's actual counters.
+func TestClusterRegisterMetrics(t *testing.T) {
+	g := graph.RMAT(8, 8, graph.Graph500Params(), 5)
+	c := mustCluster(t, g, Options{NumNodes: 2, Mode: ModeSympleGraph, DepThreshold: 0})
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	if err := c.Run(denseCountProgram(false)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["config.mode"] != "symplegraph" {
+		t.Fatalf("config.mode = %v", snap["config.mode"])
+	}
+	sent, ok := snap["comm.node0.update.sent_bytes"].(int64)
+	if !ok || sent <= 0 {
+		t.Fatalf("comm.node0.update.sent_bytes = %v", snap["comm.node0.update.sent_bytes"])
+	}
+	if _, ok := snap["comm.link.0-1.sent_bytes"].(int64); !ok {
+		t.Fatalf("missing per-link gauge: %v", snap["comm.link.0-1.sent_bytes"])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -33,6 +34,10 @@ type Worker struct {
 	skipped atomic.Int64
 	depWait atomic.Int64 // ns blocked waiting for dependency frames
 	updWait atomic.Int64 // ns blocked waiting for update messages
+
+	tr         *obs.Tracer // nil when tracing is off
+	densePass  int         // dense ProcessEdges* passes completed (the tracer's iteration axis)
+	sparsePass int
 }
 
 // ID returns this machine's node ID.
@@ -78,18 +83,47 @@ func (w *Worker) addEdges(k int64) { w.edges.Add(k) }
 // addSkipped accounts k dependency-skipped signal executions.
 func (w *Worker) addSkipped(k int64) { w.skipped.Add(k) }
 
+// spanStart marks the beginning of a traced span; zero when tracing is
+// off (endSpan then ignores it).
+func (w *Worker) spanStart() time.Time {
+	if w.tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// endSpan records a span that began at start. iter/step/group may be -1
+// when the dimension does not apply.
+func (w *Worker) endSpan(ph obs.Phase, iter, step, group int, start time.Time) {
+	if w.tr == nil {
+		return
+	}
+	w.tr.Record(w.id, ph, iter, step, group, start, time.Since(start))
+}
+
 // recvTimed performs a receive and accounts the blocked time into the
 // given wait counter — the engine's overlap instrumentation (§5.3's
-// "synchronization wait time").
-func (w *Worker) recvTimed(counter *atomic.Int64, from comm.NodeID, kind comm.Kind, tag int32) (comm.Message, error) {
+// "synchronization wait time") — and emits a tracer span of phase ph
+// tagged (iter, step, group).
+func (w *Worker) recvTimed(counter *atomic.Int64, from comm.NodeID, kind comm.Kind, tag int32,
+	ph obs.Phase, iter, step, group int) (comm.Message, error) {
 	start := time.Now()
 	m, err := w.ep.Recv(from, kind, tag)
-	counter.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	counter.Add(int64(d))
+	if w.tr != nil {
+		w.tr.Record(w.id, ph, iter, step, group, start, d)
+	}
 	return m, err
 }
 
 // Barrier blocks until all machines reach it.
-func (w *Worker) Barrier() error { return comm.Barrier(w.ep, w.nextTags(1)) }
+func (w *Worker) Barrier() error {
+	t0 := w.spanStart()
+	err := comm.Barrier(w.ep, w.nextTags(1))
+	w.endSpan(obs.PhaseBarrier, -1, -1, -1, t0)
+	return err
+}
 
 // AllReduceInt64 combines x across machines with op (associative and
 // commutative) and returns the result everywhere.

@@ -179,7 +179,7 @@ func TestRunStatsControlBytesCounted(t *testing.T) {
 	if err := c.Run(func(w *Worker) error { return w.Barrier() }); err != nil {
 		t.Fatal(err)
 	}
-	s := c.LastRunStats()
+	s := c.Stats().Totals
 	if s.ControlBytes == 0 {
 		t.Fatal("barrier produced no control traffic")
 	}
@@ -190,7 +190,7 @@ func TestRunStatsControlBytesCounted(t *testing.T) {
 	if err := c.Run(func(w *Worker) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.LastRunStats().ControlBytes; got != 0 {
+	if got := c.Stats().Totals.ControlBytes; got != 0 {
 		t.Fatalf("second run control bytes = %d, want 0", got)
 	}
 }

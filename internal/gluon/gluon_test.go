@@ -167,7 +167,7 @@ func geminiMISUpdateBytes(t *testing.T, g *graph.Graph, seed uint64) int64 {
 	if _, err := algorithms.MIS(c, seed); err != nil {
 		t.Fatal(err)
 	}
-	return c.LastRunStats().UpdateBytes
+	return c.Stats().Totals.UpdateBytes
 }
 
 func TestGluonRunPropagatesErrors(t *testing.T) {

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the captured events render as a timeline
+// in chrome://tracing or https://ui.perfetto.dev, one track (tid) per
+// cluster node, so cross-node overlap — a DepWait on one node against
+// the DenseStep still running on its neighbor — is literally visible.
+
+// chromeEvent is one trace_event record ("X" = complete event, "M" =
+// metadata). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes t's captured events as a Chrome
+// trace_event-format JSON document. The tracer must have been created
+// with NewCapturingTracer; a histogram-only tracer yields an error
+// rather than a silently empty timeline.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	events := t.Events()
+	if events == nil {
+		return fmt.Errorf("obs: tracer does not capture events (use NewCapturingTracer)")
+	}
+	doc := chromeTrace{DisplayTimeUnit: "ms"}
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if !seen[ev.Node] {
+			seen[ev.Node] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: ev.Node,
+				Args: map[string]any{"name": fmt.Sprintf("node %d", ev.Node)},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Phase.String(),
+			Cat:  "engine",
+			Ph:   "X",
+			Ts:   float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+			Pid:  0,
+			Tid:  ev.Node,
+			Args: map[string]any{"iter": ev.Iter, "step": ev.Step, "group": ev.Group},
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two duration buckets: bucket 0
+// holds durations ≤ 1ns, bucket i holds (2^(i-1), 2^i] ns, and the last
+// bucket absorbs everything longer — 2^39 ns ≈ 9 minutes, far beyond
+// any span the engine emits.
+const histBuckets = 40
+
+// Histogram aggregates span durations into fixed log₂ buckets. All
+// methods are safe for concurrent use; Observe is a few atomic adds and
+// never allocates, so workers can record every span.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bits.Len64(uint64(ns)) // 0 for 0ns, k for 2^(k-1) ≤ ns < 2^k
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is an immutable summary of a histogram: span count,
+// total time, approximate p50/p95 (bucket midpoints), and the exact
+// maximum.
+type HistSnapshot struct {
+	Count int64
+	Sum   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot summarizes the histogram's current state. Quantiles are
+// approximate: the midpoint of the log₂ bucket containing the quantile,
+// so they carry at most ~50% relative error — plenty to tell a 10µs
+// stall from a 10ms one.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	s.P50 = quantile(counts[:], total, 0.50)
+	s.P95 = quantile(counts[:], total, 0.95)
+	if s.P95 > s.Max && s.Max > 0 {
+		s.P95 = s.Max
+	}
+	return s
+}
+
+// quantile returns the midpoint of the bucket containing quantile q.
+func quantile(counts []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1) // bucket i covers (2^(i-1), 2^i]
+			return time.Duration(lo + lo/2)
+		}
+	}
+	return 0
+}

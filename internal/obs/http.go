@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the engine's debug handler:
+//
+//	/debug/metrics  registry JSON snapshot
+//	/debug/vars     expvar (stdlib memstats + published registries)
+//	/debug/trace    Chrome trace_event timeline (capturing tracers)
+//	/debug/pprof/*  runtime profiles
+//
+// reg and tr may each be nil; the corresponding endpoints then report
+// 404/503 instead of being absent, so probes keep stable URLs.
+func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "no metrics registry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChromeTrace(w, tr); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	// Addr is the server's resolved listen address (host:port).
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// StartDebugServer listens on addr (":0" picks a free port) and serves
+// the debug mux in a background goroutine until Close.
+func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen on %s: %w", addr, err)
+	}
+	s := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: NewDebugMux(reg, tr)},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

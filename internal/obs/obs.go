@@ -1,0 +1,86 @@
+// Package obs is the engine's observability layer: a lightweight,
+// allocation-conscious tracing and metrics subsystem built on the
+// standard library only.
+//
+// It provides three surfaces:
+//
+//   - a Tracer/span API with a fixed phase taxonomy (sparse push, dense
+//     circulant steps, dependency/update waits, barriers, buffer
+//     flushes) that the core runtime emits per iteration × circulant
+//     step × buffer group; spans aggregate into per-(node, phase)
+//     duration histograms (p50/p95/max) rather than unbounded event
+//     logs, with optional bounded event capture for timeline export;
+//   - a metrics Registry of named live gauges that subsumes the comm
+//     package's byte counters (per-kind and per-link traffic, frame
+//     counts, simulated-link queueing delay) and exports them as an
+//     expvar-compatible JSON snapshot;
+//   - export endpoints: a Chrome trace_event-format timeline writer
+//     (chrome://tracing, Perfetto) and a net/http debug handler wiring
+//     /debug/metrics, /debug/vars, /debug/trace and /debug/pprof.
+//
+// The package has no dependency on the engine; core and the CLIs thread
+// a *Tracer and a *Registry through their options. A nil *Tracer is a
+// valid no-op sink, so the hot paths pay a single pointer test when
+// tracing is off.
+package obs
+
+import "fmt"
+
+// Phase classifies a traced span of engine work. The taxonomy follows
+// the paper's cost model (§5, §7): dense edge processing is dominated
+// by per-step computation (PhaseDenseStep), the synchronization costs
+// double buffering is designed to hide show up as PhaseDepWait and
+// PhaseUpdateWait, and dependency-frame forwarding is PhaseBufferFlush.
+type Phase uint8
+
+const (
+	// PhaseSparsePush is one sparse (push-mode) edge-processing pass:
+	// frontier scan plus update sends.
+	PhaseSparsePush Phase = iota
+	// PhaseDenseStep is one circulant step of a dense pass: processing
+	// the edge block destined to one partition, including dependency
+	// receives/sends for its buffer groups and the update send.
+	PhaseDenseStep
+	// PhaseDepWait is time blocked receiving a dependency frame from
+	// the right neighbor — the stall double buffering hides (§5.3).
+	PhaseDepWait
+	// PhaseUpdateWait is time blocked receiving update messages.
+	PhaseUpdateWait
+	// PhaseBarrier is time spent in inter-iteration barriers.
+	PhaseBarrier
+	// PhaseBufferFlush is the send of one buffer group's dependency
+	// frame to the left neighbor.
+	PhaseBufferFlush
+	// NumPhases is the number of phases; valid phases are < NumPhases.
+	NumPhases
+)
+
+// String returns the phase's canonical name, used in trace files and
+// metric keys.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSparsePush:
+		return "SparsePush"
+	case PhaseDenseStep:
+		return "DenseStep"
+	case PhaseDepWait:
+		return "DepWait"
+	case PhaseUpdateWait:
+		return "UpdateWait"
+	case PhaseBarrier:
+		return "Barrier"
+	case PhaseBufferFlush:
+		return "BufferFlush"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Phases lists all valid phases in declaration order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Max != 10*time.Millisecond {
+		t.Fatalf("max %v", s.Max)
+	}
+	// p50 lands in the 10µs bucket (8..16µs), p95 in the 10ms bucket.
+	if s.P50 < 4*time.Microsecond || s.P50 > 32*time.Microsecond {
+		t.Fatalf("p50 %v not near 10µs", s.P50)
+	}
+	if s.P95 < 4*time.Millisecond || s.P95 > 32*time.Millisecond {
+		t.Fatalf("p95 %v not near 10ms", s.P95)
+	}
+	if want := 90*10*time.Microsecond + 10*10*time.Millisecond; s.Sum != want {
+		t.Fatalf("sum %v, want %v", s.Sum, want)
+	}
+	if s.Mean() == 0 {
+		t.Fatal("mean is zero")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count %d", s.Count)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(0, PhaseDenseStep, 0, 0, 0, time.Now(), time.Millisecond)
+	if tr.Summaries() != nil || tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer returned data")
+	}
+}
+
+func TestTracerAggregatesAndCaptures(t *testing.T) {
+	tr := NewCapturingTracer(4)
+	start := tr.Epoch()
+	for i := 0; i < 6; i++ {
+		tr.Record(i%2, PhaseDepWait, 0, i, 0, start.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	tr.Record(0, PhaseDenseStep, 1, 2, -1, start, 2*time.Millisecond)
+
+	sums := tr.Summaries()
+	var depCount, stepCount int64
+	for _, s := range sums {
+		switch s.Phase {
+		case PhaseDepWait:
+			depCount += s.Hist.Count
+		case PhaseDenseStep:
+			stepCount += s.Hist.Count
+		}
+	}
+	if depCount != 6 || stepCount != 1 {
+		t.Fatalf("dep=%d step=%d", depCount, stepCount)
+	}
+	// Capture was bounded at 4; all 7 spans still aggregated above.
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("%d events captured", got)
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("%d dropped", tr.Dropped())
+	}
+}
+
+func TestChromeTraceParses(t *testing.T) {
+	tr := NewCapturingTracer(0)
+	now := tr.Epoch()
+	tr.Record(0, PhaseDenseStep, 0, 0, -1, now, 5*time.Millisecond)
+	tr.Record(1, PhaseDepWait, 0, 1, 0, now.Add(time.Millisecond), 2*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	if !names["DenseStep"] || !names["DepWait"] || !names["thread_name"] {
+		t.Fatalf("events missing: %v", names)
+	}
+
+	// Histogram-only tracers refuse instead of writing an empty file.
+	if err := WriteChromeTrace(io.Discard, NewTracer()); err == nil {
+		t.Fatal("histogram-only tracer exported a trace")
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	var n int64
+	r.RegisterInt("comm.sent_bytes", func() int64 { return n })
+	r.Set("config.mode", "symplegraph")
+	n = 42
+	snap := r.Snapshot()
+	if snap["comm.sent_bytes"] != int64(42) || snap["config.mode"] != "symplegraph" {
+		t.Fatalf("snapshot %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"comm.sent_bytes": 42`) {
+		t.Fatalf("json:\n%s", buf.String())
+	}
+}
+
+func TestRegistryTracerExport(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	tr.Record(3, PhaseBarrier, 0, -1, -1, time.Now(), time.Millisecond)
+	r.RegisterTracer("phases", tr)
+	snap := r.Snapshot()
+	phases, ok := snap["phases"].(map[string]any)
+	if !ok {
+		t.Fatalf("phases metric: %T", snap["phases"])
+	}
+	if _, ok := phases["node3.Barrier"]; !ok {
+		t.Fatalf("no node3.Barrier in %v", phases)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Set("up", 1)
+	tr := NewCapturingTracer(0)
+	tr.Record(0, PhaseSparsePush, 0, -1, -1, time.Now(), time.Millisecond)
+	s, err := StartDebugServer("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if body := get("/debug/metrics"); !strings.Contains(body, `"up": 1`) {
+		t.Fatalf("/debug/metrics:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars:\n%s", body)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &doc); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

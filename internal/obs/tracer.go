@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects engine spans. Every span is folded into a per-(node,
+// phase) histogram; when event capture is enabled (NewCapturingTracer),
+// spans are additionally kept as individual events — bounded, with a
+// drop counter — for Chrome trace_event timeline export.
+//
+// All methods are safe for concurrent use by the workers of a run, and
+// all methods are nil-receiver-safe: a nil *Tracer is the canonical
+// "tracing off" sink.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.RWMutex
+	nodes []*nodeHists // indexed by node ID, grown on demand
+
+	capture   bool
+	maxEvents int
+	evMu      sync.Mutex
+	events    []Event
+	dropped   atomic.Int64
+}
+
+type nodeHists struct {
+	h [NumPhases]Histogram
+}
+
+// Event is one captured span, with times relative to the tracer's
+// creation. Iter/Step/Group are -1 when the dimension does not apply
+// (e.g. barriers have no step).
+type Event struct {
+	Node  int
+	Phase Phase
+	Iter  int
+	Step  int
+	Group int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// DefaultMaxEvents bounds event capture: at ~64 bytes per event this is
+// ~16MB, enough for hundreds of iterations on a 16-node cluster.
+const DefaultMaxEvents = 1 << 18
+
+// NewTracer returns a tracer that aggregates spans into histograms
+// only — constant memory, suitable for always-on use.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// NewCapturingTracer returns a tracer that additionally retains up to
+// maxEvents individual spans for timeline export (≤ 0 selects
+// DefaultMaxEvents). Spans beyond the bound are still aggregated into
+// histograms; only the timeline drops them (see Dropped).
+func NewCapturingTracer(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Tracer{epoch: time.Now(), capture: true, maxEvents: maxEvents}
+}
+
+// Epoch returns the tracer's time origin; event Start offsets are
+// relative to it.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Record folds one span into the aggregates (and the event log, when
+// capturing). start is the span's wall-clock begin, d its duration.
+func (t *Tracer) Record(node int, ph Phase, iter, step, group int, start time.Time, d time.Duration) {
+	if t == nil || node < 0 || ph >= NumPhases {
+		return
+	}
+	t.hist(node, ph).Observe(d)
+	if !t.capture {
+		return
+	}
+	ev := Event{
+		Node: node, Phase: ph, Iter: iter, Step: step, Group: group,
+		Start: start.Sub(t.epoch), Dur: d,
+	}
+	t.evMu.Lock()
+	if len(t.events) < t.maxEvents {
+		t.events = append(t.events, ev)
+		t.evMu.Unlock()
+		return
+	}
+	t.evMu.Unlock()
+	t.dropped.Add(1)
+}
+
+// hist returns the histogram for (node, ph), growing the node table as
+// needed. The fast path is a read lock and two indexings.
+func (t *Tracer) hist(node int, ph Phase) *Histogram {
+	t.mu.RLock()
+	if node < len(t.nodes) {
+		h := &t.nodes[node].h[ph]
+		t.mu.RUnlock()
+		return h
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	for len(t.nodes) <= node {
+		t.nodes = append(t.nodes, &nodeHists{})
+	}
+	h := &t.nodes[node].h[ph]
+	t.mu.Unlock()
+	return h
+}
+
+// PhaseSummary is one (node, phase) histogram snapshot.
+type PhaseSummary struct {
+	Node  int
+	Phase Phase
+	Hist  HistSnapshot
+}
+
+// Summaries returns a snapshot of every non-empty (node, phase)
+// histogram, sorted by node then phase.
+func (t *Tracer) Summaries() []PhaseSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	nodes := make([]*nodeHists, len(t.nodes))
+	copy(nodes, t.nodes)
+	t.mu.RUnlock()
+	var out []PhaseSummary
+	for node, nh := range nodes {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			s := nh.h[ph].Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			out = append(out, PhaseSummary{Node: node, Phase: ph, Hist: s})
+		}
+	}
+	return out
+}
+
+// Events returns a copy of the captured events sorted by start time.
+// Nil when capture is off.
+func (t *Tracer) Events() []Event {
+	if t == nil || !t.capture {
+		return nil
+	}
+	t.evMu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.evMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Dropped reports how many events the capture bound discarded (their
+// histogram aggregation is unaffected).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
