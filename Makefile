@@ -1,19 +1,25 @@
 # Tier-1 verification gate: build everything, vet, race-test the engine
-# and transport, then run the full suite (which includes the CLI trace
-# smoke test).
-.PHONY: verify build test race smoke
+# and transport, run the seeded chaos soak, then run the full suite
+# (which includes the CLI trace smoke test).
+.PHONY: verify build test race smoke chaos
 
-verify: build race test
+verify: build race chaos test
 
 build:
 	go build ./...
 	go vet ./...
 
 race:
-	go test -race -count=1 ./internal/core ./internal/comm
+	go test -race -count=1 ./internal/comm/... ./internal/core/...
 
 test:
 	go test ./...
+
+# Seeded fault-injection soak: crash/recovery sweeps over seeds, crash
+# points and cluster sizes, under the race detector. Deterministic and
+# fast (well under a minute).
+chaos:
+	go test -race -count=1 -run 'Chaos|Fault|Stall|Recovery|Checkpoint' ./internal/algorithms ./internal/core ./internal/comm
 
 # The -trace acceptance path on its own, for quick iteration.
 smoke:

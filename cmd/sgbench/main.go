@@ -27,7 +27,9 @@ import (
 
 func main() {
 	var obsFlags cliutil.Obs
+	var resilience cliutil.Resilience
 	obsFlags.Register(flag.CommandLine)
+	resilience.Register(flag.CommandLine)
 	var (
 		table   = flag.Int("table", 0, "regenerate one table (1-7)")
 		figure  = flag.Int("figure", 0, "regenerate one figure (10 or 11)")
@@ -50,6 +52,10 @@ func main() {
 	suite := bench.NewSuite(*scale)
 	cfg := bench.Config{Nodes: *nodes, Seed: *seed, BFSRoots: *roots, Repeats: *repeats,
 		Tracer: obsFlags.Tracer}
+	cfg.StallTimeout = resilience.StallTimeout
+	cfg.CheckpointEvery = resilience.CheckpointEvery
+	cfg.MaxRestarts = resilience.MaxRestarts
+	cfg.Fault = resilience.BuildPlan()
 	sweep := []int{2, 4, 8, 16}
 
 	ran := false

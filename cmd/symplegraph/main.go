@@ -30,8 +30,10 @@ import (
 func main() {
 	var gspec cliutil.GraphSpec
 	var obsFlags cliutil.Obs
+	var resilience cliutil.Resilience
 	gspec.Register(flag.CommandLine)
 	obsFlags.Register(flag.CommandLine)
+	resilience.Register(flag.CommandLine)
 	var (
 		algo       = flag.String("algo", "bfs", "algorithm: bfs, mis, kcore, kmeans, sampling, cc, sssp, pagerank")
 		nodes      = flag.Int("nodes", 8, "simulated cluster size")
@@ -78,6 +80,7 @@ func main() {
 		Workers:      *workers,
 		Tracer:       obsFlags.Tracer,
 	}
+	resilience.Apply(&opts)
 	var cluster *core.Cluster
 	if *tcpID >= 0 {
 		// Genuinely distributed: this process hosts one machine; run
@@ -216,6 +219,7 @@ func main() {
 	}
 
 	cliutil.PrintStats(os.Stdout, cluster.Stats(), g.NumEdges(), *verbose)
+	resilience.PrintCounters(os.Stdout, cluster.Stats())
 	if err := obsFlags.Close(); err != nil {
 		fatalf("%v", err)
 	}

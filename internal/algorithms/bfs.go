@@ -53,7 +53,7 @@ func BFSWithDirection(c *core.Cluster, root graph.VertexID, dir Direction) (*BFS
 		return nil, fmt.Errorf("algorithms: BFS root %d out of range", root)
 	}
 	res := &BFSResult{}
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		// Per-node replicated state: what a real machine would hold.
 		visited := bitset.New(n)
 		frontier := bitset.New(n)
@@ -69,7 +69,36 @@ func BFSWithDirection(c *core.Cluster, root graph.VertexID, dir Direction) (*BFS
 
 		level := int32(0)
 		topDown, bottomUp := 0, 0
+		// Superstep checkpointing: on a recovery re-run, resume from the
+		// last committed level instead of the root.
+		ck := w.Checkpoint()
+		iter := 0
+		if it, blob, ok := ck.Restore(); ok {
+			r := newSnapReader(blob)
+			level = int32(r.u32())
+			topDown = int(r.u32())
+			bottomUp = int(r.u32())
+			r.u32s(parent)
+			r.i32s(depth)
+			r.bitmap(visited)
+			r.bitmap(frontier)
+			if err := r.finish(); err != nil {
+				return err
+			}
+			iter = it
+		}
 		for {
+			if ck.Due(iter) {
+				sw := newSnapWriter()
+				sw.u32(uint32(level))
+				sw.u32(uint32(topDown))
+				sw.u32(uint32(bottomUp))
+				sw.u32s(parent)
+				sw.i32s(depth)
+				sw.bitmap(visited)
+				sw.bitmap(frontier)
+				ck.Save(iter, sw.bytes())
+			}
 			fe, err := frontierEdges(w, frontier)
 			if err != nil {
 				return err
@@ -142,6 +171,7 @@ func BFSWithDirection(c *core.Cluster, root graph.VertexID, dir Direction) (*BFS
 			}
 			visited.Union(next)
 			frontier = next
+			iter++
 		}
 
 		// Publish results to node 0, whose copy becomes the return value.

@@ -17,7 +17,7 @@ func ConnectedComponents(c *core.Cluster) ([]uint32, error) {
 	g := c.Graph()
 	n := g.NumVertices()
 	out := make([]uint32, n)
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		label := make([]uint32, n) // masters authoritative
 		for v := range label {
 			label[v] = uint32(v)
@@ -85,7 +85,7 @@ func SSSP(c *core.Cluster, root graph.VertexID) ([]float32, error) {
 	}
 	n := g.NumVertices()
 	out := make([]float32, n)
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		dist := make([]float32, n) // masters authoritative
 		for v := range dist {
 			dist[v] = InfDist
@@ -95,7 +95,26 @@ func SSSP(c *core.Cluster, root graph.VertexID) ([]float32, error) {
 			dist[root] = 0
 			changed.Set(int(root))
 		}
+		// Superstep checkpointing: resume relaxation from the last
+		// committed round after a recovery.
+		ck := w.Checkpoint()
+		iter := 0
+		if it, blob, ok := ck.Restore(); ok {
+			r := newSnapReader(blob)
+			r.f32s(dist)
+			r.bitmap(changed)
+			if err := r.finish(); err != nil {
+				return err
+			}
+			iter = it
+		}
 		for {
+			if ck.Due(iter) {
+				sw := newSnapWriter()
+				sw.f32s(dist)
+				sw.bitmap(changed)
+				ck.Save(iter, sw.bytes())
+			}
 			frontier := localFrontierList(w, changed)
 			next := bitset.New(n)
 			red, err := core.ProcessEdgesSparse(w, core.SparseParams[float32]{
@@ -123,6 +142,7 @@ func SSSP(c *core.Cluster, root graph.VertexID) ([]float32, error) {
 				break
 			}
 			changed = next
+			iter++
 		}
 		// Publish as bit patterns to survive the u32 gather.
 		bits := make([]uint32, n)

@@ -32,7 +32,7 @@ func KCore(c *core.Cluster, k int) (*KCoreResult, error) {
 	g := c.Graph()
 	n := g.NumVertices()
 	res := &KCoreResult{}
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		active := bitset.New(n)
 		active.Fill()
 		lo, hi := w.MasterRange()

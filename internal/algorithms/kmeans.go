@@ -28,7 +28,7 @@ func KMeans(c *core.Cluster, centers, iters int, seed uint64) (*seq.KMeansResult
 		return nil, fmt.Errorf("algorithms: %d centers for %d vertices", centers, n)
 	}
 	res := &seq.KMeansResult{}
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		// Initial centers: identical deterministic choice on every node.
 		perm := xrand.Perm(n, xrand.Mix(seed, 0x4b3))
 		cs := make([]graph.VertexID, 0, centers)

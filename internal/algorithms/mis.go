@@ -28,7 +28,7 @@ func MIS(c *core.Cluster, seed uint64) (*MISResult, error) {
 	n := g.NumVertices()
 	colors := seq.MISColors(n, seed)
 	res := &MISResult{}
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		active := bitset.New(n)
 		active.Fill()
 		inMIS := make([]bool, n) // masters authoritative

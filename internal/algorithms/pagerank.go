@@ -24,7 +24,7 @@ func PageRank(c *core.Cluster, iters int, damping float64) ([]float64, error) {
 		return nil, nil
 	}
 	out := make([]float64, n)
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		// The signal reads rank[u] for local masters only (sources are
 		// always local in pull mode), so the array needs no mid-run
 		// replication: masters update their own range each iteration.

@@ -48,7 +48,7 @@ func Sample(c *core.Cluster, seed uint64, rounds int) (*SampleResult, error) {
 	n := g.NumVertices()
 	depOn := c.Options().Mode == core.ModeSympleGraph && c.Options().NumNodes > 1
 	res := &SampleResult{}
-	err := c.Run(func(w *core.Worker) error {
+	err := c.Execute(func(w *core.Worker) error {
 		totalW := make([]float64, n)
 		if depOn {
 			// Setup: circulate each tracked vertex's weight sum around

@@ -88,6 +88,14 @@ type Config struct {
 	// Tracer, when non-nil, records per-phase spans for every core-engine
 	// cell (gluon and sequential baselines are not traced).
 	Tracer *obs.Tracer
+	// StallTimeout, CheckpointEvery, MaxRestarts and Fault thread the
+	// resilience policy into every core-engine cell — benchmarking under
+	// chaos measures recovery overhead with the usual metrics. Baseline
+	// systems (gluon, sequential) run without them.
+	StallTimeout    time.Duration
+	CheckpointEvery int
+	MaxRestarts     int
+	Fault           *comm.FaultPlan
 }
 
 // Defaults fills zero fields with the harness defaults.
@@ -207,13 +215,17 @@ func RunVariant(v Variant, a Algo, d *Dataset, cfg Config) (Measurement, error) 
 func runVariantOnce(v Variant, a Algo, d *Dataset, cfg Config) (Measurement, error) {
 	g := workGraph(d, a)
 	c, err := core.NewCluster(g, core.Options{
-		NumNodes:     cfg.Nodes,
-		Mode:         v.Mode,
-		DepThreshold: v.DepThreshold,
-		NumBuffers:   v.NumBuffers,
-		Workers:      cfg.Workers,
-		Link:         cfg.Link,
-		Tracer:       cfg.Tracer,
+		NumNodes:        cfg.Nodes,
+		Mode:            v.Mode,
+		DepThreshold:    v.DepThreshold,
+		NumBuffers:      v.NumBuffers,
+		Workers:         cfg.Workers,
+		Link:            cfg.Link,
+		Tracer:          cfg.Tracer,
+		StallTimeout:    cfg.StallTimeout,
+		CheckpointEvery: cfg.CheckpointEvery,
+		MaxRestarts:     cfg.MaxRestarts,
+		Fault:           cfg.Fault,
 	})
 	if err != nil {
 		return Measurement{}, err

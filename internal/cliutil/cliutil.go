@@ -11,7 +11,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -73,6 +75,73 @@ func (s *GraphSpec) Load() (*graph.Graph, error) {
 		return nil, fmt.Errorf("bad -rmat spec %q", s.RMAT)
 	}
 	return graph.RMAT(scale, ef, graph.Graph500Params(), seed), nil
+}
+
+// Resilience bundles the shared fault-tolerance flags: -stall-timeout,
+// -checkpoint-every and -max-restarts configure detection and recovery;
+// -chaos-seed (plus -chaos-crash-node/-chaos-crash-at) enables the
+// deterministic fault-injection plan used to exercise them.
+type Resilience struct {
+	ChaosSeed       uint64
+	CheckpointEvery int
+	StallTimeout    time.Duration
+	MaxRestarts     int
+	CrashNode       int
+	CrashAt         int
+
+	// Plan is the fault plan built by Apply, nil when chaos is off.
+	Plan *comm.FaultPlan
+}
+
+// Register installs the resilience flags on fs.
+func (r *Resilience) Register(fs *flag.FlagSet) {
+	fs.Uint64Var(&r.ChaosSeed, "chaos-seed", 0, "deterministic fault injection seed (0 = off)")
+	fs.IntVar(&r.CheckpointEvery, "checkpoint-every", 0, "superstep checkpoint cadence K (0 = off)")
+	fs.DurationVar(&r.StallTimeout, "stall-timeout", 0, "per-receive deadline before a stalled superstep fails (0 = wait forever)")
+	fs.IntVar(&r.MaxRestarts, "max-restarts", 0, "recoverable-failure restarts before giving up (0 = fail fast)")
+	fs.IntVar(&r.CrashNode, "chaos-crash-node", 0, "node the chaos plan crashes (with -chaos-crash-at)")
+	fs.IntVar(&r.CrashAt, "chaos-crash-at", 0, "superstep at which -chaos-crash-node dies (0 = no crash)")
+}
+
+// BuildPlan constructs the seed-driven fault plan — mild delay spikes,
+// plus the configured crash — when -chaos-seed is set; nil otherwise.
+// The plan is kept in r.Plan so callers can report injected-fault
+// counters afterwards.
+func (r *Resilience) BuildPlan() *comm.FaultPlan {
+	if r.ChaosSeed == 0 {
+		return nil
+	}
+	if r.Plan == nil {
+		r.Plan = &comm.FaultPlan{
+			Seed:             r.ChaosSeed,
+			DelayProb:        0.01,
+			Delay:            time.Millisecond,
+			CrashNode:        comm.NodeID(r.CrashNode),
+			CrashAtSuperstep: r.CrashAt,
+		}
+	}
+	return r.Plan
+}
+
+// Apply threads the flags into opts, attaching the chaos plan to
+// opts.Fault when one is enabled.
+func (r *Resilience) Apply(opts *core.Options) *comm.FaultPlan {
+	opts.CheckpointEvery = r.CheckpointEvery
+	opts.StallTimeout = r.StallTimeout
+	opts.MaxRestarts = r.MaxRestarts
+	opts.Fault = r.BuildPlan()
+	return opts.Fault
+}
+
+// PrintCounters reports the faults the chaos plan injected and the
+// recovery work the engine performed. No-op when chaos is off.
+func (r *Resilience) PrintCounters(w *os.File, s core.StatsSnapshot) {
+	if r.Plan == nil {
+		return
+	}
+	fc := r.Plan.Counters()
+	fmt.Fprintf(w, "chaos: delays=%d send-errs=%d drops=%d crashes=%d; restarts=%d stalls=%d\n",
+		fc.Delays, fc.SendErrs, fc.Drops, fc.Crashes, s.Restarts, s.Stalls)
 }
 
 // Obs bundles the shared observability flags. After Start, Tracer and
@@ -155,6 +224,9 @@ func PrintStats(w *os.File, s core.StatsSnapshot, numEdges int64, verbose bool) 
 		t.UpdateBytes, t.DependencyBytes, t.ControlBytes, t.TotalBytes())
 	fmt.Fprintf(w, "dependency-skipped signal executions: %d\n", t.VerticesSkipped)
 	fmt.Fprintf(w, "wait: dependency=%v update=%v\n", t.DependencyWait, t.UpdateWait)
+	if s.Restarts > 0 || s.Stalls > 0 {
+		fmt.Fprintf(w, "resilience: restarts=%d stalls=%d\n", s.Restarts, s.Stalls)
+	}
 	if !verbose {
 		return
 	}

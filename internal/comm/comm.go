@@ -19,6 +19,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // NodeID identifies a machine within a cluster, in [0, N).
@@ -56,8 +57,8 @@ func (k Kind) String() string {
 
 // Message is a unit of communication. Tag disambiguates messages of the
 // same kind between the same pair of nodes (the engine uses step and
-// iteration numbers); a mismatch indicates a protocol bug and panics at
-// the receiver.
+// iteration numbers); a mismatch indicates a protocol bug and surfaces as
+// a *ProtocolError at the receiver.
 type Message struct {
 	From    NodeID
 	Kind    Kind
@@ -76,8 +77,9 @@ const headerBytes = 13
 // the socket buffer is full (TCP); the engine's communication protocol is
 // deadlock-free because every send has a matching posted receive within
 // the same superstep. Recv blocks until a message with the given source
-// and kind arrives, and panics if its tag does not match — tags are a
-// protocol assertion, not a selection mechanism.
+// and kind arrives, and returns a *ProtocolError if its tag does not
+// match — tags are a protocol assertion, not a selection mechanism — or a
+// *ClosedError if the endpoint shut down while the receive was pending.
 //
 // Concurrent Recv calls are safe as long as no two goroutines receive the
 // same (from, kind) pair concurrently, which the engine guarantees by
@@ -101,14 +103,49 @@ type Endpoint interface {
 	Close() error
 }
 
+// DeadlineRecver is the optional deadline-receive capability. Both
+// built-in transports (and FaultPlan wrappers around them) implement it;
+// the engine uses it to turn an indefinitely stalled superstep into a
+// structured error. A non-positive timeout blocks like Recv.
+type DeadlineRecver interface {
+	RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error)
+}
+
+// RecvTimeout performs a deadline receive when e supports it, falling
+// back to a plain blocking Recv otherwise (or when timeout <= 0). The
+// error is a *TimeoutError when the deadline expired.
+func RecvTimeout(e Endpoint, from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
+	if dr, ok := e.(DeadlineRecver); ok && timeout > 0 {
+		return dr.RecvTimeout(from, kind, tag, timeout)
+	}
+	return e.Recv(from, kind, tag)
+}
+
+// StepObserver is the optional superstep-progress capability: the engine
+// announces each edge-processing pass so step-keyed fault rules (crash at
+// superstep k, partition windows) fire deterministically. Transports
+// without fault injection ignore it.
+type StepObserver interface {
+	ObserveSuperstep(step int)
+}
+
+// ObserveSuperstep forwards a superstep announcement to e when it cares.
+func ObserveSuperstep(e Endpoint, step int) {
+	if so, ok := e.(StepObserver); ok {
+		so.ObserveSuperstep(step)
+	}
+}
+
 // demux routes incoming messages to per-(from, kind) queues so that
 // concurrent receivers of disjoint streams never contend, mirroring the
 // paper's separation of worker (update) and coordinator (dependency)
 // threads.
 type demux struct {
+	self   NodeID // owning endpoint, for error context
 	n      int
 	mu     sync.Mutex
 	queues map[demuxKey]chan Message
+	done   chan struct{} // closed on shutdown; the data queues never are
 	closed bool
 }
 
@@ -117,8 +154,13 @@ type demuxKey struct {
 	kind Kind
 }
 
-func newDemux(n int) *demux {
-	return &demux{n: n, queues: make(map[demuxKey]chan Message)}
+func newDemux(self NodeID, n int) *demux {
+	return &demux{
+		self:   self,
+		n:      n,
+		queues: make(map[demuxKey]chan Message),
+		done:   make(chan struct{}),
+	}
 }
 
 // queueCap bounds each (from, kind) stream. The engine protocol keeps at
@@ -133,24 +175,72 @@ func (d *demux) queue(from NodeID, kind Kind) chan Message {
 	q, ok := d.queues[key]
 	if !ok {
 		q = make(chan Message, queueCap)
-		if d.closed {
-			close(q)
-		}
 		d.queues[key] = q
 	}
 	return q
 }
 
-func (d *demux) deliver(m Message) { d.queue(m.From, m.Kind) <- m }
+// deliver enqueues m, blocking under backpressure until the receiver
+// drains or the endpoint shuts down. Shutdown drops the message: a
+// poisoned run closes endpoints precisely to unblock peers mid-Send, so
+// deliveries racing the close are abandoned, not delivered.
+func (d *demux) deliver(m Message) {
+	select {
+	case d.queue(m.From, m.Kind) <- m:
+	case <-d.done:
+	}
+}
 
 func (d *demux) recv(from NodeID, kind Kind, tag int32) (Message, error) {
-	m, ok := <-d.queue(from, kind)
-	if !ok {
-		return Message{}, fmt.Errorf("comm: endpoint closed while receiving from %d kind %v", from, kind)
+	q := d.queue(from, kind)
+	select {
+	case m := <-q:
+		return d.checkTag(m, from, kind, tag)
+	case <-d.done:
+		return d.drain(q, from, kind, tag)
 	}
+}
+
+// drain gives messages enqueued before shutdown one last chance to be
+// received — a closed demux refuses new deliveries but does not discard
+// what already arrived.
+func (d *demux) drain(q chan Message, from NodeID, kind Kind, tag int32) (Message, error) {
+	select {
+	case m := <-q:
+		return d.checkTag(m, from, kind, tag)
+	default:
+		return Message{}, &ClosedError{Node: d.self, From: from, Kind: kind}
+	}
+}
+
+// recvTimeout is recv with a deadline: when no message arrives within
+// timeout it returns a *TimeoutError instead of blocking forever. A
+// non-positive timeout blocks indefinitely like recv.
+func (d *demux) recvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return d.recv(from, kind, tag)
+	}
+	q := d.queue(from, kind)
+	select {
+	case m := <-q:
+		return d.checkTag(m, from, kind, tag)
+	default:
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m := <-q:
+		return d.checkTag(m, from, kind, tag)
+	case <-d.done:
+		return d.drain(q, from, kind, tag)
+	case <-t.C:
+		return Message{}, &TimeoutError{Node: d.self, From: from, Kind: kind, Tag: tag, Timeout: timeout}
+	}
+}
+
+func (d *demux) checkTag(m Message, from NodeID, kind Kind, tag int32) (Message, error) {
 	if m.Tag != tag {
-		panic(fmt.Sprintf("comm: protocol violation: received tag %d from node %d kind %v, expected %d",
-			m.Tag, from, kind, tag))
+		return Message{}, &ProtocolError{Node: d.self, From: from, Kind: kind, WantTag: tag, GotTag: m.Tag}
 	}
 	return m, nil
 }
@@ -162,7 +252,5 @@ func (d *demux) close() {
 		return
 	}
 	d.closed = true
-	for _, q := range d.queues {
-		close(q)
-	}
+	close(d.done)
 }

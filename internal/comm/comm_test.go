@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -92,18 +93,20 @@ func TestFIFOPerStream(t *testing.T) {
 	})
 }
 
-func TestTagMismatchPanics(t *testing.T) {
+func TestTagMismatchIsProtocolError(t *testing.T) {
 	c := NewMemCluster(2)
 	defer c.Close()
 	if err := c.Endpoint(0).Send(1, KindUpdate, 5, nil); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("tag mismatch did not panic")
-		}
-	}()
-	c.Endpoint(1).Recv(0, KindUpdate, 6)
+	_, err := c.Endpoint(1).Recv(0, KindUpdate, 6)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("tag mismatch returned %v, want *ProtocolError", err)
+	}
+	if pe.Node != 1 || pe.From != 0 || pe.Kind != KindUpdate || pe.WantTag != 6 || pe.GotTag != 5 {
+		t.Fatalf("protocol error context = %+v", pe)
+	}
 }
 
 func TestStatsAccounting(t *testing.T) {

@@ -40,7 +40,7 @@ func NewMemClusterWithLink(n int, link *LinkModel) *MemCluster {
 	for i := range c.endpoints {
 		c.endpoints[i] = &memEndpoint{
 			id:    NodeID(i),
-			inbox: newDemux(n),
+			inbox: newDemux(NodeID(i), n),
 			peers: c,
 		}
 		c.endpoints[i].stats.initPeers(n)
@@ -60,9 +60,10 @@ func (c *MemCluster) Endpoints() []Endpoint {
 	return out
 }
 
-// Close shuts the cluster down. It must not race with in-flight Sends;
-// call it after all programs have completed (Cluster.Run guarantees
-// this). In-flight simulated deliveries are abandoned.
+// Close shuts the cluster down. It is safe to call while Sends and
+// Recvs are in flight — poisoning a failed run does exactly that to
+// unblock the survivors — in which case undelivered messages are
+// abandoned and pending receives return a *ClosedError.
 func (c *MemCluster) Close() error {
 	c.linkMu.Lock()
 	if !c.closed {
@@ -155,17 +156,20 @@ func (e *memEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) erro
 	return nil
 }
 
-// deliverSafe delivers a (possibly delayed) message, absorbing the racy
-// teardown case where the cluster closed while a simulated delivery was
-// in flight.
+// deliverSafe delivers a (possibly delayed) message; if the cluster
+// closed while the simulated delivery was in flight, the demux drops it.
 func (e *memEndpoint) deliverSafe(m Message) {
-	defer func() { recover() }()
 	e.stats.countRecv(m.From, m.Kind, len(m.Payload))
 	e.inbox.deliver(m)
 }
 
 func (e *memEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
 	return e.inbox.recv(from, kind, tag)
+}
+
+// RecvTimeout implements DeadlineRecver.
+func (e *memEndpoint) RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
+	return e.inbox.recvTimeout(from, kind, tag, timeout)
 }
 
 func (e *memEndpoint) Stats() *Stats { return &e.stats }

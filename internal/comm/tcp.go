@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/xrand"
 )
 
 // TCPEndpoint connects one node to a cluster over TCP with a full mesh of
@@ -34,14 +36,36 @@ type tcpConn struct {
 	c  net.Conn
 }
 
-// dialTimeout bounds how long an endpoint retries dialing a peer before
-// giving up on cluster formation.
-const dialTimeout = 30 * time.Second
+// DefaultDialBudget bounds how long an endpoint retries dialing a peer
+// before giving up on cluster formation, unless WithDialBudget overrides
+// it.
+const DefaultDialBudget = 30 * time.Second
+
+// TCPOption configures NewTCPEndpoint.
+type TCPOption func(*tcpConfig)
+
+type tcpConfig struct {
+	dialBudget time.Duration
+}
+
+// WithDialBudget sets the total time an endpoint keeps retrying each
+// peer dial during cluster formation. Non-positive values select
+// DefaultDialBudget.
+func WithDialBudget(d time.Duration) TCPOption {
+	return func(c *tcpConfig) { c.dialBudget = d }
+}
 
 // NewTCPEndpoint joins a cluster of n nodes as node id. ln must already be
 // listening on addrs[id]; addrs lists every node's address. The call
 // blocks until the full mesh is established.
-func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string) (*TCPEndpoint, error) {
+func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string, opts ...TCPOption) (*TCPEndpoint, error) {
+	cfg := tcpConfig{dialBudget: DefaultDialBudget}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.dialBudget <= 0 {
+		cfg.dialBudget = DefaultDialBudget
+	}
 	n := len(addrs)
 	if int(id) < 0 || int(id) >= n {
 		return nil, fmt.Errorf("comm: node id %d outside cluster of %d", id, n)
@@ -51,7 +75,7 @@ func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string) (*TCPEndpoint, e
 		n:     n,
 		ln:    ln,
 		conns: make([]*tcpConn, n),
-		inbox: newDemux(n),
+		inbox: newDemux(id, n),
 	}
 	e.stats.initPeers(n)
 
@@ -62,7 +86,7 @@ func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string) (*TCPEndpoint, e
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			c, err := dialWithRetry(addrs[j])
+			c, err := dialWithRetry(addrs[j], cfg.dialBudget, uint64(id)<<32|uint64(j))
 			if err != nil {
 				errc <- fmt.Errorf("comm: node %d dialing node %d: %w", id, j, err)
 				return
@@ -114,10 +138,16 @@ func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string) (*TCPEndpoint, e
 	return e, nil
 }
 
-func dialWithRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(dialTimeout)
+// dialWithRetry dials addr with exponential backoff plus deterministic
+// jitter until it succeeds or the budget elapses. Jitter is drawn from
+// xrand keyed on (dialKey, attempt) so simultaneous cluster-formation
+// dials from many nodes decorrelate without shared rand state; capping
+// the backoff at 200ms keeps formation snappy once the peer is up.
+func dialWithRetry(addr string, budget time.Duration, dialKey uint64) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
 	delay := 5 * time.Millisecond
-	for {
+	const maxDelay = 200 * time.Millisecond
+	for attempt := uint64(0); ; attempt++ {
 		c, err := net.Dial("tcp", addr)
 		if err == nil {
 			return c, nil
@@ -125,8 +155,14 @@ func dialWithRetry(addr string) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(delay)
-		if delay < 200*time.Millisecond {
+		// Full jitter in [delay/2, delay): backoff spreads retries over
+		// time, jitter spreads them across nodes.
+		sleep := delay/2 + time.Duration(xrand.Uniform01(dialKey, attempt)*float64(delay/2))
+		if remain := time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if delay < maxDelay {
 			delay *= 2
 		}
 	}
@@ -207,6 +243,11 @@ func (e *TCPEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
 	return e.inbox.recv(from, kind, tag)
 }
 
+// RecvTimeout implements DeadlineRecver.
+func (e *TCPEndpoint) RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
+	return e.inbox.recvTimeout(from, kind, tag, timeout)
+}
+
 // Stats implements Endpoint.
 func (e *TCPEndpoint) Stats() *Stats { return &e.stats }
 
@@ -230,7 +271,7 @@ func (e *TCPEndpoint) Close() error {
 // ports within this process — the transport-integration configuration used
 // by tests and the tcpcluster example. For a genuinely distributed run,
 // call NewTCPEndpoint in each process with a shared address list.
-func NewTCPClusterLoopback(n int) ([]*TCPEndpoint, error) {
+func NewTCPClusterLoopback(n int, opts ...TCPOption) ([]*TCPEndpoint, error) {
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -251,7 +292,7 @@ func NewTCPClusterLoopback(n int) ([]*TCPEndpoint, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			endpoints[i], errs[i] = NewTCPEndpoint(NodeID(i), listeners[i], addrs)
+			endpoints[i], errs[i] = NewTCPEndpoint(NodeID(i), listeners[i], addrs, opts...)
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// checkpointStore is the cluster's stand-in for stable storage: it holds
+// the last globally consistent superstep snapshot across run failures
+// and transport resets. A checkpoint at iteration k commits only once
+// every machine has saved its blob for k — a two-phase rule that keeps a
+// crash landing mid-save from leaving a torn snapshot. Earlier staged
+// iterations and anything at or below the new commit are discarded.
+//
+// In a genuinely distributed deployment the blobs would live on a
+// replicated store; the in-process cluster keeps them in the Cluster so
+// they survive the simulated machine death.
+type checkpointStore struct {
+	mu            sync.Mutex
+	members       []int // node IDs that must save before an iter commits
+	committedIter int
+	committed     map[int][]byte
+	staging       map[int]map[int][]byte // iter → node → blob
+
+	saved    int64 // blobs accepted
+	commits  int64 // iterations fully committed
+	restores int64 // blobs handed back
+}
+
+func newCheckpointStore(members []int) *checkpointStore {
+	return &checkpointStore{
+		members:       append([]int(nil), members...),
+		committedIter: -1,
+		staging:       make(map[int]map[int][]byte),
+	}
+}
+
+// save stages node's blob for iteration iter and commits the iteration
+// when every member has saved it. The store takes ownership of blob.
+func (s *checkpointStore) save(node, iter int, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if iter <= s.committedIter {
+		return // a straggler re-saving the past after a restore
+	}
+	blobs, ok := s.staging[iter]
+	if !ok {
+		blobs = make(map[int][]byte, len(s.members))
+		s.staging[iter] = blobs
+	}
+	blobs[node] = blob
+	s.saved++
+	for _, m := range s.members {
+		if blobs[m] == nil {
+			return
+		}
+	}
+	s.committedIter = iter
+	s.committed = blobs
+	s.commits++
+	for k := range s.staging {
+		if k <= s.committedIter {
+			delete(s.staging, k)
+		}
+	}
+}
+
+// restore returns node's blob at the last committed iteration.
+func (s *checkpointStore) restore(node int) (iter int, blob []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.committedIter < 0 {
+		return 0, nil, false
+	}
+	s.restores++
+	return s.committedIter, s.committed[node], true
+}
+
+// clear empties the store for a fresh program. Called at the top of a
+// run, not between recovery attempts of the same program.
+func (s *checkpointStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.committedIter = -1
+	s.committed = nil
+	s.staging = make(map[int]map[int][]byte)
+}
+
+func (s *checkpointStore) stats() (saved, commits, restores int64, committedIter int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saved, s.commits, s.restores, s.committedIter
+}
+
+// Checkpoint is a worker's handle on superstep checkpointing. Programs
+// that opt in call Restore once at the top of their superstep loop and
+// Save at every iteration Due reports true for; the engine keeps the
+// last globally consistent snapshot and hands it back after a recovery.
+// All methods are no-ops (and Restore reports false) when
+// Options.CheckpointEvery is 0.
+type Checkpoint struct {
+	w *Worker
+}
+
+// Checkpoint returns this worker's checkpoint handle.
+func (w *Worker) Checkpoint() Checkpoint { return Checkpoint{w: w} }
+
+// Enabled reports whether checkpointing is configured for this cluster.
+func (c Checkpoint) Enabled() bool { return c.w.cluster.ckpt != nil }
+
+// Every returns the configured checkpoint cadence K (0 when disabled).
+func (c Checkpoint) Every() int { return c.w.cluster.opts.CheckpointEvery }
+
+// Due reports whether iteration iter is a checkpoint boundary. All
+// workers see the same answer for the same iter, preserving SPMD
+// alignment of the save calls.
+func (c Checkpoint) Due(iter int) bool {
+	return c.Enabled() && iter > 0 && iter%c.Every() == 0
+}
+
+// Save stores this node's snapshot for iteration iter. The blob must be
+// non-empty and becomes engine-owned. The iteration commits once every
+// node has saved it.
+func (c Checkpoint) Save(iter int, blob []byte) {
+	if !c.Enabled() || len(blob) == 0 {
+		return
+	}
+	start := c.w.spanStart()
+	c.w.cluster.ckpt.save(c.w.id, iter, blob)
+	c.w.endSpan(obs.PhaseCheckpoint, iter, -1, -1, start)
+}
+
+// Restore returns this node's blob at the last committed iteration, or
+// ok=false when there is none (fresh program or checkpointing off) —
+// in which case the program starts from its initial state.
+func (c Checkpoint) Restore() (iter int, blob []byte, ok bool) {
+	if !c.Enabled() {
+		return 0, nil, false
+	}
+	start := time.Now()
+	iter, blob, ok = c.w.cluster.ckpt.restore(c.w.id)
+	if ok && c.w.tr != nil {
+		c.w.tr.Record(c.w.id, obs.PhaseRecovery, iter, -1, -1, start, time.Since(start))
+	}
+	return iter, blob, ok
+}

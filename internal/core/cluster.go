@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -32,6 +34,15 @@ type Cluster struct {
 	statsMu   sync.Mutex
 	lastStats RunStats
 	lastNodes []NodeRunStats
+
+	// poisoned is the error of the run that closed the transport to
+	// unblock its survivors; Reset clears it and re-forms the cluster.
+	poisonMu sync.Mutex
+	poisoned error
+
+	ckpt     *checkpointStore // nil when Options.CheckpointEvery == 0
+	restarts atomic.Int64     // recovery re-runs performed
+	stalls   atomic.Int64     // StallErrors raised by workers
 }
 
 // RunStats aggregates one Run's work and traffic across all machines.
@@ -103,6 +114,11 @@ type StatsSnapshot struct {
 	// Warnings lists configuration adjustments made during validation
 	// (e.g. an out-of-range NumBuffers clamped to 1).
 	Warnings []string
+	// Restarts counts recovery re-runs performed over the cluster's
+	// lifetime (RunWithRecovery); Stalls counts receives that hit
+	// Options.StallTimeout.
+	Restarts int64
+	Stalls   int64
 }
 
 // Add accumulates other into s (for multi-run experiments).
@@ -147,11 +163,28 @@ func NewCluster(g *graph.Graph, opts Options) (*Cluster, error) {
 	}
 	if opts.Endpoints != nil {
 		c.endpoints = opts.Endpoints
+		if opts.Fault != nil {
+			c.endpoints = opts.Fault.Wrap(c.endpoints)
+		}
 	} else {
-		c.mem = comm.NewMemClusterWithLink(opts.NumNodes, opts.Link)
-		c.endpoints = c.mem.Endpoints()
+		c.buildMemTransport()
+	}
+	if opts.CheckpointEvery > 0 {
+		c.ckpt = newCheckpointStore(c.localNodes())
 	}
 	return c, nil
+}
+
+// buildMemTransport (re)creates the cluster-owned memory transport,
+// layering the fault plan when one is configured. Used at construction
+// and by Reset after a poisoned run.
+func (c *Cluster) buildMemTransport() {
+	c.mem = comm.NewMemClusterWithLink(c.opts.NumNodes, c.opts.Link)
+	eps := c.mem.Endpoints()
+	if c.opts.Fault != nil {
+		eps = c.opts.Fault.Wrap(eps)
+	}
+	c.endpoints = eps
 }
 
 // NewDistributedNode creates this process's view of a genuinely
@@ -191,7 +224,13 @@ func NewDistributedNode(g *graph.Graph, opts Options, ep comm.Endpoint) (*Cluste
 	// Only the local machine's layout and endpoint exist in this
 	// process — the memory footprint a real cluster member would have.
 	c.layouts[id] = partition.BuildLayout(g, pt, class, id)
+	if opts.Fault != nil {
+		ep = opts.Fault.WrapOne(ep)
+	}
 	c.endpoints[id] = ep
+	if opts.CheckpointEvery > 0 {
+		c.ckpt = newCheckpointStore(c.localNodes())
+	}
 	return c, nil
 }
 
@@ -216,8 +255,91 @@ func (c *Cluster) Close() error {
 // Run executes prog SPMD-style: one invocation per machine, concurrently,
 // each with its own Worker. It blocks until every machine finishes and
 // returns the first error. Statistics for the run are available from
-// LastRunStats afterwards.
+// Stats afterwards.
+//
+// A failed run poisons the cluster — the transport is closed so the
+// surviving machines' pending receives return instead of hanging — and
+// subsequent Runs return a *PoisonedError until Reset re-forms it.
 func (c *Cluster) Run(prog func(w *Worker) error) error {
+	return c.RunContext(context.Background(), prog)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the transport is poisoned, every blocked worker unwinds with an error,
+// and RunContext returns ctx's error once all workers have exited. The
+// cluster then needs a Reset like any other failed run.
+func (c *Cluster) RunContext(ctx context.Context, prog func(w *Worker) error) error {
+	if c.ckpt != nil {
+		c.ckpt.clear() // a fresh program must not restore its predecessor's state
+	}
+	return c.runOnce(ctx, prog)
+}
+
+// Execute runs prog under the cluster's configured resilience policy:
+// plain single-attempt Run when Options.MaxRestarts is 0, otherwise
+// RunWithRecovery. Algorithms call Execute so the -max-restarts flag
+// governs every entry point uniformly.
+func (c *Cluster) Execute(prog func(w *Worker) error) error {
+	if c.opts.MaxRestarts > 0 {
+		_, err := c.RunWithRecovery(context.Background(), prog)
+		return err
+	}
+	return c.Run(prog)
+}
+
+// RunWithRecovery runs prog and, on a recoverable failure (stall, peer
+// loss, injected fault or crash — see IsRecoverable), re-forms the
+// cluster with Reset and re-runs it, up to Options.MaxRestarts times.
+// Programs that checkpoint through Worker.Checkpoint resume from the
+// last committed superstep snapshot; others simply start over. Returns
+// the number of restarts performed alongside the final error.
+func (c *Cluster) RunWithRecovery(ctx context.Context, prog func(w *Worker) error) (restarts int, err error) {
+	if c.ckpt != nil {
+		c.ckpt.clear()
+	}
+	for attempt := 0; ; attempt++ {
+		err = c.runOnce(ctx, prog)
+		if err == nil || ctx.Err() != nil || !IsRecoverable(err) || attempt >= c.opts.MaxRestarts {
+			return attempt, err
+		}
+		start := time.Now()
+		if rerr := c.Reset(); rerr != nil {
+			return attempt, fmt.Errorf("core: recovering from %q: %w", err, rerr)
+		}
+		c.restarts.Add(1)
+		if c.opts.Tracer != nil {
+			c.opts.Tracer.Record(0, obs.PhaseRecovery, attempt, -1, -1, start, time.Since(start))
+		}
+	}
+}
+
+// Reset re-forms a poisoned cluster: the old transport is torn down, a
+// fresh one is built (re-applying the fault plan, whose one-shot crash
+// and counters carry over), and the poison mark is cleared. Only
+// clusters that own their memory transport can be reset; distributed
+// nodes and externally supplied endpoints must be re-formed by the
+// caller, who owns them.
+func (c *Cluster) Reset() error {
+	if c.mem == nil {
+		return fmt.Errorf("core: Reset needs a cluster-owned memory transport; re-form external endpoints and build a new cluster instead")
+	}
+	c.mem.Close()
+	c.buildMemTransport()
+	c.poisonMu.Lock()
+	c.poisoned = nil
+	c.poisonMu.Unlock()
+	return nil
+}
+
+// runOnce is one attempt: it does not clear checkpoints, so a recovery
+// re-run can restore what the failed attempt saved.
+func (c *Cluster) runOnce(ctx context.Context, prog func(w *Worker) error) error {
+	c.poisonMu.Lock()
+	if cause := c.poisoned; cause != nil {
+		c.poisonMu.Unlock()
+		return &PoisonedError{Cause: cause}
+	}
+	c.poisonMu.Unlock()
 	nodes := c.localNodes()
 	before := make(map[int]map[comm.Kind]comm.Snapshot, len(nodes))
 	for _, i := range nodes {
@@ -251,19 +373,35 @@ func (c *Cluster) Run(prog func(w *Worker) error) error {
 			errs[i] = prog(workers[i])
 		}(i)
 	}
-	// A failed worker would leave its peers blocked in Recv; on the first
-	// error, poison the transport so every pending receive returns. The
-	// cluster is unusable after a failed Run.
-	poisoned := false
-	for k := 0; k < len(nodes); k++ {
-		i := <-done
-		if errs[i] != nil && !poisoned {
-			poisoned = true
+	// A failed worker (or a cancelled context) would leave its peers
+	// blocked in Recv; poison the transport so every pending receive
+	// returns. The cluster is unusable until Reset re-forms it.
+	var poisonOnce sync.Once
+	poison := func(cause error) {
+		poisonOnce.Do(func() {
+			c.poisonMu.Lock()
+			c.poisoned = cause
+			c.poisonMu.Unlock()
 			for _, j := range nodes {
 				c.endpoints[j].Close()
 			}
+		})
+	}
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			poison(ctx.Err())
+		case <-watchDone:
+		}
+	}()
+	for k := 0; k < len(nodes); k++ {
+		i := <-done
+		if errs[i] != nil {
+			poison(errs[i])
 		}
 	}
+	close(watchDone)
 	elapsed := time.Since(start)
 
 	var stats RunStats
@@ -303,6 +441,9 @@ func (c *Cluster) Run(prog func(w *Worker) error) error {
 	c.lastNodes = nodeStats
 	c.statsMu.Unlock()
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled: %w", err)
+	}
 	for _, i := range nodes {
 		if errs[i] != nil {
 			return errs[i]
@@ -341,6 +482,8 @@ func (c *Cluster) Stats() StatsSnapshot {
 		Nodes:    nodes,
 		Phases:   c.opts.Tracer.Summaries(),
 		Warnings: warnings,
+		Restarts: c.restarts.Load(),
+		Stalls:   c.stalls.Load(),
 	}
 }
 
@@ -370,6 +513,21 @@ func (c *Cluster) RegisterMetrics(r *obs.Registry) {
 	r.Set("config.workers", c.opts.Workers)
 	r.Set("config.warnings", append([]string(nil), c.opts.warnings...))
 	r.RegisterTracer("phases", c.opts.Tracer)
+	r.RegisterInt("resilience.restarts", func() int64 { return c.restarts.Load() })
+	r.RegisterInt("resilience.stalls", func() int64 { return c.stalls.Load() })
+	if c.ckpt != nil {
+		ck := c.ckpt
+		r.RegisterInt("resilience.checkpoint.saved", func() int64 { s, _, _, _ := ck.stats(); return s })
+		r.RegisterInt("resilience.checkpoint.commits", func() int64 { _, cm, _, _ := ck.stats(); return cm })
+		r.RegisterInt("resilience.checkpoint.restores", func() int64 { _, _, rs, _ := ck.stats(); return rs })
+		r.RegisterInt("resilience.checkpoint.committed_iter", func() int64 { _, _, _, it := ck.stats(); return int64(it) })
+	}
+	if plan := c.opts.Fault; plan != nil {
+		r.RegisterInt("fault.delays", func() int64 { return plan.Counters().Delays })
+		r.RegisterInt("fault.send_errs", func() int64 { return plan.Counters().SendErrs })
+		r.RegisterInt("fault.drops", func() int64 { return plan.Counters().Drops })
+		r.RegisterInt("fault.crashes", func() int64 { return plan.Counters().Crashes })
+	}
 	for _, i := range c.localNodes() {
 		st := c.endpoints[i].Stats()
 		for _, kind := range []comm.Kind{comm.KindUpdate, comm.KindDependency, comm.KindControl} {

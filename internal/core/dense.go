@@ -143,6 +143,7 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 	base := w.nextTags(int32(p*B + p)) // p*B dependency frames + p update rounds
 	rn := (w.id + 1) % p
 	ln := (w.id - 1 + p) % p
+	w.observeStep()
 	pass := w.densePass
 	w.densePass++
 

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/obs"
@@ -96,6 +97,27 @@ type Options struct {
 	// disables tracing; the hot paths then pay one pointer test.
 	Tracer *obs.Tracer
 
+	// StallTimeout bounds every engine receive inside an edge-processing
+	// pass: a receive blocked longer returns a *StallError naming the
+	// blocked node, phase and awaited peer instead of hanging the run
+	// forever behind a slow or dead machine. 0 disables the deadline.
+	StallTimeout time.Duration
+	// CheckpointEvery is the superstep checkpoint cadence K: programs
+	// that opt in (via Worker.Checkpoint) snapshot their state every K
+	// iterations, and a recovered run resumes from the last snapshot
+	// every machine completed. 0 disables checkpointing.
+	CheckpointEvery int
+	// MaxRestarts is how many times Execute/RunWithRecovery re-forms
+	// the cluster and re-runs a program after a recoverable failure
+	// (stall, peer loss, injected fault). 0 disables recovery: Execute
+	// behaves exactly like Run.
+	MaxRestarts int
+	// Fault, when non-nil, layers deterministic fault injection over the
+	// cluster's transport — the chaos-testing substrate. The plan's
+	// one-shot crash state and counters survive Reset, so a recovery
+	// re-run proceeds against the remaining schedule.
+	Fault *comm.FaultPlan
+
 	// warnings records non-fatal adjustments validateAndDefault made
 	// to explicitly set but out-of-range fields, surfaced through
 	// Cluster.Stats().Warnings so misconfiguration is visible.
@@ -133,6 +155,21 @@ func (o *Options) validateAndDefault() error {
 	}
 	if o.DepThreshold < 0 {
 		return fmt.Errorf("core: DepThreshold = %d (flag -threshold): must be ≥ 0", o.DepThreshold)
+	}
+	if o.StallTimeout < 0 {
+		o.warnings = append(o.warnings,
+			fmt.Sprintf("StallTimeout clamped from %v to 0 (flag -stall-timeout)", o.StallTimeout))
+		o.StallTimeout = 0
+	}
+	if o.CheckpointEvery < 0 {
+		o.warnings = append(o.warnings,
+			fmt.Sprintf("CheckpointEvery clamped from %d to 0 (flag -checkpoint-every)", o.CheckpointEvery))
+		o.CheckpointEvery = 0
+	}
+	if o.MaxRestarts < 0 {
+		o.warnings = append(o.warnings,
+			fmt.Sprintf("MaxRestarts clamped from %d to 0 (flag -max-restarts)", o.MaxRestarts))
+		o.MaxRestarts = 0
 	}
 	if o.Endpoints != nil && len(o.Endpoints) != o.NumNodes {
 		return fmt.Errorf("core: %d endpoints for %d nodes (flag -nodes must match Options.Endpoints)", len(o.Endpoints), o.NumNodes)

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// TestStallErrorOnDroppedUpdate drops all traffic between the two nodes
+// and checks that a deadline receive surfaces a StallError naming the
+// blocked node, its phase, and the awaited peer — within the configured
+// timeout, not after hanging forever.
+func TestStallErrorOnDroppedUpdate(t *testing.T) {
+	const stall = 100 * time.Millisecond
+	plan := &comm.FaultPlan{
+		Seed: 1,
+		Partitions: []comm.PartitionWindow{
+			{A: 0, B: 1, FromStep: 0, ToStep: 1 << 30, Drop: true},
+		},
+	}
+	c := mustCluster(t, graph.Ring(16), Options{
+		NumNodes:     2,
+		Fault:        plan,
+		StallTimeout: stall,
+	})
+	start := time.Now()
+	err := c.Run(func(w *Worker) error {
+		if w.ID() == 0 {
+			_, err := w.recvTimed(&w.updWait, 1, comm.KindUpdate, 0,
+				obs.PhaseUpdateWait, 0, -1, -1)
+			return err
+		}
+		return w.ep.Send(0, comm.KindUpdate, 0, []byte{1}) // silently dropped
+	})
+	elapsed := time.Since(start)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Node != 0 || se.From != 1 || se.Kind != comm.KindUpdate {
+		t.Fatalf("StallError names node %d awaiting (from=%d kind=%v), want node 0 awaiting (from=1 kind=Update)",
+			se.Node, se.From, se.Kind)
+	}
+	if se.Phase != obs.PhaseUpdateWait || se.Timeout != stall {
+		t.Fatalf("StallError phase/timeout = %v/%v, want %v/%v", se.Phase, se.Timeout, obs.PhaseUpdateWait, stall)
+	}
+	if elapsed > 10*stall {
+		t.Fatalf("stall detected after %v, want within a few multiples of %v", elapsed, stall)
+	}
+	if got := c.Stats().Stalls; got != 1 {
+		t.Fatalf("Stats().Stalls = %d, want 1", got)
+	}
+	if plan.Counters().Drops == 0 {
+		t.Fatal("fault plan recorded no drops")
+	}
+}
+
+// TestRunContextCancellation cancels a run whose workers are blocked in
+// Recv, and checks the poisoning/Reset lifecycle: the cancelled run
+// returns ctx's error, subsequent runs fail fast with *PoisonedError,
+// and Reset restores the cluster to working order.
+func TestRunContextCancellation(t *testing.T) {
+	c := mustCluster(t, graph.Ring(16), Options{NumNodes: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := c.RunContext(ctx, func(w *Worker) error {
+		if w.ID() == 0 {
+			_, err := w.ep.Recv(1, comm.KindUpdate, 0) // never sent: blocks until poisoned
+			return err
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+
+	var pe *PoisonedError
+	if err := c.Run(func(w *Worker) error { return nil }); !errors.As(err, &pe) {
+		t.Fatalf("run after poison: err = %v, want *PoisonedError", err)
+	}
+	if !errors.Is(pe, context.Canceled) {
+		t.Fatalf("PoisonedError cause = %v, want context.Canceled", pe.Cause)
+	}
+
+	if err := c.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if err := c.Run(func(w *Worker) error { return w.Barrier() }); err != nil {
+		t.Fatalf("run after Reset: %v", err)
+	}
+}
+
+// TestRunWithRecoveryRestartsAfterCrash kills node 1 at superstep 1 and
+// checks that RunWithRecovery re-forms the cluster and the second
+// attempt — against the same one-shot plan — completes cleanly.
+func TestRunWithRecoveryRestartsAfterCrash(t *testing.T) {
+	plan := &comm.FaultPlan{Seed: 42, CrashNode: 1, CrashAtSuperstep: 1}
+	c := mustCluster(t, graph.Ring(16), Options{
+		NumNodes:    2,
+		Fault:       plan,
+		MaxRestarts: 2,
+	})
+	var attempts atomic.Int32
+	restarts, err := c.RunWithRecovery(context.Background(), func(w *Worker) error {
+		if w.ID() == 0 {
+			attempts.Add(1)
+		}
+		for step := 1; step <= 3; step++ {
+			comm.ObserveSuperstep(w.ep, step)
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunWithRecovery: %v", err)
+	}
+	if restarts != 1 || attempts.Load() != 2 {
+		t.Fatalf("restarts = %d, attempts = %d, want 1 restart over 2 attempts", restarts, attempts.Load())
+	}
+	if got := plan.Counters().Crashes; got != 1 {
+		t.Fatalf("Crashes = %d, want 1 (one-shot)", got)
+	}
+	if got := c.Stats().Restarts; got != 1 {
+		t.Fatalf("Stats().Restarts = %d, want 1", got)
+	}
+}
+
+// TestRunWithRecoveryGivesUpOnProtocolError checks that a protocol bug —
+// not an environmental fault — is never retried.
+func TestRunWithRecoveryGivesUpOnProtocolError(t *testing.T) {
+	c := mustCluster(t, graph.Ring(16), Options{NumNodes: 1, MaxRestarts: 3})
+	var attempts atomic.Int32
+	perr := &comm.ProtocolError{Node: 0, From: 0, Kind: comm.KindUpdate, WantTag: 1, GotTag: 2}
+	restarts, err := c.RunWithRecovery(context.Background(), func(w *Worker) error {
+		attempts.Add(1)
+		return perr
+	})
+	if restarts != 0 || attempts.Load() != 1 {
+		t.Fatalf("restarts = %d, attempts = %d, want no retry of a protocol bug", restarts, attempts.Load())
+	}
+	if !errors.Is(err, perr) {
+		t.Fatalf("err = %v, want the ProtocolError", err)
+	}
+}
+
+// TestExecuteHonorsMaxRestarts checks the algorithm entry point: with
+// MaxRestarts configured Execute recovers; without it the fault is fatal.
+func TestExecuteHonorsMaxRestarts(t *testing.T) {
+	prog := func(w *Worker) error {
+		for step := 1; step <= 3; step++ {
+			comm.ObserveSuperstep(w.ep, step)
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	plan := &comm.FaultPlan{Seed: 9, CrashNode: 0, CrashAtSuperstep: 2}
+	c := mustCluster(t, graph.Ring(16), Options{NumNodes: 2, Fault: plan, MaxRestarts: 1})
+	if err := c.Execute(prog); err != nil {
+		t.Fatalf("Execute with MaxRestarts=1: %v", err)
+	}
+
+	plan2 := &comm.FaultPlan{Seed: 9, CrashNode: 0, CrashAtSuperstep: 2}
+	c2 := mustCluster(t, graph.Ring(16), Options{NumNodes: 2, Fault: plan2})
+	if err := c2.Execute(prog); err == nil {
+		t.Fatal("Execute without restarts survived a crash")
+	}
+}
+
+// TestCheckpointStoreTwoPhaseCommit exercises the store directly:
+// partial saves stay staged, an iteration commits only when every member
+// has saved it, stragglers re-saving a committed iteration are ignored,
+// and clear forgets everything.
+func TestCheckpointStoreTwoPhaseCommit(t *testing.T) {
+	s := newCheckpointStore([]int{0, 1, 2})
+
+	s.save(0, 2, []byte("a0"))
+	s.save(1, 2, []byte("a1"))
+	if _, _, ok := s.restore(0); ok {
+		t.Fatal("partial save committed")
+	}
+	s.save(2, 2, []byte("a2"))
+	iter, blob, ok := s.restore(1)
+	if !ok || iter != 2 || !bytes.Equal(blob, []byte("a1")) {
+		t.Fatalf("restore(1) = (%d, %q, %v), want (2, a1, true)", iter, blob, ok)
+	}
+
+	// A straggler re-saving the committed iteration must not regress it.
+	s.save(0, 2, []byte("stale"))
+	if _, blob, _ := s.restore(0); !bytes.Equal(blob, []byte("a0")) {
+		t.Fatalf("straggler overwrote committed blob: %q", blob)
+	}
+
+	// A newer iteration supersedes, and older staging is pruned.
+	s.save(0, 4, []byte("b0"))
+	s.save(1, 4, []byte("b1"))
+	s.save(2, 4, []byte("b2"))
+	if iter, _, _ := s.restore(2); iter != 4 {
+		t.Fatalf("committed iter = %d, want 4", iter)
+	}
+
+	s.clear()
+	if _, _, ok := s.restore(0); ok {
+		t.Fatal("restore after clear succeeded")
+	}
+	saved, commits, restores, committed := s.stats()
+	if saved == 0 || commits != 2 || restores == 0 || committed != -1 {
+		t.Fatalf("stats = (%d, %d, %d, %d), want saves and 2 commits recorded, committed=-1",
+			saved, commits, restores, committed)
+	}
+}
+
+// TestWorkerCheckpointHandle checks the worker-facing surface: cadence,
+// saves committing across all nodes, restore after a simulated failure,
+// and RunContext clearing state for a fresh program.
+func TestWorkerCheckpointHandle(t *testing.T) {
+	c := mustCluster(t, graph.Ring(16), Options{NumNodes: 2, CheckpointEvery: 2, MaxRestarts: 1})
+	err := c.Run(func(w *Worker) error {
+		ck := w.Checkpoint()
+		if !ck.Enabled() || ck.Every() != 2 {
+			t.Errorf("node %d: Enabled/Every = %v/%d", w.ID(), ck.Enabled(), ck.Every())
+		}
+		if ck.Due(0) || ck.Due(1) || !ck.Due(2) || ck.Due(3) || !ck.Due(4) {
+			t.Errorf("node %d: Due cadence wrong", w.ID())
+		}
+		if _, _, ok := ck.Restore(); ok {
+			t.Errorf("node %d: fresh program restored a snapshot", w.ID())
+		}
+		ck.Save(2, []byte{byte(w.ID())})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The commit survives into a recovery re-run (runOnce does not clear).
+	err = c.runOnce(context.Background(), func(w *Worker) error {
+		iter, blob, ok := w.Checkpoint().Restore()
+		if !ok || iter != 2 || len(blob) != 1 || blob[0] != byte(w.ID()) {
+			t.Errorf("node %d: restore = (%d, %v, %v)", w.ID(), iter, blob, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh program (RunContext) must not see its predecessor's state.
+	err = c.Run(func(w *Worker) error {
+		if _, _, ok := w.Checkpoint().Restore(); ok {
+			t.Errorf("node %d: fresh Run restored stale snapshot", w.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointDisabledIsNoop checks the zero-config path.
+func TestCheckpointDisabledIsNoop(t *testing.T) {
+	c := mustCluster(t, graph.Ring(16), Options{NumNodes: 2})
+	err := c.Run(func(w *Worker) error {
+		ck := w.Checkpoint()
+		if ck.Enabled() || ck.Due(4) {
+			t.Errorf("node %d: checkpointing reported enabled without CheckpointEvery", w.ID())
+		}
+		ck.Save(4, []byte{1}) // must not panic
+		if _, _, ok := ck.Restore(); ok {
+			t.Errorf("node %d: restore succeeded while disabled", w.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

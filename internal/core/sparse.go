@@ -60,6 +60,7 @@ func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error)
 	p := w.N()
 	base := w.nextTags(1)
 	g := w.cluster.g
+	w.observeStep()
 	pass := w.sparsePass
 	w.sparsePass++
 	pushStart := w.spanStart()

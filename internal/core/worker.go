@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -104,17 +105,34 @@ func (w *Worker) endSpan(ph obs.Phase, iter, step, group int, start time.Time) {
 // recvTimed performs a receive and accounts the blocked time into the
 // given wait counter — the engine's overlap instrumentation (§5.3's
 // "synchronization wait time") — and emits a tracer span of phase ph
-// tagged (iter, step, group).
+// tagged (iter, step, group). With Options.StallTimeout set, the receive
+// carries a deadline: instead of hanging forever behind a slow or dead
+// peer, it fails fast with a *StallError naming this node, the phase,
+// and the awaited stream.
 func (w *Worker) recvTimed(counter *atomic.Int64, from comm.NodeID, kind comm.Kind, tag int32,
 	ph obs.Phase, iter, step, group int) (comm.Message, error) {
 	start := time.Now()
-	m, err := w.ep.Recv(from, kind, tag)
+	timeout := w.cluster.opts.StallTimeout
+	m, err := comm.RecvTimeout(w.ep, from, kind, tag, timeout)
+	var te *comm.TimeoutError
+	if errors.As(err, &te) {
+		w.cluster.stalls.Add(1)
+		err = &StallError{Node: w.id, Phase: ph, From: from, Kind: kind, Tag: tag,
+			Timeout: timeout, cause: err}
+	}
 	d := time.Since(start)
 	counter.Add(int64(d))
 	if w.tr != nil {
 		w.tr.Record(w.id, ph, iter, step, group, start, d)
 	}
 	return m, err
+}
+
+// observeStep announces the next edge-processing pass to the transport:
+// fault plans key their crash and partition schedules on this counter,
+// making "node 2 dies at superstep 7" a deterministic, replayable event.
+func (w *Worker) observeStep() {
+	comm.ObserveSuperstep(w.ep, w.densePass+w.sparsePass)
 }
 
 // Barrier blocks until all machines reach it.

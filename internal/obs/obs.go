@@ -51,6 +51,12 @@ const (
 	// PhaseBufferFlush is the send of one buffer group's dependency
 	// frame to the left neighbor.
 	PhaseBufferFlush
+	// PhaseCheckpoint is the serialization and storage of one node's
+	// superstep checkpoint.
+	PhaseCheckpoint
+	// PhaseRecovery is cluster re-formation plus checkpoint restore
+	// after a failed run.
+	PhaseRecovery
 	// NumPhases is the number of phases; valid phases are < NumPhases.
 	NumPhases
 )
@@ -71,6 +77,10 @@ func (p Phase) String() string {
 		return "Barrier"
 	case PhaseBufferFlush:
 		return "BufferFlush"
+	case PhaseCheckpoint:
+		return "Checkpoint"
+	case PhaseRecovery:
+		return "Recovery"
 	default:
 		return fmt.Sprintf("Phase(%d)", uint8(p))
 	}
