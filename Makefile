@@ -1,16 +1,20 @@
-# Tier-1 verification gate: build everything, vet, race-test the engine
-# and transport, run the seeded chaos soak, then run the full suite
-# (which includes the CLI trace smoke test).
-.PHONY: verify build test race smoke chaos
+# Tier-1 verification gate: build everything, vet, race-test the engine,
+# transport and serving layer, run the seeded chaos soak, the sgserve
+# process smoke test, then the full suite (which includes the CLI trace
+# smoke test and the sustained serving load test).
+.PHONY: verify build vet test race smoke serve-smoke chaos
 
-verify: build race chaos test
+verify: build race chaos serve-smoke test
 
 build:
 	go build ./...
 	go vet ./...
 
+vet:
+	go vet ./...
+
 race:
-	go test -race -count=1 ./internal/comm/... ./internal/core/...
+	go test -race -count=1 ./internal/comm/... ./internal/core/... ./internal/server/...
 
 test:
 	go test ./...
@@ -24,3 +28,8 @@ chaos:
 # The -trace acceptance path on its own, for quick iteration.
 smoke:
 	go test -run TestCLITraceOutput -count=1 .
+
+# The sgserve process acceptance path: random port, cached + uncached +
+# over-capacity queries (200/200/429), SIGTERM drain.
+serve-smoke:
+	go test -run TestServeSmoke -count=1 .

@@ -1,0 +1,180 @@
+// Command sgserve is the graph query service daemon: it loads and
+// partitions the configured graphs once at startup, keeps a pool of
+// warm clusters, and serves algorithm queries over HTTP until drained
+// by SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	sgserve -graph web=web.sg -graph synth=rmat:14,16,1 -addr :8090
+//	sgserve -graph g=rmat:12,16,1 -addr :0 -max-inflight 4 -debug-addr :6060
+//	sgserve -graph g=rmat:12,16,1 -checkpoint-dir /var/lib/sgserve \
+//	        -checkpoint-every 8 -max-restarts 2 -stall-timeout 5s
+//
+// Query with:
+//
+//	curl 'http://localhost:8090/query?graph=web&algo=bfs'
+//	curl 'http://localhost:8090/statusz'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// graphFlags collects repeatable -graph name=<path|rmat:scale,ef,seed>
+// specs.
+type graphFlags struct {
+	specs []string
+}
+
+func (g *graphFlags) String() string { return strings.Join(g.specs, ",") }
+
+func (g *graphFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=<path|rmat:scale,ef,seed>, got %q", v)
+	}
+	g.specs = append(g.specs, v)
+	return nil
+}
+
+// load resolves every spec into a named graph.
+func (g *graphFlags) load() (map[string]*graph.Graph, error) {
+	if len(g.specs) == 0 {
+		g.specs = []string{"default=rmat:12,16,1"}
+	}
+	out := make(map[string]*graph.Graph, len(g.specs))
+	for _, spec := range g.specs {
+		name, src, _ := strings.Cut(spec, "=")
+		if name == "" || src == "" {
+			return nil, fmt.Errorf("bad -graph %q: want name=<path|rmat:scale,ef,seed>", spec)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate -graph name %q", name)
+		}
+		var gs cliutil.GraphSpec
+		if rest, ok := strings.CutPrefix(src, "rmat:"); ok {
+			gs.RMAT = rest
+		} else {
+			gs.Path = src
+		}
+		gr, err := gs.Load()
+		if err != nil {
+			return nil, fmt.Errorf("loading -graph %s: %w", spec, err)
+		}
+		out[name] = gr
+	}
+	return out, nil
+}
+
+func main() {
+	var graphs graphFlags
+	var obsFlags cliutil.Obs
+	var resilience cliutil.Resilience
+	flag.Var(&graphs, "graph", "serve this graph as name=<path|rmat:scale,ef,seed> (repeatable)")
+	obsFlags.Register(flag.CommandLine)
+	resilience.Register(flag.CommandLine)
+	var (
+		addr         = flag.String("addr", ":8090", "HTTP listen address (:0 picks a free port)")
+		nodes        = flag.Int("nodes", 4, "simulated cluster size per query engine")
+		workers      = flag.Int("workers", 1, "worker goroutines per node")
+		threshold    = flag.Int("threshold", core.DefaultDepThreshold, "differentiated-propagation degree threshold")
+		buffers      = flag.Int("buffers", 2, "double-buffering group count")
+		maxInflight  = flag.Int("max-inflight", 2, "queries executing concurrently")
+		maxQueue     = flag.Int("max-queue", 0, "queries waiting for a slot before shedding with 429 (0 = 4×max-inflight)")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity in entries (-1 disables)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache capacity in marshaled bytes")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight queries")
+	)
+	flag.Parse()
+
+	loaded, err := graphs.load()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// A bad -debug-addr must kill the daemon here, not leave it running
+	// without its observability surface.
+	if err := obsFlags.Start("sgserve"); err != nil {
+		fatalf("%v", err)
+	}
+	registry := obsFlags.Registry
+	if registry == nil {
+		registry = obs.NewRegistry()
+	}
+
+	opts := core.Options{
+		NumNodes:     *nodes,
+		Workers:      *workers,
+		DepThreshold: *threshold,
+		NumBuffers:   *buffers,
+	}
+	resilience.Apply(&opts)
+
+	srv, err := server.New(server.Config{
+		Graphs:         loaded,
+		Engine:         opts,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		CheckpointRoot: resilience.CheckpointDir,
+		Registry:       registry,
+		Tracer:         obsFlags.Tracer,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listening on %s: %v", *addr, err)
+	}
+	// The resolved address line is the startup handshake: scripts (and
+	// the serve-smoke test) parse it to find a :0-assigned port.
+	fmt.Printf("sgserve: serving %d graph(s) on http://%s\n", len(loaded), ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "sgserve: %v received, draining (timeout %v)\n", s, *drainWait)
+	case err := <-serveErr:
+		fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sgserve: %v\n", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sgserve: shutdown: %v\n", err)
+	}
+	if err := obsFlags.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "sgserve: drained cleanly")
+}
+
+func fatalf(format string, args ...any) {
+	cliutil.Fatalf("sgserve", format, args...)
+}

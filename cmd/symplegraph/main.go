@@ -81,6 +81,9 @@ func main() {
 		Tracer:       obsFlags.Tracer,
 	}
 	resilience.Apply(&opts)
+	if _, err := resilience.OpenCheckpointStore(&opts, false); err != nil {
+		fatalf("%v", err)
+	}
 	var cluster *core.Cluster
 	if *tcpID >= 0 {
 		// Genuinely distributed: this process hosts one machine; run
@@ -130,7 +133,7 @@ func main() {
 	case "bfs":
 		res, err := algorithms.BFS(cluster, rootV)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		reached := 0
 		for _, d := range res.Depth {
@@ -143,7 +146,7 @@ func main() {
 	case "mis":
 		res, err := algorithms.MIS(cluster, *seed)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		size := 0
 		for _, in := range res.InMIS {
@@ -155,7 +158,7 @@ func main() {
 	case "kcore":
 		res, err := algorithms.KCore(cluster, *k)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		size := 0
 		for _, in := range res.InCore {
@@ -171,19 +174,19 @@ func main() {
 		}
 		res, err := algorithms.KMeans(cluster, c, *iters, *seed)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		fmt.Printf("kmeans: centers=%d iterations=%d distsums=%v\n", c, *iters, res.DistSums)
 	case "sampling":
 		res, err := algorithms.Sample(cluster, *seed, *rounds)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		fmt.Printf("sampling: rounds=%d exact-picks=%d\n", *rounds, res.ExactPicks)
 	case "cc":
 		labels, err := algorithms.ConnectedComponents(cluster)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		comps := map[uint32]bool{}
 		for _, l := range labels {
@@ -193,7 +196,7 @@ func main() {
 	case "pagerank":
 		rank, err := algorithms.PageRank(cluster, *iters, 0.85)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		best, bestRank := 0, 0.0
 		for v, r := range rank {
@@ -205,7 +208,7 @@ func main() {
 	case "sssp":
 		dist, err := algorithms.SSSP(cluster, rootV)
 		if err != nil {
-			fatalf("%v", err)
+			runFatal(err)
 		}
 		reached := 0
 		for _, d := range dist {
@@ -227,4 +230,11 @@ func main() {
 
 func fatalf(format string, args ...any) {
 	cliutil.Fatalf("symplegraph", format, args...)
+}
+
+// runFatal reports an algorithm run failure through the typed-error
+// taxonomy: the structured context (blocked node, phase, awaited peer)
+// reaches stderr and the failure class picks the exit code.
+func runFatal(err error) {
+	cliutil.FatalErr("symplegraph", err)
 }

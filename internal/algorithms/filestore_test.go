@@ -1,0 +1,102 @@
+package algorithms
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// TestChaosBFSRecoversViaFileStore is TestChaosBFSRecoversBitIdentical
+// with the file-backed checkpoint store standing in for stable storage:
+// the crash recovery restores the snapshot from disk and the result
+// still matches the fault-free baseline bit for bit.
+func TestChaosBFSRecoversViaFileStore(t *testing.T) {
+	g := chaosGraph(64)
+
+	baseline, err := BFS(mustAlgCluster(t, g, core.Options{NumNodes: 2}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := core.NewFileCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &comm.FaultPlan{Seed: 2026, CrashNode: 1, CrashAtSuperstep: 10}
+	c := mustAlgCluster(t, g, core.Options{
+		NumNodes:        2,
+		Fault:           plan,
+		CheckpointEvery: 4,
+		Checkpoints:     fs,
+		MaxRestarts:     1,
+	})
+	got, err := BFS(c, 0)
+	if err != nil {
+		t.Fatalf("BFS under chaos: %v", err)
+	}
+	if c.Stats().Restarts != 1 {
+		t.Fatalf("Stats().Restarts = %d, want 1", c.Stats().Restarts)
+	}
+	st := fs.Stats()
+	if st.Commits == 0 || st.Restores == 0 {
+		t.Fatalf("file store saw commits=%d restores=%d, want both > 0", st.Commits, st.Restores)
+	}
+	if err := fs.Err(); err != nil {
+		t.Fatalf("file store I/O error: %v", err)
+	}
+	if !reflect.DeepEqual(got.Parent, baseline.Parent) || !reflect.DeepEqual(got.Depth, baseline.Depth) {
+		t.Fatal("recovered BFS result differs from fault-free baseline")
+	}
+}
+
+// TestBFSResumesAcrossProcessRestart simulates a daemon dying and
+// restarting mid-query: the first incarnation runs checkpointed BFS to
+// completion (committing snapshots to disk), the second builds a fresh
+// cluster over a reopened store with ResumeCheckpoints — its run
+// restores the committed superstep instead of starting from the root,
+// and its result matches the first run exactly.
+func TestBFSResumesAcrossProcessRestart(t *testing.T) {
+	g := chaosGraph(64)
+	dir := t.TempDir()
+
+	s1, err := core.NewFileCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := mustAlgCluster(t, g, core.Options{NumNodes: 2, CheckpointEvery: 4, Checkpoints: s1})
+	want, err := BFS(c1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Stats().Commits == 0 {
+		t.Fatal("first incarnation committed no checkpoints")
+	}
+
+	// "Process restart": new store object on the same directory, new
+	// cluster, resume enabled so the engine keeps the on-disk snapshot.
+	s2, err := core.NewFileCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().CommittedIter < 0 {
+		t.Fatal("reopened store lost the committed snapshot")
+	}
+	c2 := mustAlgCluster(t, g, core.Options{
+		NumNodes:          2,
+		CheckpointEvery:   4,
+		Checkpoints:       s2,
+		ResumeCheckpoints: true,
+	})
+	got, err := BFS(c2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().Restores == 0 {
+		t.Fatal("resumed run restored nothing from disk")
+	}
+	if !reflect.DeepEqual(got.Parent, want.Parent) || !reflect.DeepEqual(got.Depth, want.Depth) {
+		t.Fatal("resumed BFS result differs from the first incarnation")
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// LoadConfig drives the query-service load generator: Clients closed
+// loops issuing a deterministic (Seed-derived) mix of algorithm queries
+// against a running sgserve for Duration.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// Graphs are the serving names to spread queries across. Required.
+	Graphs []string
+	// Clients is the number of concurrent closed-loop clients
+	// (default 8).
+	Clients int
+	// Duration is how long to sustain the load (default 5s).
+	Duration time.Duration
+	// Seed makes the query mix reproducible (default 1).
+	Seed uint64
+	// Algos is the query mix (default: a cheap six-algorithm blend).
+	Algos []string
+	// Spread is how many distinct parameter values each algorithm
+	// cycles through — small spreads repeat queries and exercise the
+	// cache, large spreads stay cold (default 4).
+	Spread int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadResult tallies a load run.
+type LoadResult struct {
+	Requests        int64
+	Status          map[int]int64 // HTTP status → count
+	TransportErrors int64
+	CacheHits       int64
+	Latency         obs.HistSnapshot
+}
+
+// OK returns the number of 200 responses.
+func (r *LoadResult) OK() int64 { return r.Status[http.StatusOK] }
+
+// ServerErrors returns the number of 5xx responses.
+func (r *LoadResult) ServerErrors() int64 {
+	var n int64
+	for code, c := range r.Status {
+		if code >= 500 {
+			n += c
+		}
+	}
+	return n
+}
+
+func (c LoadConfig) defaults() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = []string{"bfs", "sssp", "kcore", "mis", "cc", "pagerank"}
+	}
+	if c.Spread <= 0 {
+		c.Spread = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// queryURL builds the i-th query of client id: a deterministic pick of
+// graph, algorithm and parameters, so two runs with the same seed issue
+// the identical mix.
+func (c LoadConfig) queryURL(id, i int) string {
+	draw := func(salt uint64, n int) int {
+		return xrand.Intn(n, c.Seed, salt, uint64(id), uint64(i))
+	}
+	g := c.Graphs[draw(0x9a1, len(c.Graphs))]
+	algo := c.Algos[draw(0xb52, len(c.Algos))]
+	u := fmt.Sprintf("%s/query?graph=%s&algo=%s", c.BaseURL, g, algo)
+	switch algo {
+	case "kcore":
+		u += "&k=" + strconv.Itoa(2+draw(0xc3, c.Spread))
+	case "mis", "sampling", "kmeans":
+		u += "&seed=" + strconv.Itoa(1+draw(0xd4, c.Spread))
+	case "pagerank":
+		u += "&iters=" + strconv.Itoa(5+5*draw(0xe5, c.Spread))
+	}
+	return u
+}
+
+// RunLoad sustains the configured load and tallies outcomes. A non-2xx
+// status is not an error — rejections (429) and drains (503) are
+// expected behaviors under load — but transport failures (connection
+// refused, mid-body cut) are counted separately: a draining server must
+// finish answering accepted requests, never cut them off.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.defaults()
+	if cfg.BaseURL == "" || len(cfg.Graphs) == 0 {
+		return nil, fmt.Errorf("bench: load needs a base URL and at least one graph")
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	deadline := time.Now().Add(cfg.Duration)
+
+	var (
+		mu      sync.Mutex
+		status  = make(map[int]int64)
+		reqs    atomic.Int64
+		terrs   atomic.Int64
+		hits    atomic.Int64
+		latency obs.Histogram
+		wg      sync.WaitGroup
+	)
+	for id := 0; id < cfg.Clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				start := time.Now()
+				resp, err := client.Get(cfg.queryURL(id, i))
+				if err != nil {
+					terrs.Add(1)
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				reqs.Add(1)
+				latency.Observe(time.Since(start))
+				if rerr != nil {
+					terrs.Add(1)
+					continue
+				}
+				mu.Lock()
+				status[resp.StatusCode]++
+				mu.Unlock()
+				if resp.StatusCode == http.StatusOK {
+					var doc struct {
+						Cached bool `json:"cached"`
+					}
+					if json.Unmarshal(body, &doc) == nil && doc.Cached {
+						hits.Add(1)
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	return &LoadResult{
+		Requests:        reqs.Load(),
+		Status:          status,
+		TransportErrors: terrs.Load(),
+		CacheHits:       hits.Load(),
+		Latency:         latency.Snapshot(),
+	}, nil
+}
+
+// Print writes a one-screen load report.
+func (r *LoadResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "load: requests=%d transport-errors=%d cache-hits=%d\n",
+		r.Requests, r.TransportErrors, r.CacheHits)
+	for code, n := range r.Status {
+		fmt.Fprintf(w, "  status %d: %d\n", code, n)
+	}
+	fmt.Fprintf(w, "  latency: p50=%v p95=%v p99=%v max=%v\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+}

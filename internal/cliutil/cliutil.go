@@ -6,6 +6,8 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,67 @@ import (
 func Fatalf(tool, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// Exit codes for the typed run-failure classes, so scripts and process
+// supervisors can tell a stalled cluster from an engine bug without
+// parsing stderr. 1 remains the generic failure code.
+const (
+	ExitFailure   = 1 // unclassified error
+	ExitStall     = 2 // core.StallError: a receive exceeded -stall-timeout
+	ExitCrash     = 3 // comm.CrashError: a node died (chaos or real)
+	ExitPeerLost  = 4 // comm.ClosedError / comm.TimeoutError: transport cut
+	ExitProtocol  = 5 // comm.ProtocolError: desynchronized SPMD streams, a bug
+	ExitPoisoned  = 6 // core.PoisonedError: run on an un-Reset cluster
+	ExitCancelled = 7 // context deadline/cancellation
+)
+
+// ErrorReport classifies err against the engine's typed error taxonomy
+// (errors.As through any wrapping) and returns the matching exit code
+// plus a message that keeps the structured context — blocked node,
+// phase, awaited peer — that a bare %v of a wrapped chain buries.
+func ErrorReport(err error) (code int, msg string) {
+	var (
+		stall    *core.StallError
+		poisoned *core.PoisonedError
+		crash    *comm.CrashError
+		protocol *comm.ProtocolError
+		closed   *comm.ClosedError
+		timeout  *comm.TimeoutError
+		injected *comm.InjectedError
+	)
+	switch {
+	case errors.As(err, &stall):
+		return ExitStall, fmt.Sprintf(
+			"stall: node %d blocked in %v for %v awaiting node %d (kind=%v tag=%d); raise -stall-timeout or enable -max-restarts",
+			stall.Node, stall.Phase, stall.Timeout, stall.From, stall.Kind, stall.Tag)
+	case errors.As(err, &crash):
+		return ExitCrash, fmt.Sprintf("node crash: %v; enable -checkpoint-every and -max-restarts to recover", crash)
+	case errors.As(err, &protocol):
+		return ExitProtocol, fmt.Sprintf("protocol violation (engine bug, not retried): %v", protocol)
+	case errors.As(err, &poisoned):
+		return ExitPoisoned, fmt.Sprintf("%v", poisoned)
+	case errors.As(err, &closed):
+		return ExitPeerLost, fmt.Sprintf("peer lost: %v", closed)
+	case errors.As(err, &timeout):
+		return ExitPeerLost, fmt.Sprintf("transport timeout: %v", timeout)
+	case errors.As(err, &injected):
+		return ExitFailure, fmt.Sprintf("injected fault escaped recovery: %v", injected)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return ExitCancelled, fmt.Sprintf("cancelled: %v", err)
+	default:
+		return ExitFailure, fmt.Sprintf("%v", err)
+	}
+}
+
+// FatalErr prints err's classified report to stderr and exits with the
+// class's code. Run-failure paths use it instead of Fatalf so the typed
+// context PR 2 attached (node, phase, awaited peer) reaches the
+// operator and the exit status.
+func FatalErr(tool string, err error) {
+	code, msg := ErrorReport(err)
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, msg)
+	os.Exit(code)
 }
 
 // Warnf prints "tool: warning: message" to stderr.
@@ -84,6 +147,7 @@ func (s *GraphSpec) Load() (*graph.Graph, error) {
 type Resilience struct {
 	ChaosSeed       uint64
 	CheckpointEvery int
+	CheckpointDir   string
 	StallTimeout    time.Duration
 	MaxRestarts     int
 	CrashNode       int
@@ -97,6 +161,7 @@ type Resilience struct {
 func (r *Resilience) Register(fs *flag.FlagSet) {
 	fs.Uint64Var(&r.ChaosSeed, "chaos-seed", 0, "deterministic fault injection seed (0 = off)")
 	fs.IntVar(&r.CheckpointEvery, "checkpoint-every", 0, "superstep checkpoint cadence K (0 = off)")
+	fs.StringVar(&r.CheckpointDir, "checkpoint-dir", "", "persist superstep checkpoints to this directory (survives process death; default in-memory)")
 	fs.DurationVar(&r.StallTimeout, "stall-timeout", 0, "per-receive deadline before a stalled superstep fails (0 = wait forever)")
 	fs.IntVar(&r.MaxRestarts, "max-restarts", 0, "recoverable-failure restarts before giving up (0 = fail fast)")
 	fs.IntVar(&r.CrashNode, "chaos-crash-node", 0, "node the chaos plan crashes (with -chaos-crash-at)")
@@ -131,6 +196,23 @@ func (r *Resilience) Apply(opts *core.Options) *comm.FaultPlan {
 	opts.MaxRestarts = r.MaxRestarts
 	opts.Fault = r.BuildPlan()
 	return opts.Fault
+}
+
+// OpenCheckpointStore builds the file-backed store when -checkpoint-dir
+// is set (nil otherwise, selecting the engine's in-memory default) and
+// threads it into opts. Resume controls whether the engine adopts a
+// previous process's committed snapshot instead of clearing it.
+func (r *Resilience) OpenCheckpointStore(opts *core.Options, resume bool) (*core.FileCheckpointStore, error) {
+	if r.CheckpointDir == "" {
+		return nil, nil
+	}
+	st, err := core.NewFileCheckpointStore(r.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	opts.Checkpoints = st
+	opts.ResumeCheckpoints = resume
+	return st, nil
 }
 
 // PrintCounters reports the faults the chaos plan injected and the
@@ -188,12 +270,16 @@ func (o *Obs) Start(tool string) error {
 }
 
 // Close writes the -trace file (if requested) and stops the debug
-// server. Call it on the tool's success path; the trace of a failed run
+// server, surfacing any error that killed its serve loop while the tool
+// ran. Call it on the tool's success path; the trace of a failed run
 // is intentionally not written.
 func (o *Obs) Close() error {
 	if o.server != nil {
-		o.server.Close()
+		err := o.server.Close()
 		o.server = nil
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
 	}
 	if o.TracePath == "" || o.Tracer == nil {
 		return nil

@@ -1,12 +1,17 @@
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -72,5 +77,40 @@ func TestObsStartClose(t *testing.T) {
 	}
 	if err := off.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestErrorReport(t *testing.T) {
+	stall := &core.StallError{Node: 2, Phase: obs.PhaseDepWait, From: 1, Kind: comm.KindDependency, Tag: 7, Timeout: time.Second}
+	cases := []struct {
+		err  error
+		code int
+		want string
+	}{
+		// errors.As must see through wrapping on every class.
+		{fmt.Errorf("run: %w", stall), ExitStall, "node 2"},
+		{fmt.Errorf("run: %w", &comm.CrashError{Node: 1, Superstep: 10}), ExitCrash, "crash"},
+		{&comm.ProtocolError{Node: 0, From: 1, WantTag: 3, GotTag: 4}, ExitProtocol, "protocol"},
+		{&core.PoisonedError{Cause: errors.New("boom")}, ExitPoisoned, "Reset"},
+		{&comm.ClosedError{Node: 0, From: 1}, ExitPeerLost, "peer lost"},
+		{&comm.TimeoutError{Node: 0, From: 1, Timeout: time.Second}, ExitPeerLost, "timeout"},
+		{fmt.Errorf("deadline: %w", context.DeadlineExceeded), ExitCancelled, "cancelled"},
+		{errors.New("unclassified"), ExitFailure, "unclassified"},
+	}
+	for _, c := range cases {
+		code, msg := ErrorReport(c.err)
+		if code != c.code {
+			t.Errorf("ErrorReport(%v) code = %d, want %d", c.err, code, c.code)
+		}
+		if !strings.Contains(msg, c.want) {
+			t.Errorf("ErrorReport(%v) msg = %q, want substring %q", c.err, msg, c.want)
+		}
+	}
+	// The stall report carries the structured context an operator needs.
+	_, msg := ErrorReport(stall)
+	for _, frag := range []string{"node 2", "awaiting node 1", "tag=7", "-stall-timeout"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("stall message %q missing %q", msg, frag)
+		}
 	}
 }

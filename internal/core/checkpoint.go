@@ -7,17 +7,50 @@ import (
 	"repro/internal/obs"
 )
 
-// checkpointStore is the cluster's stand-in for stable storage: it holds
-// the last globally consistent superstep snapshot across run failures
-// and transport resets. A checkpoint at iteration k commits only once
-// every machine has saved its blob for k — a two-phase rule that keeps a
-// crash landing mid-save from leaving a torn snapshot. Earlier staged
-// iterations and anything at or below the new commit are discarded.
+// CheckpointStats summarizes a store's lifetime activity.
+type CheckpointStats struct {
+	// Saved counts blobs accepted, Commits iterations fully committed,
+	// Restores blobs handed back to recovering workers.
+	Saved, Commits, Restores int64
+	// CommittedIter is the last globally consistent iteration, -1 when
+	// no checkpoint has committed yet.
+	CommittedIter int
+}
+
+// CheckpointStore is stable storage for superstep snapshots. The engine
+// enforces a two-phase rule through it: Save stages one node's blob for
+// an iteration, and the iteration commits only once every member node
+// has saved it, so a crash landing mid-save can never leave a torn
+// snapshot visible to Restore.
 //
-// In a genuinely distributed deployment the blobs would live on a
-// replicated store; the in-process cluster keeps them in the Cluster so
-// they survive the simulated machine death.
-type checkpointStore struct {
+// The default store (used whenever Options.Checkpoints is nil) keeps
+// blobs in process memory — they survive the simulated machine death of
+// a chaos run but not a real process death. FileCheckpointStore persists
+// them to a directory so a restarted process can resume.
+//
+// Implementations must be safe for concurrent use by the workers of a
+// run.
+type CheckpointStore interface {
+	// SetMembers declares the node IDs that must save an iteration
+	// before it commits. The cluster calls it once at construction.
+	SetMembers(members []int)
+	// Save stages node's blob for iteration iter; the store takes
+	// ownership of blob. Saves at or below the committed iteration are
+	// ignored (a straggler re-saving the past after a restore).
+	Save(node, iter int, blob []byte)
+	// Restore returns node's blob at the last committed iteration, or
+	// ok=false when nothing has committed.
+	Restore(node int) (iter int, blob []byte, ok bool)
+	// Clear discards every staged and committed snapshot.
+	Clear()
+	// Stats reports lifetime counters.
+	Stats() CheckpointStats
+}
+
+// memCheckpointStore is the cluster's default stand-in for stable
+// storage: it holds the last globally consistent superstep snapshot
+// across run failures and transport resets, in process memory.
+type memCheckpointStore struct {
 	mu            sync.Mutex
 	members       []int // node IDs that must save before an iter commits
 	committedIter int
@@ -29,17 +62,24 @@ type checkpointStore struct {
 	restores int64 // blobs handed back
 }
 
-func newCheckpointStore(members []int) *checkpointStore {
-	return &checkpointStore{
-		members:       append([]int(nil), members...),
+// NewMemCheckpointStore returns the default in-memory store.
+func NewMemCheckpointStore() CheckpointStore {
+	return &memCheckpointStore{
 		committedIter: -1,
 		staging:       make(map[int]map[int][]byte),
 	}
 }
 
-// save stages node's blob for iteration iter and commits the iteration
-// when every member has saved it. The store takes ownership of blob.
-func (s *checkpointStore) save(node, iter int, blob []byte) {
+// SetMembers declares the committing quorum.
+func (s *memCheckpointStore) SetMembers(members []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members = append([]int(nil), members...)
+}
+
+// Save stages node's blob for iteration iter and commits the iteration
+// when every member has saved it.
+func (s *memCheckpointStore) Save(node, iter int, blob []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if iter <= s.committedIter {
@@ -67,8 +107,8 @@ func (s *checkpointStore) save(node, iter int, blob []byte) {
 	}
 }
 
-// restore returns node's blob at the last committed iteration.
-func (s *checkpointStore) restore(node int) (iter int, blob []byte, ok bool) {
+// Restore returns node's blob at the last committed iteration.
+func (s *memCheckpointStore) Restore(node int) (iter int, blob []byte, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.committedIter < 0 {
@@ -78,9 +118,8 @@ func (s *checkpointStore) restore(node int) (iter int, blob []byte, ok bool) {
 	return s.committedIter, s.committed[node], true
 }
 
-// clear empties the store for a fresh program. Called at the top of a
-// run, not between recovery attempts of the same program.
-func (s *checkpointStore) clear() {
+// Clear empties the store for a fresh program.
+func (s *memCheckpointStore) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.committedIter = -1
@@ -88,10 +127,11 @@ func (s *checkpointStore) clear() {
 	s.staging = make(map[int]map[int][]byte)
 }
 
-func (s *checkpointStore) stats() (saved, commits, restores int64, committedIter int) {
+// Stats reports lifetime counters.
+func (s *memCheckpointStore) Stats() CheckpointStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.saved, s.commits, s.restores, s.committedIter
+	return CheckpointStats{Saved: s.saved, Commits: s.commits, Restores: s.restores, CommittedIter: s.committedIter}
 }
 
 // Checkpoint is a worker's handle on superstep checkpointing. Programs
@@ -128,7 +168,7 @@ func (c Checkpoint) Save(iter int, blob []byte) {
 		return
 	}
 	start := c.w.spanStart()
-	c.w.cluster.ckpt.save(c.w.id, iter, blob)
+	c.w.cluster.ckpt.Save(c.w.id, iter, blob)
 	c.w.endSpan(obs.PhaseCheckpoint, iter, -1, -1, start)
 }
 
@@ -140,7 +180,7 @@ func (c Checkpoint) Restore() (iter int, blob []byte, ok bool) {
 		return 0, nil, false
 	}
 	start := time.Now()
-	iter, blob, ok = c.w.cluster.ckpt.restore(c.w.id)
+	iter, blob, ok = c.w.cluster.ckpt.Restore(c.w.id)
 	if ok && c.w.tr != nil {
 		c.w.tr.Record(c.w.id, obs.PhaseRecovery, iter, -1, -1, start, time.Since(start))
 	}

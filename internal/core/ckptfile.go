@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileCheckpointStore is a CheckpointStore backed by a directory of
+// blobs — the external stable storage DESIGN.md §5 names as the gap the
+// in-memory store leaves: snapshots that survive a real process death,
+// so a restarted daemon (sgserve) can resume a long query from its last
+// committed superstep instead of starting over.
+//
+// Layout:
+//
+//	dir/TAG         program identity (see SetTag)
+//	dir/CURRENT     committed iteration number, the commit pointer
+//	dir/iter-<k>/node-<n>.ckpt   one blob per (iteration, node)
+//
+// Every write is write-to-temp + atomic rename, and the commit itself
+// is a single rename of CURRENT — readers either see the previous
+// consistent snapshot or the new one, never a torn mix. An iteration
+// commits once every member node's blob is on disk, at which point
+// older iteration directories are discarded.
+//
+// I/O errors never fail the engine (Save is fire-and-forget, like the
+// in-memory store); a failed save simply leaves the iteration
+// uncommitted, and the first error is retained for Err.
+type FileCheckpointStore struct {
+	dir string
+
+	mu            sync.Mutex
+	members       []int
+	committedIter int
+	staged        map[int]map[int]bool // iter → node → blob on disk
+	firstErr      error
+
+	saved    int64
+	commits  int64
+	restores int64
+}
+
+// NewFileCheckpointStore opens (creating if needed) a file-backed store
+// rooted at dir. An existing CURRENT pointer and any staged iteration
+// directories are adopted, so a store reopened after a process death
+// resumes exactly where the previous incarnation committed.
+func NewFileCheckpointStore(dir string) (*FileCheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	s := &FileCheckpointStore{
+		dir:           dir,
+		committedIter: -1,
+		staged:        make(map[int]map[int]bool),
+	}
+	if b, err := os.ReadFile(s.currentPath()); err == nil {
+		if it, err := strconv.Atoi(strings.TrimSpace(string(b))); err == nil && it >= 0 {
+			s.committedIter = it
+		}
+	}
+	// Rebuild the staging index from iteration directories newer than
+	// the commit, so a partially saved iteration can still complete.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "iter-") {
+			continue
+		}
+		it, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "iter-"))
+		if err != nil || it <= s.committedIter {
+			continue
+		}
+		blobs, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		nodes := make(map[int]bool)
+		for _, be := range blobs {
+			name := be.Name()
+			if !strings.HasPrefix(name, "node-") || !strings.HasSuffix(name, ".ckpt") {
+				continue
+			}
+			n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "node-"), ".ckpt"))
+			if err == nil {
+				nodes[n] = true
+			}
+		}
+		if len(nodes) > 0 {
+			s.staged[it] = nodes
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileCheckpointStore) Dir() string { return s.dir }
+
+func (s *FileCheckpointStore) currentPath() string { return filepath.Join(s.dir, "CURRENT") }
+func (s *FileCheckpointStore) tagPath() string     { return filepath.Join(s.dir, "TAG") }
+func (s *FileCheckpointStore) iterDir(iter int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("iter-%d", iter))
+}
+func (s *FileCheckpointStore) blobPath(iter, node int) string {
+	return filepath.Join(s.iterDir(iter), fmt.Sprintf("node-%d.ckpt", node))
+}
+
+// writeAtomic writes data to path via a temp file and rename, so a
+// crash mid-write leaves either the old content or the new, never a
+// truncated file.
+func (s *FileCheckpointStore) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// fail records the store's first I/O error.
+func (s *FileCheckpointStore) fail(err error) {
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+}
+
+// Err returns the first I/O error the store swallowed (Save never fails
+// the engine), nil when everything landed.
+func (s *FileCheckpointStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// SetMembers declares the committing quorum.
+func (s *FileCheckpointStore) SetMembers(members []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members = append([]int(nil), members...)
+}
+
+// SetTag binds the store to a program identity (e.g. a canonical query
+// key). When the directory already carries a different tag, every
+// snapshot in it is discarded first — a reused directory never resumes
+// the wrong program. Returns true when the existing content was kept
+// (same tag), false when it was wiped or the tag is new.
+func (s *FileCheckpointStore) SetTag(tag string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, err := os.ReadFile(s.tagPath())
+	same := err == nil && string(old) == tag
+	if !same {
+		s.clearLocked()
+		if err := s.writeAtomic(s.tagPath(), []byte(tag)); err != nil {
+			s.fail(err)
+		}
+	}
+	return same
+}
+
+// Save writes node's blob for iteration iter and commits the iteration
+// when every member's blob is on disk.
+func (s *FileCheckpointStore) Save(node, iter int, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if iter <= s.committedIter {
+		return
+	}
+	if err := os.MkdirAll(s.iterDir(iter), 0o755); err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.writeAtomic(s.blobPath(iter, node), blob); err != nil {
+		s.fail(err)
+		return
+	}
+	nodes, ok := s.staged[iter]
+	if !ok {
+		nodes = make(map[int]bool, len(s.members))
+		s.staged[iter] = nodes
+	}
+	nodes[node] = true
+	s.saved++
+	for _, m := range s.members {
+		if !nodes[m] {
+			return
+		}
+	}
+	// All members saved: move the commit pointer, then prune history.
+	if err := s.writeAtomic(s.currentPath(), []byte(strconv.Itoa(iter))); err != nil {
+		s.fail(err)
+		return
+	}
+	prev := s.committedIter
+	s.committedIter = iter
+	s.commits++
+	for k := range s.staged {
+		if k <= iter {
+			delete(s.staged, k)
+		}
+	}
+	for k := prev; k < iter; k++ {
+		os.RemoveAll(s.iterDir(k))
+	}
+}
+
+// Restore reads node's blob at the last committed iteration.
+func (s *FileCheckpointStore) Restore(node int) (iter int, blob []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.committedIter < 0 {
+		return 0, nil, false
+	}
+	b, err := os.ReadFile(s.blobPath(s.committedIter, node))
+	if err != nil {
+		s.fail(err)
+		return 0, nil, false
+	}
+	s.restores++
+	return s.committedIter, b, true
+}
+
+// Clear discards every snapshot (the TAG survives).
+func (s *FileCheckpointStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clearLocked()
+}
+
+func (s *FileCheckpointStore) clearLocked() {
+	os.Remove(s.currentPath())
+	entries, _ := os.ReadDir(s.dir)
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "iter-") {
+			os.RemoveAll(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	s.committedIter = -1
+	s.staged = make(map[int]map[int]bool)
+}
+
+// Stats reports lifetime counters of this store instance (a reopened
+// store starts its counters fresh but adopts the committed iteration).
+func (s *FileCheckpointStore) Stats() CheckpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CheckpointStats{Saved: s.saved, Commits: s.commits, Restores: s.restores, CommittedIter: s.committedIter}
+}

@@ -40,9 +40,15 @@ type Cluster struct {
 	poisonMu sync.Mutex
 	poisoned error
 
-	ckpt     *checkpointStore // nil when Options.CheckpointEvery == 0
-	restarts atomic.Int64     // recovery re-runs performed
-	stalls   atomic.Int64     // StallErrors raised by workers
+	// baseCtx, when set, governs the context-less entry points (Run,
+	// Execute): a serving layer leases the cluster, binds the request's
+	// deadline here, and every algorithm call inherits it unchanged.
+	baseMu  sync.Mutex
+	baseCtx context.Context
+
+	ckpt     CheckpointStore // nil when Options.CheckpointEvery == 0
+	restarts atomic.Int64    // recovery re-runs performed
+	stalls   atomic.Int64    // StallErrors raised by workers
 }
 
 // RunStats aggregates one Run's work and traffic across all machines.
@@ -169,10 +175,21 @@ func NewCluster(g *graph.Graph, opts Options) (*Cluster, error) {
 	} else {
 		c.buildMemTransport()
 	}
-	if opts.CheckpointEvery > 0 {
-		c.ckpt = newCheckpointStore(c.localNodes())
-	}
+	c.initCheckpoints()
 	return c, nil
+}
+
+// initCheckpoints binds the configured (or default in-memory)
+// checkpoint store to this cluster's quorum.
+func (c *Cluster) initCheckpoints() {
+	if c.opts.CheckpointEvery <= 0 {
+		return
+	}
+	c.ckpt = c.opts.Checkpoints
+	if c.ckpt == nil {
+		c.ckpt = NewMemCheckpointStore()
+	}
+	c.ckpt.SetMembers(c.localNodes())
 }
 
 // buildMemTransport (re)creates the cluster-owned memory transport,
@@ -228,9 +245,7 @@ func NewDistributedNode(g *graph.Graph, opts Options, ep comm.Endpoint) (*Cluste
 		ep = opts.Fault.WrapOne(ep)
 	}
 	c.endpoints[id] = ep
-	if opts.CheckpointEvery > 0 {
-		c.ckpt = newCheckpointStore(c.localNodes())
-	}
+	c.initCheckpoints()
 	return c, nil
 }
 
@@ -261,7 +276,48 @@ func (c *Cluster) Close() error {
 // surviving machines' pending receives return instead of hanging — and
 // subsequent Runs return a *PoisonedError until Reset re-forms it.
 func (c *Cluster) Run(prog func(w *Worker) error) error {
-	return c.RunContext(context.Background(), prog)
+	return c.RunContext(c.base(), prog)
+}
+
+// SetBaseContext installs the context that governs the context-less
+// entry points Run and Execute (nil restores the default,
+// context.Background). A serving layer leases the cluster, binds the
+// request's deadline here before dispatching an algorithm — whose
+// internal Execute calls then inherit the deadline — and clears it on
+// release. Must not be called while a run is in progress.
+func (c *Cluster) SetBaseContext(ctx context.Context) {
+	c.baseMu.Lock()
+	c.baseCtx = ctx
+	c.baseMu.Unlock()
+}
+
+// base returns the installed base context, defaulting to Background.
+func (c *Cluster) base() context.Context {
+	c.baseMu.Lock()
+	defer c.baseMu.Unlock()
+	if c.baseCtx != nil {
+		return c.baseCtx
+	}
+	return context.Background()
+}
+
+// clearCkpt discards prior snapshots at the top of a fresh program,
+// unless Options.ResumeCheckpoints asked to adopt them (a restarted
+// process resuming a persistent FileCheckpointStore).
+func (c *Cluster) clearCkpt() {
+	if c.ckpt != nil && !c.opts.ResumeCheckpoints {
+		c.ckpt.Clear()
+	}
+}
+
+// ClearCheckpoints explicitly discards the cluster's checkpoint store.
+// Callers running with Options.ResumeCheckpoints use it between
+// different programs on a reused cluster, so one query's snapshots
+// never leak into the next.
+func (c *Cluster) ClearCheckpoints() {
+	if c.ckpt != nil {
+		c.ckpt.Clear()
+	}
 }
 
 // RunContext is Run with cooperative cancellation: when ctx is cancelled
@@ -269,9 +325,7 @@ func (c *Cluster) Run(prog func(w *Worker) error) error {
 // and RunContext returns ctx's error once all workers have exited. The
 // cluster then needs a Reset like any other failed run.
 func (c *Cluster) RunContext(ctx context.Context, prog func(w *Worker) error) error {
-	if c.ckpt != nil {
-		c.ckpt.clear() // a fresh program must not restore its predecessor's state
-	}
+	c.clearCkpt() // a fresh program must not restore its predecessor's state
 	return c.runOnce(ctx, prog)
 }
 
@@ -281,7 +335,7 @@ func (c *Cluster) RunContext(ctx context.Context, prog func(w *Worker) error) er
 // governs every entry point uniformly.
 func (c *Cluster) Execute(prog func(w *Worker) error) error {
 	if c.opts.MaxRestarts > 0 {
-		_, err := c.RunWithRecovery(context.Background(), prog)
+		_, err := c.RunWithRecovery(c.base(), prog)
 		return err
 	}
 	return c.Run(prog)
@@ -294,9 +348,7 @@ func (c *Cluster) Execute(prog func(w *Worker) error) error {
 // last committed superstep snapshot; others simply start over. Returns
 // the number of restarts performed alongside the final error.
 func (c *Cluster) RunWithRecovery(ctx context.Context, prog func(w *Worker) error) (restarts int, err error) {
-	if c.ckpt != nil {
-		c.ckpt.clear()
-	}
+	c.clearCkpt()
 	for attempt := 0; ; attempt++ {
 		err = c.runOnce(ctx, prog)
 		if err == nil || ctx.Err() != nil || !IsRecoverable(err) || attempt >= c.opts.MaxRestarts {
@@ -307,10 +359,37 @@ func (c *Cluster) RunWithRecovery(ctx context.Context, prog func(w *Worker) erro
 			return attempt, fmt.Errorf("core: recovering from %q: %w", err, rerr)
 		}
 		c.restarts.Add(1)
-		if c.opts.Tracer != nil {
-			c.opts.Tracer.Record(0, obs.PhaseRecovery, attempt, -1, -1, start, time.Since(start))
+		if tr := c.tracer(); tr != nil {
+			tr.Record(0, obs.PhaseRecovery, attempt, -1, -1, start, time.Since(start))
 		}
 	}
+}
+
+// Poisoned returns the error of the failed run that poisoned the
+// cluster, or nil when the cluster is healthy. A pool that leases
+// clusters checks it on release: a poisoned cluster needs Reset (or
+// replacement) before it can serve again.
+func (c *Cluster) Poisoned() error {
+	c.poisonMu.Lock()
+	defer c.poisonMu.Unlock()
+	return c.poisoned
+}
+
+// SetTracer replaces the tracer subsequent runs record into — the
+// per-request trace-capture hook: a serving layer attaches a fresh
+// capturing tracer for one query and restores the shared one after.
+// Must not be called while a run is in progress.
+func (c *Cluster) SetTracer(tr *obs.Tracer) {
+	c.statsMu.Lock()
+	c.opts.Tracer = tr
+	c.statsMu.Unlock()
+}
+
+// tracer returns the current tracer (nil is a valid disabled tracer).
+func (c *Cluster) tracer() *obs.Tracer {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.opts.Tracer
 }
 
 // Reset re-forms a poisoned cluster: the old transport is torn down, a
@@ -355,13 +434,14 @@ func (c *Cluster) runOnce(ctx context.Context, prog func(w *Worker) error) error
 	errs := make([]error, c.opts.NumNodes)
 	start := time.Now()
 	done := make(chan int, len(nodes))
+	runTracer := c.tracer()
 	for _, i := range nodes {
 		workers[i] = &Worker{
 			cluster: c,
 			id:      i,
 			ep:      c.endpoints[i],
 			layout:  c.layouts[i],
-			tr:      c.opts.Tracer,
+			tr:      runTracer,
 		}
 		go func(i int) {
 			defer func() {
@@ -472,6 +552,7 @@ func (c *Cluster) Stats() StatsSnapshot {
 	totals := c.lastStats
 	nodes := make([]NodeRunStats, len(c.lastNodes))
 	copy(nodes, c.lastNodes)
+	tr := c.opts.Tracer
 	c.statsMu.Unlock()
 	var warnings []string
 	if len(c.opts.warnings) > 0 {
@@ -480,7 +561,7 @@ func (c *Cluster) Stats() StatsSnapshot {
 	return StatsSnapshot{
 		Totals:   totals,
 		Nodes:    nodes,
-		Phases:   c.opts.Tracer.Summaries(),
+		Phases:   tr.Summaries(),
 		Warnings: warnings,
 		Restarts: c.restarts.Load(),
 		Stalls:   c.stalls.Load(),
@@ -512,15 +593,15 @@ func (c *Cluster) RegisterMetrics(r *obs.Registry) {
 	r.Set("config.buffers", c.opts.NumBuffers)
 	r.Set("config.workers", c.opts.Workers)
 	r.Set("config.warnings", append([]string(nil), c.opts.warnings...))
-	r.RegisterTracer("phases", c.opts.Tracer)
+	r.RegisterTracer("phases", c.tracer())
 	r.RegisterInt("resilience.restarts", func() int64 { return c.restarts.Load() })
 	r.RegisterInt("resilience.stalls", func() int64 { return c.stalls.Load() })
 	if c.ckpt != nil {
 		ck := c.ckpt
-		r.RegisterInt("resilience.checkpoint.saved", func() int64 { s, _, _, _ := ck.stats(); return s })
-		r.RegisterInt("resilience.checkpoint.commits", func() int64 { _, cm, _, _ := ck.stats(); return cm })
-		r.RegisterInt("resilience.checkpoint.restores", func() int64 { _, _, rs, _ := ck.stats(); return rs })
-		r.RegisterInt("resilience.checkpoint.committed_iter", func() int64 { _, _, _, it := ck.stats(); return int64(it) })
+		r.RegisterInt("resilience.checkpoint.saved", func() int64 { return ck.Stats().Saved })
+		r.RegisterInt("resilience.checkpoint.commits", func() int64 { return ck.Stats().Commits })
+		r.RegisterInt("resilience.checkpoint.restores", func() int64 { return ck.Stats().Restores })
+		r.RegisterInt("resilience.checkpoint.committed_iter", func() int64 { return int64(ck.Stats().CommittedIter) })
 	}
 	if plan := c.opts.Fault; plan != nil {
 		r.RegisterInt("fault.delays", func() int64 { return plan.Counters().Delays })

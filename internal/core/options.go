@@ -107,6 +107,17 @@ type Options struct {
 	// iterations, and a recovered run resumes from the last snapshot
 	// every machine completed. 0 disables checkpointing.
 	CheckpointEvery int
+	// Checkpoints selects the stable storage snapshots land in. nil
+	// selects the default in-memory store, which survives simulated
+	// machine deaths but not a process death; a FileCheckpointStore
+	// persists across restarts. Ignored when CheckpointEvery is 0.
+	Checkpoints CheckpointStore
+	// ResumeCheckpoints keeps the engine from clearing the checkpoint
+	// store at the top of a program: the first Restore then adopts
+	// whatever a previous process incarnation committed. Callers that
+	// reuse one cluster for different programs must ClearCheckpoints
+	// between them (or retag a FileCheckpointStore).
+	ResumeCheckpoints bool
 	// MaxRestarts is how many times Execute/RunWithRecovery re-forms
 	// the cluster and re-runs a program after a recoverable failure
 	// (stall, peer loss, injected fault). 0 disables recovery: Execute

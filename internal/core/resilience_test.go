@@ -182,46 +182,55 @@ func TestExecuteHonorsMaxRestarts(t *testing.T) {
 	}
 }
 
-// TestCheckpointStoreTwoPhaseCommit exercises the store directly:
-// partial saves stay staged, an iteration commits only when every member
-// has saved it, stragglers re-saving a committed iteration are ignored,
-// and clear forgets everything.
+// TestCheckpointStoreTwoPhaseCommit exercises both store
+// implementations directly: partial saves stay staged, an iteration
+// commits only when every member has saved it, stragglers re-saving a
+// committed iteration are ignored, and Clear forgets everything.
 func TestCheckpointStoreTwoPhaseCommit(t *testing.T) {
-	s := newCheckpointStore([]int{0, 1, 2})
+	stores := map[string]CheckpointStore{"mem": NewMemCheckpointStore()}
+	if fs, err := NewFileCheckpointStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	} else {
+		stores["file"] = fs
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			s.SetMembers([]int{0, 1, 2})
 
-	s.save(0, 2, []byte("a0"))
-	s.save(1, 2, []byte("a1"))
-	if _, _, ok := s.restore(0); ok {
-		t.Fatal("partial save committed")
-	}
-	s.save(2, 2, []byte("a2"))
-	iter, blob, ok := s.restore(1)
-	if !ok || iter != 2 || !bytes.Equal(blob, []byte("a1")) {
-		t.Fatalf("restore(1) = (%d, %q, %v), want (2, a1, true)", iter, blob, ok)
-	}
+			s.Save(0, 2, []byte("a0"))
+			s.Save(1, 2, []byte("a1"))
+			if _, _, ok := s.Restore(0); ok {
+				t.Fatal("partial save committed")
+			}
+			s.Save(2, 2, []byte("a2"))
+			iter, blob, ok := s.Restore(1)
+			if !ok || iter != 2 || !bytes.Equal(blob, []byte("a1")) {
+				t.Fatalf("Restore(1) = (%d, %q, %v), want (2, a1, true)", iter, blob, ok)
+			}
 
-	// A straggler re-saving the committed iteration must not regress it.
-	s.save(0, 2, []byte("stale"))
-	if _, blob, _ := s.restore(0); !bytes.Equal(blob, []byte("a0")) {
-		t.Fatalf("straggler overwrote committed blob: %q", blob)
-	}
+			// A straggler re-saving the committed iteration must not regress it.
+			s.Save(0, 2, []byte("stale"))
+			if _, blob, _ := s.Restore(0); !bytes.Equal(blob, []byte("a0")) {
+				t.Fatalf("straggler overwrote committed blob: %q", blob)
+			}
 
-	// A newer iteration supersedes, and older staging is pruned.
-	s.save(0, 4, []byte("b0"))
-	s.save(1, 4, []byte("b1"))
-	s.save(2, 4, []byte("b2"))
-	if iter, _, _ := s.restore(2); iter != 4 {
-		t.Fatalf("committed iter = %d, want 4", iter)
-	}
+			// A newer iteration supersedes, and older staging is pruned.
+			s.Save(0, 4, []byte("b0"))
+			s.Save(1, 4, []byte("b1"))
+			s.Save(2, 4, []byte("b2"))
+			if iter, _, _ := s.Restore(2); iter != 4 {
+				t.Fatalf("committed iter = %d, want 4", iter)
+			}
 
-	s.clear()
-	if _, _, ok := s.restore(0); ok {
-		t.Fatal("restore after clear succeeded")
-	}
-	saved, commits, restores, committed := s.stats()
-	if saved == 0 || commits != 2 || restores == 0 || committed != -1 {
-		t.Fatalf("stats = (%d, %d, %d, %d), want saves and 2 commits recorded, committed=-1",
-			saved, commits, restores, committed)
+			s.Clear()
+			if _, _, ok := s.Restore(0); ok {
+				t.Fatal("Restore after Clear succeeded")
+			}
+			st := s.Stats()
+			if st.Saved == 0 || st.Commits != 2 || st.Restores == 0 || st.CommittedIter != -1 {
+				t.Fatalf("Stats = %+v, want saves and 2 commits recorded, committed=-1", st)
+			}
+		})
 	}
 }
 

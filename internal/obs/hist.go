@@ -44,13 +44,14 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // HistSnapshot is an immutable summary of a histogram: span count,
-// total time, approximate p50/p95 (bucket midpoints), and the exact
+// total time, approximate p50/p95/p99 (bucket midpoints), and the exact
 // maximum.
 type HistSnapshot struct {
 	Count int64
 	Sum   time.Duration
 	P50   time.Duration
 	P95   time.Duration
+	P99   time.Duration
 	Max   time.Duration
 }
 
@@ -80,8 +81,25 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	s.P50 = quantile(counts[:], total, 0.50)
 	s.P95 = quantile(counts[:], total, 0.95)
-	if s.P95 > s.Max && s.Max > 0 {
-		s.P95 = s.Max
+	s.P99 = quantile(counts[:], total, 0.99)
+	// A bucket midpoint can overshoot the true maximum; no quantile
+	// should ever exceed it (or an estimate of a higher quantile).
+	if s.Max > 0 {
+		if s.P50 > s.Max {
+			s.P50 = s.Max
+		}
+		if s.P95 > s.Max {
+			s.P95 = s.Max
+		}
+		if s.P99 > s.Max {
+			s.P99 = s.Max
+		}
+	}
+	if s.P95 < s.P50 {
+		s.P95 = s.P50
+	}
+	if s.P99 < s.P95 {
+		s.P99 = s.P95
 	}
 	return s
 }

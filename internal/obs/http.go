@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // NewDebugMux builds the engine's debug handler:
@@ -51,13 +52,19 @@ func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 // DebugServer is a running debug HTTP endpoint.
 type DebugServer struct {
 	// Addr is the server's resolved listen address (host:port).
-	Addr string
-	ln   net.Listener
-	srv  *http.Server
+	Addr    string
+	ln      net.Listener
+	srv     *http.Server
+	serveMu sync.Mutex
+	served  error // Serve's exit error, nil while running or after a clean Close
 }
 
 // StartDebugServer listens on addr (":0" picks a free port) and serves
-// the debug mux in a background goroutine until Close.
+// the debug mux in a background goroutine until Close. A bind failure
+// (port in use, bad address) is returned here, synchronously — callers
+// must fail fast on it rather than run without their debug surface; an
+// error the serve loop hits later is retained and surfaced by Err and
+// Close.
 func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -68,9 +75,34 @@ func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, err
 		ln:   ln,
 		srv:  &http.Server{Handler: NewDebugMux(reg, tr)},
 	}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil // the Close lifecycle, not a failure
+		}
+		s.serveMu.Lock()
+		s.served = err
+		s.serveMu.Unlock()
+	}()
 	return s, nil
 }
 
-// Close shuts the server down.
-func (s *DebugServer) Close() error { return s.srv.Close() }
+// Err reports the error that stopped the serve loop, if any. Nil while
+// the server is running and after a clean Close.
+func (s *DebugServer) Err() error {
+	s.serveMu.Lock()
+	defer s.serveMu.Unlock()
+	return s.served
+}
+
+// Close shuts the server down and returns the first error of the
+// shutdown or — if the serve loop already died on its own — the error
+// that killed it, so a silently dead debug endpoint is noticed at the
+// latest on the tool's exit path.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	if serr := s.Err(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}

@@ -34,6 +34,9 @@ func TestHistogramQuantiles(t *testing.T) {
 	if s.P95 < 4*time.Millisecond || s.P95 > 32*time.Millisecond {
 		t.Fatalf("p95 %v not near 10ms", s.P95)
 	}
+	if s.P99 < s.P95 || s.P99 > s.Max {
+		t.Fatalf("p99 %v outside [p95 %v, max %v]", s.P99, s.P95, s.Max)
+	}
 	if want := 90*10*time.Microsecond + 10*10*time.Millisecond; s.Sum != want {
 		t.Fatalf("sum %v, want %v", s.Sum, want)
 	}
@@ -203,5 +206,28 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 	if body := get("/debug/pprof/cmdline"); body == "" {
 		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestDebugServerBindErrorIsSurfaced pins the fail-fast contract: a
+// second server on an occupied port must return the bind error to the
+// caller synchronously, never log-and-continue without its endpoint.
+func TestDebugServerBindErrorIsSurfaced(t *testing.T) {
+	s, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	dup, err := StartDebugServer(s.Addr, nil, nil)
+	if err == nil {
+		dup.Close()
+		t.Fatalf("second bind on %s succeeded", s.Addr)
+	}
+	if !strings.Contains(err.Error(), s.Addr) {
+		t.Fatalf("bind error %q does not name the address %s", err, s.Addr)
+	}
+	if s.Err() != nil {
+		t.Fatalf("healthy server reports Err %v", s.Err())
 	}
 }

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// resultCache is an LRU over computed responses, bounded both by entry
+// count and by total marshaled byte size so a handful of huge answers
+// can't monopolize memory. The engine is deterministic for a canonical
+// key, so entries never expire — they only age out.
+type resultCache struct {
+	mu         sync.Mutex
+	ll         *list.List // front = most recent
+	entries    map[string]*list.Element
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	resp Response
+	size int64 // marshaled size of resp, for the byte budget
+}
+
+// newResultCache builds a cache; maxEntries <= 0 disables caching
+// entirely (every Get misses, Put drops).
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &resultCache{
+		ll:         list.New(),
+		entries:    make(map[string]*list.Element),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+// Get returns the cached response for key, if any, and records the
+// hit/miss. The returned Response is a copy; callers stamp their own
+// Cached/QueueWaitMs fields without disturbing the entry.
+func (rc *resultCache) Get(key string) (Response, bool) {
+	rc.mu.Lock()
+	el, ok := rc.entries[key]
+	if ok {
+		rc.ll.MoveToFront(el)
+	}
+	var resp Response
+	if ok {
+		resp = el.Value.(*cacheEntry).resp
+	}
+	rc.mu.Unlock()
+	if ok {
+		rc.hits.Add(1)
+	} else {
+		rc.misses.Add(1)
+	}
+	return resp, ok
+}
+
+// Put stores resp under key, evicting least-recently-used entries until
+// both budgets hold. size is the marshaled byte length of resp.
+func (rc *resultCache) Put(key string, resp Response, size int64) {
+	if rc.maxEntries <= 0 {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		rc.bytes += size - ent.size
+		ent.resp, ent.size = resp, size
+		rc.ll.MoveToFront(el)
+	} else {
+		rc.entries[key] = rc.ll.PushFront(&cacheEntry{key: key, resp: resp, size: size})
+		rc.bytes += size
+	}
+	for rc.ll.Len() > rc.maxEntries || (rc.bytes > rc.maxBytes && rc.ll.Len() > 1) {
+		oldest := rc.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		rc.ll.Remove(oldest)
+		delete(rc.entries, ent.key)
+		rc.bytes -= ent.size
+		rc.evictions.Add(1)
+	}
+}
+
+// Len and Bytes report current occupancy.
+func (rc *resultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.ll.Len()
+}
+
+func (rc *resultCache) Bytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bytes
+}
+
+// RegisterMetrics exports the cache counters into reg under the
+// server.cache.* namespace.
+func (rc *resultCache) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterInt("server.cache.hits", rc.hits.Load)
+	reg.RegisterInt("server.cache.misses", rc.misses.Load)
+	reg.RegisterInt("server.cache.evictions", rc.evictions.Load)
+	reg.RegisterInt("server.cache.entries", func() int64 { return int64(rc.Len()) })
+	reg.RegisterInt("server.cache.bytes", rc.Bytes)
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestSustainedLoad is the serving acceptance test: 64 concurrent
+// clients against a two-graph server for 5 seconds must sustain zero
+// 5xx responses, a non-zero cache hit-rate, populated queue-wait and
+// engine-time histograms, and a clean drain that answers every
+// in-flight request.
+func TestSustainedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained load test skipped in -short mode")
+	}
+	s := testServer(t, Config{
+		Graphs: map[string]*graph.Graph{
+			"web":    testGraph(8, 1),
+			"social": testGraph(8, 2),
+		},
+		Engine:      core.Options{NumNodes: 2, Mode: core.ModeSympleGraph},
+		MaxInflight: 4,
+		MaxQueue:    64,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := bench.RunLoad(bench.LoadConfig{
+		BaseURL:  ts.URL,
+		Graphs:   []string{"web", "social"},
+		Clients:  64,
+		Duration: 5 * time.Second,
+		Seed:     2026,
+		Spread:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: %d requests, status=%v, hits=%d, transport errors=%d",
+		res.Requests, res.Status, res.CacheHits, res.TransportErrors)
+
+	if res.Requests == 0 || res.OK() == 0 {
+		t.Fatalf("no successful requests: %+v", res)
+	}
+	if res.TransportErrors > 0 {
+		t.Fatalf("%d transport errors under load", res.TransportErrors)
+	}
+	if n := res.ServerErrors(); n > 0 {
+		t.Fatalf("%d 5xx responses under load: %v", n, res.Status)
+	}
+
+	st := s.StatusSnapshot()
+	if st.Cache.HitRate <= 0 {
+		t.Fatalf("cache hit-rate %.3f, want > 0 (hits=%d misses=%d)",
+			st.Cache.HitRate, st.Cache.Hits, st.Cache.Misses)
+	}
+	var engineSpans, queueSpans int64
+	for name, as := range st.Algos {
+		engineSpans += as.Engine.Count
+		queueSpans += as.Queue.Count
+		if as.Engine.Count > 0 && (as.Engine.P50Ms <= 0 || as.Engine.P99Ms < as.Engine.P50Ms) {
+			t.Fatalf("%s engine histogram not populated: %+v", name, as.Engine)
+		}
+	}
+	if engineSpans == 0 || queueSpans == 0 {
+		t.Fatalf("histograms empty: engine=%d queue=%d", engineSpans, queueSpans)
+	}
+
+	// Drain under residual pressure: every accepted request answered.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after load: %v", err)
+	}
+}

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// graphVariant selects which derived form of a loaded graph an
+// algorithm runs on. Variants are built once per graph, on first use,
+// and shared by every pool slot.
+type graphVariant int
+
+const (
+	variantDirected   graphVariant = iota // the graph as loaded
+	variantUndirected                     // Symmetrize(g), for mis/kcore/kmeans
+	variantWeighted                       // RandomWeights(g, 7) when unweighted, for sssp
+)
+
+func (v graphVariant) String() string {
+	switch v {
+	case variantUndirected:
+		return "undirected"
+	case variantWeighted:
+		return "weighted"
+	default:
+		return "directed"
+	}
+}
+
+// graphInfo carries the graph-derived defaults canonicalization needs.
+type graphInfo struct {
+	vertices    int
+	edges       int64
+	defaultRoot int
+}
+
+// graphEntry is one loaded graph with its lazily built variants.
+type graphEntry struct {
+	name string
+	base *graph.Graph
+	info graphInfo
+
+	mu       sync.Mutex
+	variants map[graphVariant]*graph.Graph
+}
+
+func (e *graphEntry) variant(v graphVariant) *graph.Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g, ok := e.variants[v]; ok {
+		return g
+	}
+	g := e.base
+	switch v {
+	case variantUndirected:
+		g = graph.Symmetrize(e.base)
+	case variantWeighted:
+		if !e.base.Weighted() {
+			g = graph.RandomWeights(e.base, 7)
+		}
+	}
+	e.variants[v] = g
+	return g
+}
+
+// slot is one leased unit: a warm cluster plus its private checkpoint
+// store (file-backed when the pool has a checkpoint root).
+type slot struct {
+	c  *core.Cluster
+	fs *core.FileCheckpointStore // nil when checkpointing is in-memory
+	id int
+}
+
+// poolEntry is the free list for one (graph, variant, mode) triple. Clusters
+// are built lazily — the first lease pays partition cost, later leases
+// reuse warm slots — up to the pool's per-entry cap.
+type poolEntry struct {
+	free  chan *slot
+	mu    sync.Mutex
+	built int
+}
+
+// PoolConfig configures the cluster pool.
+type PoolConfig struct {
+	// Graphs maps serving names to loaded graphs.
+	Graphs map[string]*graph.Graph
+	// Engine is the base engine configuration every cluster is built
+	// with; Checkpoints/ResumeCheckpoints/Tracer are managed per slot.
+	Engine core.Options
+	// SlotsPerEntry caps concurrent clusters per (graph, variant).
+	SlotsPerEntry int
+	// CheckpointRoot, when set, gives each slot a file-backed
+	// checkpoint store under CheckpointRoot/slot-<id>, so an engine
+	// recovery — or a restarted daemon re-issued the same query —
+	// resumes from the last committed superstep.
+	CheckpointRoot string
+	// Tracer is the shared tracer slots record into when no
+	// per-request capture is active.
+	Tracer *obs.Tracer
+}
+
+// Pool owns the warm clusters the server leases per request.
+type Pool struct {
+	cfg     PoolConfig
+	graphs  map[string]*graphEntry
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	slots   []*slot // every slot ever built, for stats aggregation
+	nextID  int
+}
+
+// NewPool validates the configuration and indexes the graphs. Clusters
+// are not built yet; the first query for each (graph, variant) pays
+// that cost.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, fmt.Errorf("server: pool needs at least one graph")
+	}
+	if cfg.SlotsPerEntry <= 0 {
+		cfg.SlotsPerEntry = 1
+	}
+	p := &Pool{
+		cfg:     cfg,
+		graphs:  make(map[string]*graphEntry, len(cfg.Graphs)),
+		entries: make(map[string]*poolEntry),
+	}
+	for name, g := range cfg.Graphs {
+		root, _ := graph.LargestOutDegreeVertex(g)
+		p.graphs[name] = &graphEntry{
+			name: name,
+			base: g,
+			info: graphInfo{
+				vertices:    g.NumVertices(),
+				edges:       g.NumEdges(),
+				defaultRoot: int(root),
+			},
+			variants: map[graphVariant]*graph.Graph{variantDirected: g},
+		}
+	}
+	return p, nil
+}
+
+// Info returns the graph-derived defaults for name.
+func (p *Pool) Info(name string) (graphInfo, bool) {
+	e, ok := p.graphs[name]
+	if !ok {
+		return graphInfo{}, false
+	}
+	return e.info, true
+}
+
+// GraphNames lists the served graphs (unordered).
+func (p *Pool) GraphNames() []string {
+	names := make([]string, 0, len(p.graphs))
+	for n := range p.graphs {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (p *Pool) entry(graphName string, v graphVariant, mode core.Mode) *poolEntry {
+	key := fmt.Sprintf("%s/%v/%v", graphName, v, mode)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &poolEntry{free: make(chan *slot, p.cfg.SlotsPerEntry)}
+		p.entries[key] = e
+	}
+	return e
+}
+
+// Lease hands out a warm cluster for (graphName, variant), building one
+// if the entry has spare capacity, otherwise blocking until a slot is
+// released or ctx is done.
+func (p *Pool) Lease(ctx context.Context, graphName string, v graphVariant, mode core.Mode) (*slot, error) {
+	ge, ok := p.graphs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph %q", graphName)
+	}
+	e := p.entry(graphName, v, mode)
+
+	select {
+	case s := <-e.free:
+		return s, nil
+	default:
+	}
+	e.mu.Lock()
+	if e.built < p.cfg.SlotsPerEntry {
+		e.built++
+		e.mu.Unlock()
+		s, err := p.build(ge, v, mode)
+		if err != nil {
+			e.mu.Lock()
+			e.built--
+			e.mu.Unlock()
+			return nil, err
+		}
+		return s, nil
+	}
+	e.mu.Unlock()
+	select {
+	case s := <-e.free:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *Pool) build(ge *graphEntry, v graphVariant, mode core.Mode) (*slot, error) {
+	p.mu.Lock()
+	id := p.nextID
+	p.nextID++
+	p.mu.Unlock()
+
+	opts := p.cfg.Engine
+	opts.Mode = mode
+	opts.Tracer = p.cfg.Tracer
+	var fs *core.FileCheckpointStore
+	if p.cfg.CheckpointRoot != "" {
+		var err error
+		fs, err = core.NewFileCheckpointStore(filepath.Join(p.cfg.CheckpointRoot, fmt.Sprintf("slot-%d", id)))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint store for slot %d: %w", id, err)
+		}
+		opts.Checkpoints = fs
+		// The slot store is cleared by tag (one query's snapshots never
+		// leak into another), not at program start, so a restarted
+		// daemon re-running the same query resumes it.
+		opts.ResumeCheckpoints = true
+	}
+	c, err := core.NewCluster(ge.variant(v), opts)
+	if err != nil {
+		return nil, fmt.Errorf("building cluster for %s/%v: %w", ge.name, v, err)
+	}
+	s := &slot{c: c, fs: fs, id: id}
+	p.mu.Lock()
+	p.slots = append(p.slots, s)
+	p.mu.Unlock()
+	return s, nil
+}
+
+// BindQuery prepares the slot for one request: the request context
+// governs the run, a capturing tracer replaces the shared one when the
+// request asked for a trace, and the checkpoint store is re-tagged with
+// the query key — wiping snapshots of a different previous query,
+// keeping them when the same query is being resumed.
+func (s *slot) BindQuery(ctx context.Context, key string, tr *obs.Tracer) {
+	s.c.SetBaseContext(ctx)
+	if tr != nil {
+		s.c.SetTracer(tr)
+	}
+	if s.fs != nil {
+		s.fs.SetTag(key)
+	}
+}
+
+// Release returns the slot to its free list. A poisoned cluster (failed
+// run past its restart budget, cancelled deadline) is Reset first; if
+// the Reset itself fails the cluster is rebuilt from scratch, so the
+// pool never recycles a broken slot and a chaos failure never shrinks
+// serving capacity.
+func (p *Pool) Release(s *slot, graphName string, v graphVariant, mode core.Mode) {
+	s.c.SetBaseContext(nil)
+	s.c.SetTracer(p.cfg.Tracer)
+	if s.c.Poisoned() != nil {
+		if err := s.c.Reset(); err != nil {
+			s.c.Close()
+			if ge, ok := p.graphs[graphName]; ok {
+				if fresh, berr := p.build(ge, v, mode); berr == nil {
+					s = fresh
+				} else {
+					// Capacity shrinks by one slot; the next lease
+					// with spare room rebuilds it.
+					e := p.entry(graphName, v, mode)
+					e.mu.Lock()
+					e.built--
+					e.mu.Unlock()
+					return
+				}
+			}
+		}
+	}
+	e := p.entry(graphName, v, mode)
+	select {
+	case e.free <- s:
+	default:
+		// Free list full: a replacement was built while this slot was
+		// out (can't happen in the current accounting, but never block
+		// a release).
+		s.c.Close()
+	}
+}
+
+// Close tears down every idle cluster. Leased slots are abandoned; call
+// only after the server has drained.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		for {
+			select {
+			case s := <-e.free:
+				s.c.Close()
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// Restarts sums recovery restarts across every cluster the pool ever
+// built — the serving-level view of how much chaos the resilience loop
+// absorbed. Reading a leased cluster's stats mid-run is safe.
+func (p *Pool) Restarts() int64 {
+	p.mu.Lock()
+	slots := append([]*slot(nil), p.slots...)
+	p.mu.Unlock()
+	var total int64
+	for _, s := range slots {
+		total += s.c.Stats().Restarts
+	}
+	return total
+}
+
+// Slots reports how many clusters the pool has built.
+func (p *Pool) Slots() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.slots)
+}

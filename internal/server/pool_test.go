@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestPoolConcurrentLeasesMatchSequential leases two clusters from the
+// same pool and runs different algorithms on them simultaneously (run
+// under -race in `make race`): the slots must be fully isolated — the
+// concurrent results bit-identical to sequential runs of the same
+// queries.
+func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
+	g := testGraph(7, 3)
+	p, err := NewPool(PoolConfig{
+		Graphs:        map[string]*graph.Graph{"g": g},
+		Engine:        core.Options{NumNodes: 2, Mode: core.ModeSympleGraph},
+		SlotsPerEntry: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	mode := core.ModeSympleGraph
+
+	// Sequential baselines on dedicated clusters.
+	baseBFS, err := core.NewCluster(g, core.Options{NumNodes: 2, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseBFS.Close()
+	root, _ := graph.LargestOutDegreeVertex(g)
+	wantBFS, err := algorithms.BFS(baseBFS, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKC, err := core.NewCluster(graph.Symmetrize(g), core.Options{NumNodes: 2, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseKC.Close()
+	wantKC, err := algorithms.KCore(baseKC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent: two different algorithms on two leased slots, several
+	// rounds so the slots are recycled through Release in between.
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		s1, err := p.Lease(ctx, "g", variantDirected, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := p.Lease(ctx, "g", variantUndirected, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.c == s2.c {
+			t.Fatal("two live leases share a cluster")
+		}
+		var wg sync.WaitGroup
+		var gotBFS *algorithms.BFSResult
+		var gotKC *algorithms.KCoreResult
+		var err1, err2 error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			gotBFS, err1 = algorithms.BFS(s1.c, root)
+		}()
+		go func() {
+			defer wg.Done()
+			gotKC, err2 = algorithms.KCore(s2.c, 3)
+		}()
+		wg.Wait()
+		p.Release(s1, "g", variantDirected, mode)
+		p.Release(s2, "g", variantUndirected, mode)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("round %d: bfs err=%v kcore err=%v", round, err1, err2)
+		}
+		if !reflect.DeepEqual(gotBFS.Depth, wantBFS.Depth) || !reflect.DeepEqual(gotBFS.Parent, wantBFS.Parent) {
+			t.Fatalf("round %d: concurrent BFS diverged from sequential", round)
+		}
+		if !reflect.DeepEqual(gotKC.InCore, wantKC.InCore) {
+			t.Fatalf("round %d: concurrent KCore diverged from sequential", round)
+		}
+	}
+	// Both variants reuse warm clusters across rounds: 2 slots total.
+	if p.Slots() != 2 {
+		t.Fatalf("pool built %d clusters, want 2", p.Slots())
+	}
+}
+
+// TestPoolLeaseBlocksAtCapacity pins the capacity contract: a third
+// lease with 2 slots outstanding waits until one is released, and a
+// cancelled context unblocks it with ctx.Err().
+func TestPoolLeaseBlocksAtCapacity(t *testing.T) {
+	p, err := NewPool(PoolConfig{
+		Graphs:        map[string]*graph.Graph{"g": testGraph(6, 1)},
+		Engine:        core.Options{NumNodes: 2},
+		SlotsPerEntry: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	mode := core.ModeSympleGraph
+	ctx := context.Background()
+
+	s1, err := p.Lease(ctx, "g", variantDirected, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Lease(ctx, "g", variantDirected, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan *slot)
+	go func() {
+		s3, err := p.Lease(ctx, "g", variantDirected, mode)
+		if err != nil {
+			t.Errorf("blocked lease: %v", err)
+		}
+		done <- s3
+	}()
+	select {
+	case <-done:
+		t.Fatal("third lease did not block at capacity")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Release(s1, "g", variantDirected, mode)
+	s3 := <-done
+	if s3 == nil {
+		t.Fatal("no slot after release")
+	}
+	p.Release(s2, "g", variantDirected, mode)
+	p.Release(s3, "g", variantDirected, mode)
+
+	// At capacity with nothing released, a deadline unblocks the wait.
+	a, _ := p.Lease(ctx, "g", variantDirected, mode)
+	b, _ := p.Lease(ctx, "g", variantDirected, mode)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.Lease(cctx, "g", variantDirected, mode); err != context.Canceled {
+		t.Fatalf("cancelled lease: %v", err)
+	}
+	p.Release(a, "g", variantDirected, mode)
+	p.Release(b, "g", variantDirected, mode)
+
+	if _, err := p.Lease(ctx, "missing", variantDirected, mode); err == nil {
+		t.Fatal("unknown graph leased")
+	}
+}

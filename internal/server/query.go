@@ -1,0 +1,331 @@
+// Package server is the graph query service: a long-running daemon that
+// loads and partitions graphs once, keeps a pool of warm clusters, and
+// answers algorithm queries over HTTP. It layers admission control (a
+// bounded queue with backpressure), a result cache keyed by canonical
+// query parameters, and per-request engine scheduling — deadline, trace
+// capture, resilience — on top of the core engine, so one process can
+// serve many queries without re-paying graph load and partition cost.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Request is one algorithm query. Fields irrelevant to the requested
+// algorithm are ignored and zeroed by canonicalization so that, e.g.,
+// two BFS queries differing only in -k share a cache entry.
+type Request struct {
+	Graph   string `json:"graph"`
+	Algo    string `json:"algo"`
+	Mode    string `json:"mode"`    // symplegraph (default) or gemini
+	Root    int    `json:"root"`    // bfs/sssp; -1 = highest out-degree vertex
+	K       int    `json:"k"`       // kcore
+	Centers int    `json:"centers"` // kmeans; 0 = sqrt(|V|)
+	Iters   int    `json:"iters"`   // kmeans outer iterations / pagerank iterations
+	Rounds  int    `json:"rounds"`  // sampling
+	Seed    uint64 `json:"seed"`    // mis/kmeans/sampling
+
+	// Per-request scheduling knobs; never part of the cache key.
+	DeadlineMs int  `json:"deadline_ms"` // 0 = no per-request deadline
+	NoCache    bool `json:"no_cache"`    // bypass the result cache
+	Trace      bool `json:"trace"`       // capture a per-request phase trace
+}
+
+// algoNames is the fixed serving vocabulary; per-algo histograms and the
+// dispatch switch both range over it.
+var algoNames = []string{"bfs", "sssp", "kcore", "mis", "kmeans", "sampling", "pagerank", "cc"}
+
+func validAlgo(a string) bool {
+	for _, n := range algoNames {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+// parseRequest decodes a query from either the URL query string (GET)
+// or a JSON body (POST).
+func parseRequest(r *http.Request) (Request, error) {
+	if r.Method == http.MethodPost {
+		var q Request
+		q.Root = -1
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			return q, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return q, nil
+	}
+	return parseQueryValues(r.URL.Query())
+}
+
+func parseQueryValues(v url.Values) (Request, error) {
+	q := Request{Root: -1}
+	q.Graph = v.Get("graph")
+	q.Algo = v.Get("algo")
+	q.Mode = v.Get("mode")
+	var err error
+	geti := func(key string, dst *int) {
+		if s := v.Get(key); s != "" && err == nil {
+			n, e := strconv.Atoi(s)
+			if e != nil {
+				err = fmt.Errorf("bad %s=%q", key, s)
+				return
+			}
+			*dst = n
+		}
+	}
+	geti("root", &q.Root)
+	geti("k", &q.K)
+	geti("centers", &q.Centers)
+	geti("iters", &q.Iters)
+	geti("rounds", &q.Rounds)
+	geti("deadline_ms", &q.DeadlineMs)
+	if s := v.Get("seed"); s != "" && err == nil {
+		n, e := strconv.ParseUint(s, 10, 64)
+		if e != nil {
+			err = fmt.Errorf("bad seed=%q", s)
+		}
+		q.Seed = n
+	}
+	q.NoCache = v.Get("no_cache") == "1" || v.Get("no_cache") == "true"
+	q.Trace = v.Get("trace") == "1" || v.Get("trace") == "true"
+	return q, err
+}
+
+// canonicalize validates q against the loaded graph, fills defaults, and
+// zeroes every parameter the algorithm does not read, so the cache key
+// identifies the work actually performed. info supplies graph-derived
+// defaults (the fallback BFS root, |V| for the kmeans center count).
+func canonicalize(q Request, info graphInfo) (Request, error) {
+	if !validAlgo(q.Algo) {
+		return q, fmt.Errorf("unknown algo %q (want one of %v)", q.Algo, algoNames)
+	}
+	if q.Mode == "" {
+		q.Mode = "symplegraph"
+	}
+	if _, err := cliutil.ParseMode(q.Mode); err != nil {
+		return q, err
+	}
+
+	c := Request{Graph: q.Graph, Algo: q.Algo, Mode: q.Mode,
+		DeadlineMs: q.DeadlineMs, NoCache: q.NoCache, Trace: q.Trace}
+	switch q.Algo {
+	case "bfs", "sssp":
+		c.Root = q.Root
+		if c.Root < 0 {
+			c.Root = info.defaultRoot
+		}
+		if c.Root >= info.vertices {
+			return q, fmt.Errorf("root %d out of range (graph has %d vertices)", c.Root, info.vertices)
+		}
+	case "kcore":
+		c.K = q.K
+		if c.K <= 0 {
+			c.K = 8
+		}
+	case "mis":
+		c.Seed = defaultSeed(q.Seed)
+	case "kmeans":
+		c.Seed = defaultSeed(q.Seed)
+		c.Centers = q.Centers
+		if c.Centers <= 0 {
+			c.Centers = int(math.Sqrt(float64(info.vertices)))
+		}
+		c.Iters = q.Iters
+		if c.Iters <= 0 {
+			c.Iters = 3
+		}
+	case "sampling":
+		c.Seed = defaultSeed(q.Seed)
+		c.Rounds = q.Rounds
+		if c.Rounds <= 0 {
+			c.Rounds = 4
+		}
+	case "pagerank":
+		c.Iters = q.Iters
+		if c.Iters <= 0 {
+			c.Iters = 20
+		}
+	case "cc":
+		// graph and mode only
+	}
+	return c, nil
+}
+
+func defaultSeed(s uint64) uint64 {
+	if s == 0 {
+		return 42
+	}
+	return s
+}
+
+// cacheKey identifies the cache entry (and the checkpoint tag) for a
+// canonicalized request. Scheduling knobs are deliberately absent: a
+// traced query and an untraced one compute the same answer.
+func cacheKey(q Request) string {
+	return fmt.Sprintf("g=%s|algo=%s|mode=%s|root=%d|k=%d|centers=%d|iters=%d|rounds=%d|seed=%d",
+		q.Graph, q.Algo, q.Mode, q.Root, q.K, q.Centers, q.Iters, q.Rounds, q.Seed)
+}
+
+// variantFor maps an algorithm to the graph variant it runs on:
+// undirected algorithms need the symmetrized graph, SSSP a weighted one.
+func variantFor(algo string) graphVariant {
+	switch algo {
+	case "mis", "kcore", "kmeans":
+		return variantUndirected
+	case "sssp":
+		return variantWeighted
+	default:
+		return variantDirected
+	}
+}
+
+// Result is the algorithm-specific part of a response; only the fields
+// the queried algorithm produces are populated.
+type Result struct {
+	Reached       int     `json:"reached,omitempty"`         // bfs, sssp
+	TopDownSteps  int     `json:"top_down_steps,omitempty"`  // bfs
+	BottomUpSteps int     `json:"bottom_up_steps,omitempty"` // bfs
+	Size          int     `json:"size,omitempty"`            // mis, kcore
+	Rounds        int     `json:"rounds,omitempty"`          // mis, kcore
+	DistSums      []int64 `json:"dist_sums,omitempty"`       // kmeans
+	ExactPicks    int64   `json:"exact_picks,omitempty"`     // sampling
+	Components    int     `json:"components,omitempty"`      // cc
+	TopVertex     int     `json:"top_vertex,omitempty"`      // pagerank
+	TopRank       float64 `json:"top_rank,omitempty"`        // pagerank
+}
+
+// EngineStats is the paper's per-run metric set, attached to every
+// uncached response.
+type EngineStats struct {
+	EdgesTraversed  int64 `json:"edges_traversed"`
+	UpdateBytes     int64 `json:"update_bytes"`
+	DependencyBytes int64 `json:"dependency_bytes"`
+	ControlBytes    int64 `json:"control_bytes"`
+	Restarts        int64 `json:"restarts"`
+}
+
+// TraceSpan is one (node, phase) aggregate from a per-request capture.
+type TraceSpan struct {
+	Node  int     `json:"node"`
+	Phase string  `json:"phase"`
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Response is the full answer to one query.
+type Response struct {
+	Graph       string      `json:"graph"`
+	Algo        string      `json:"algo"`
+	Mode        string      `json:"mode"`
+	Result      Result      `json:"result"`
+	Engine      EngineStats `json:"engine"`
+	Cached      bool        `json:"cached"`
+	QueueWaitMs float64     `json:"queue_wait_ms"`
+	EngineMs    float64     `json:"engine_ms"`
+	Trace       []TraceSpan `json:"trace,omitempty"`
+}
+
+// runAlgorithm dispatches a canonicalized request on a leased cluster
+// and distills the algorithm's answer into the compact Result. The
+// cluster's graph is the variant variantFor(q.Algo) selected.
+func runAlgorithm(c *core.Cluster, q Request) (Result, error) {
+	var res Result
+	switch q.Algo {
+	case "bfs":
+		out, err := algorithms.BFS(c, graph.VertexID(q.Root))
+		if err != nil {
+			return res, err
+		}
+		for _, d := range out.Depth {
+			if d >= 0 {
+				res.Reached++
+			}
+		}
+		res.TopDownSteps, res.BottomUpSteps = out.TopDownSteps, out.BottomUpSteps
+	case "sssp":
+		dist, err := algorithms.SSSP(c, graph.VertexID(q.Root))
+		if err != nil {
+			return res, err
+		}
+		for _, d := range dist {
+			if d < algorithms.InfDist {
+				res.Reached++
+			}
+		}
+	case "kcore":
+		out, err := algorithms.KCore(c, q.K)
+		if err != nil {
+			return res, err
+		}
+		for _, in := range out.InCore {
+			if in {
+				res.Size++
+			}
+		}
+		res.Rounds = out.Rounds
+	case "mis":
+		out, err := algorithms.MIS(c, q.Seed)
+		if err != nil {
+			return res, err
+		}
+		for _, in := range out.InMIS {
+			if in {
+				res.Size++
+			}
+		}
+		res.Rounds = out.Rounds
+	case "kmeans":
+		out, err := algorithms.KMeans(c, q.Centers, q.Iters, q.Seed)
+		if err != nil {
+			return res, err
+		}
+		res.DistSums = out.DistSums
+		res.Rounds = out.Rounds
+	case "sampling":
+		out, err := algorithms.Sample(c, q.Seed, q.Rounds)
+		if err != nil {
+			return res, err
+		}
+		res.ExactPicks = out.ExactPicks
+		res.Rounds = q.Rounds
+	case "pagerank":
+		rank, err := algorithms.PageRank(c, q.Iters, 0.85)
+		if err != nil {
+			return res, err
+		}
+		for v, r := range rank {
+			if r > res.TopRank {
+				res.TopVertex, res.TopRank = v, r
+			}
+		}
+	case "cc":
+		labels, err := algorithms.ConnectedComponents(c)
+		if err != nil {
+			return res, err
+		}
+		comps := map[uint32]bool{}
+		for _, l := range labels {
+			comps[l] = true
+		}
+		res.Components = len(comps)
+	default:
+		return res, fmt.Errorf("unknown algo %q", q.Algo)
+	}
+	return res, nil
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

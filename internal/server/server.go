@@ -1,0 +1,483 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Config configures the query service.
+type Config struct {
+	// Graphs maps serving names to loaded graphs. Required.
+	Graphs map[string]*graph.Graph
+	// Engine is the base engine configuration (nodes, mode defaults,
+	// resilience policy) every pooled cluster is built with.
+	Engine core.Options
+	// MaxInflight bounds concurrently executing queries (default 2).
+	MaxInflight int
+	// MaxQueue bounds queries waiting for an execution slot; beyond
+	// it requests are shed with 429 (default 4×MaxInflight).
+	MaxQueue int
+	// CacheEntries / CacheBytes bound the result cache (defaults 256
+	// entries, 64 MiB; CacheEntries < 0 disables caching).
+	CacheEntries int
+	CacheBytes   int64
+	// CheckpointRoot, when set, persists superstep checkpoints per
+	// pool slot under this directory.
+	CheckpointRoot string
+	// Registry receives serving metrics when non-nil.
+	Registry *obs.Registry
+	// Tracer is the shared engine tracer (may be nil).
+	Tracer *obs.Tracer
+}
+
+// perAlgo holds one algorithm's serving histograms: time spent queued
+// for admission versus time inside the engine.
+type perAlgo struct {
+	queue  obs.Histogram
+	engine obs.Histogram
+}
+
+// Server is the graph query service. Create with New, mount Handler on
+// an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	adm   *admission
+	cache *resultCache
+	algos map[string]*perAlgo
+	start time.Time
+
+	drainMu  sync.RWMutex // orders handler registration against Drain
+	draining atomic.Bool
+	wg       sync.WaitGroup // in-flight /query handlers
+
+	total     atomic.Int64
+	ok        atomic.Int64
+	clientErr atomic.Int64
+	serverErr atomic.Int64
+	timeouts  atomic.Int64
+}
+
+// New builds the service: graphs indexed, pool warm-ready, admission
+// and cache sized from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInflight
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	pool, err := NewPool(PoolConfig{
+		Graphs:         cfg.Graphs,
+		Engine:         cfg.Engine,
+		SlotsPerEntry:  cfg.MaxInflight,
+		CheckpointRoot: cfg.CheckpointRoot,
+		Tracer:         cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  pool,
+		adm:   newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		cache: newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		algos: make(map[string]*perAlgo, len(algoNames)),
+		start: time.Now(),
+	}
+	for _, a := range algoNames {
+		s.algos[a] = &perAlgo{}
+	}
+	if cfg.Registry != nil {
+		s.RegisterMetrics(cfg.Registry)
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	GET|POST /query    run (or serve from cache) one algorithm query
+//	GET      /statusz  serving state: counters, histograms, cache, pool
+//	GET      /healthz  200 while accepting, 503 while draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Drain stops admitting new queries and waits for in-flight handlers to
+// finish answering, up to ctx. After Drain the pool is closed; the
+// process can exit without cutting off any accepted request.
+func (s *Server) Drain(ctx context.Context) error {
+	// The write lock fences handler registration: after it is released,
+	// every accepted request is in the wait group and every new one
+	// sees draining — so Wait cannot race a late Add.
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.pool.Close()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %d queries still in flight: %w",
+			s.adm.running.Load()+s.adm.waiting.Load(), ctx.Err())
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.wg.Add(1)
+	s.drainMu.RUnlock()
+	defer s.wg.Done()
+	s.total.Add(1)
+
+	q, err := parseRequest(r)
+	if err != nil {
+		s.clientErr.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	info, ok := s.pool.Info(q.Graph)
+	if !ok {
+		s.clientErr.Add(1)
+		http.Error(w, fmt.Sprintf("unknown graph %q (serving %v)", q.Graph, s.pool.GraphNames()), http.StatusBadRequest)
+		return
+	}
+	q, err = canonicalize(q, info)
+	if err != nil {
+		s.clientErr.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := cacheKey(q)
+	pa := s.algos[q.Algo]
+
+	// Cache hits skip admission entirely: they cost microseconds and
+	// must stay fast exactly when the engine is saturated.
+	if !q.NoCache {
+		if resp, ok := s.cache.Get(key); ok {
+			resp.Cached = true
+			resp.QueueWaitMs = 0
+			s.ok.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	} else {
+		s.cache.misses.Add(1)
+	}
+
+	ctx := r.Context()
+	if q.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(q.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	release, wait, err := s.adm.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			ra := retryAfter(pa.engine.Snapshot().Mean(), s.adm.waiting.Load(), int64(s.cfg.MaxInflight))
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(ra.Seconds())))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		s.timeouts.Add(1)
+		http.Error(w, fmt.Sprintf("deadline expired while queued (waited %v)", wait), http.StatusGatewayTimeout)
+		return
+	}
+	defer release()
+	pa.queue.Observe(wait)
+
+	resp, status, err := s.execute(ctx, q, key)
+	if err != nil {
+		msg := classifyMessage(err)
+		switch {
+		case status == http.StatusGatewayTimeout:
+			s.timeouts.Add(1)
+		case status >= 500:
+			s.serverErr.Add(1)
+		default:
+			s.clientErr.Add(1)
+		}
+		http.Error(w, msg, status)
+		return
+	}
+	resp.QueueWaitMs = durMs(wait)
+	s.ok.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute leases a cluster, binds the request's context / tracer /
+// checkpoint tag, runs the algorithm, and populates the cache.
+func (s *Server) execute(ctx context.Context, q Request, key string) (Response, int, error) {
+	v := variantFor(q.Algo)
+	mode, _ := cliutil.ParseMode(q.Mode) // canonicalize validated it
+	slot, err := s.pool.Lease(ctx, q.Graph, v, mode)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Response{}, http.StatusGatewayTimeout, err
+		}
+		return Response{}, http.StatusInternalServerError, err
+	}
+	defer s.pool.Release(slot, q.Graph, v, mode)
+
+	var reqTracer *obs.Tracer
+	if q.Trace {
+		reqTracer = obs.NewCapturingTracer(4096)
+	}
+	slot.BindQuery(ctx, key, reqTracer)
+
+	statsBefore := slot.c.Stats().Restarts
+	engineStart := time.Now()
+	result, err := runAlgorithm(slot.c, q)
+	engineDur := time.Since(engineStart)
+	s.algos[q.Algo].engine.Observe(engineDur)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Response{}, http.StatusGatewayTimeout, ctx.Err()
+		}
+		return Response{}, http.StatusInternalServerError, err
+	}
+
+	run := slot.c.LastRunStats()
+	resp := Response{
+		Graph:  q.Graph,
+		Algo:   q.Algo,
+		Mode:   q.Mode,
+		Result: result,
+		Engine: EngineStats{
+			EdgesTraversed:  run.EdgesTraversed,
+			UpdateBytes:     run.UpdateBytes,
+			DependencyBytes: run.DependencyBytes,
+			ControlBytes:    run.ControlBytes,
+			Restarts:        slot.c.Stats().Restarts - statsBefore,
+		},
+		EngineMs: durMs(engineDur),
+	}
+	if reqTracer != nil {
+		resp.Trace = traceSpans(reqTracer)
+	}
+
+	// Cache the canonical answer without request-specific fields; the
+	// marshaled size feeds the byte budget.
+	cached := resp
+	cached.Trace = nil
+	cached.QueueWaitMs = 0
+	if !q.NoCache {
+		if b, err := json.Marshal(cached); err == nil {
+			s.cache.Put(key, cached, int64(len(b)))
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+// classifyMessage renders an engine failure with the typed-error
+// context (blocked node, phase, awaited peer) instead of a flat %v.
+func classifyMessage(err error) string {
+	_, msg := cliutil.ErrorReport(err)
+	return msg
+}
+
+func traceSpans(tr *obs.Tracer) []TraceSpan {
+	sums := tr.Summaries()
+	spans := make([]TraceSpan, 0, len(sums))
+	for _, ps := range sums {
+		spans = append(spans, TraceSpan{
+			Node:  ps.Node,
+			Phase: ps.Phase.String(),
+			Count: ps.Hist.Count,
+			P50Ms: durMs(ps.Hist.P50),
+			P95Ms: durMs(ps.Hist.P95),
+			MaxMs: durMs(ps.Hist.Max),
+		})
+	}
+	return spans
+}
+
+// histJSON summarizes a histogram for /statusz.
+type histJSON struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+func histToJSON(h *obs.Histogram) histJSON {
+	s := h.Snapshot()
+	return histJSON{
+		Count:  s.Count,
+		P50Ms:  durMs(s.P50),
+		P95Ms:  durMs(s.P95),
+		P99Ms:  durMs(s.P99),
+		MaxMs:  durMs(s.Max),
+		MeanMs: durMs(s.Mean()),
+	}
+}
+
+// Status is the /statusz document.
+type Status struct {
+	UptimeSec float64              `json:"uptime_sec"`
+	Draining  bool                 `json:"draining"`
+	Graphs    map[string]GraphInfo `json:"graphs"`
+	Requests  RequestCounters      `json:"requests"`
+	Cache     CacheCounters        `json:"cache"`
+	Pool      PoolCounters         `json:"pool"`
+	Admission AdmissionCounters    `json:"admission"`
+	Algos     map[string]AlgoStats `json:"algos"`
+}
+
+type GraphInfo struct {
+	Vertices int   `json:"vertices"`
+	Edges    int64 `json:"edges"`
+}
+
+type RequestCounters struct {
+	Total        int64 `json:"total"`
+	OK           int64 `json:"ok"`
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	Timeouts     int64 `json:"timeouts"`
+	Rejected     int64 `json:"rejected"`
+}
+
+type CacheCounters struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+type PoolCounters struct {
+	Clusters int   `json:"clusters"`
+	Restarts int64 `json:"restarts"`
+}
+
+type AdmissionCounters struct {
+	Running     int64 `json:"running"`
+	Waiting     int64 `json:"waiting"`
+	MaxInflight int   `json:"max_inflight"`
+	MaxQueue    int   `json:"max_queue"`
+}
+
+type AlgoStats struct {
+	Queue  histJSON `json:"queue"`
+	Engine histJSON `json:"engine"`
+}
+
+// StatusSnapshot assembles the current serving state.
+func (s *Server) StatusSnapshot() Status {
+	st := Status{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Draining:  s.draining.Load(),
+		Graphs:    make(map[string]GraphInfo),
+		Requests: RequestCounters{
+			Total:        s.total.Load(),
+			OK:           s.ok.Load(),
+			ClientErrors: s.clientErr.Load(),
+			ServerErrors: s.serverErr.Load(),
+			Timeouts:     s.timeouts.Load(),
+			Rejected:     s.adm.rejected.Load(),
+		},
+		Cache: CacheCounters{
+			Hits:      s.cache.hits.Load(),
+			Misses:    s.cache.misses.Load(),
+			Evictions: s.cache.evictions.Load(),
+			Entries:   s.cache.Len(),
+			Bytes:     s.cache.Bytes(),
+		},
+		Pool: PoolCounters{
+			Clusters: s.pool.Slots(),
+			Restarts: s.pool.Restarts(),
+		},
+		Admission: AdmissionCounters{
+			Running:     s.adm.running.Load(),
+			Waiting:     s.adm.waiting.Load(),
+			MaxInflight: s.cfg.MaxInflight,
+			MaxQueue:    s.cfg.MaxQueue,
+		},
+		Algos: make(map[string]AlgoStats),
+	}
+	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)
+	}
+	names := s.pool.GraphNames()
+	sort.Strings(names)
+	for _, n := range names {
+		info, _ := s.pool.Info(n)
+		st.Graphs[n] = GraphInfo{Vertices: info.vertices, Edges: info.edges}
+	}
+	for name, pa := range s.algos {
+		if pa.queue.Snapshot().Count == 0 && pa.engine.Snapshot().Count == 0 {
+			continue
+		}
+		st.Algos[name] = AlgoStats{Queue: histToJSON(&pa.queue), Engine: histToJSON(&pa.engine)}
+	}
+	return st
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatusSnapshot())
+}
+
+// RegisterMetrics exports serving counters into reg under server.*.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterInt("server.requests.total", s.total.Load)
+	reg.RegisterInt("server.requests.ok", s.ok.Load)
+	reg.RegisterInt("server.requests.client_errors", s.clientErr.Load)
+	reg.RegisterInt("server.requests.server_errors", s.serverErr.Load)
+	reg.RegisterInt("server.requests.timeouts", s.timeouts.Load)
+	reg.RegisterInt("server.requests.rejected", s.adm.rejected.Load)
+	reg.RegisterInt("server.pool.clusters", func() int64 { return int64(s.pool.Slots()) })
+	reg.RegisterInt("server.pool.restarts", s.pool.Restarts)
+	s.cache.RegisterMetrics(reg)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

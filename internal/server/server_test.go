@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func testGraph(scale int, seed int64) *graph.Graph {
+	return graph.RMAT(scale, 8, graph.Graph500Params(), seed)
+}
+
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Graphs == nil {
+		cfg.Graphs = map[string]*graph.Graph{"g1": testGraph(7, 1)}
+	}
+	if cfg.Engine.NumNodes == 0 {
+		cfg.Engine = core.Options{NumNodes: 2, Mode: core.ModeSympleGraph}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCanonicalize(t *testing.T) {
+	info := graphInfo{vertices: 128, defaultRoot: 5}
+
+	// Irrelevant parameters are zeroed so they can't fragment the cache.
+	q, err := canonicalize(Request{Graph: "g", Algo: "bfs", Root: -1, K: 9, Seed: 77, Iters: 4}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Root != 5 || q.K != 0 || q.Seed != 0 || q.Iters != 0 {
+		t.Fatalf("bfs canonical %+v", q)
+	}
+	if q.Mode != "symplegraph" {
+		t.Fatalf("default mode %q", q.Mode)
+	}
+
+	// Two queries that differ only in ignored fields share a key; a
+	// meaningful difference splits them.
+	a, _ := canonicalize(Request{Graph: "g", Algo: "kcore", K: 4, Seed: 1}, info)
+	b, _ := canonicalize(Request{Graph: "g", Algo: "kcore", K: 4, Seed: 2, Trace: true}, info)
+	if cacheKey(a) != cacheKey(b) {
+		t.Fatalf("keys differ: %q vs %q", cacheKey(a), cacheKey(b))
+	}
+	c, _ := canonicalize(Request{Graph: "g", Algo: "kcore", K: 5}, info)
+	if cacheKey(a) == cacheKey(c) {
+		t.Fatalf("k=4 and k=5 share key %q", cacheKey(a))
+	}
+
+	if _, err := canonicalize(Request{Graph: "g", Algo: "dijkstra"}, info); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+	if _, err := canonicalize(Request{Graph: "g", Algo: "bfs", Root: 1 << 20}, info); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := canonicalize(Request{Graph: "g", Algo: "bfs", Mode: "giraph"}, info); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestResultCacheLRUAndBudgets(t *testing.T) {
+	rc := newResultCache(2, 1<<20)
+	rc.Put("a", Response{Algo: "a"}, 100)
+	rc.Put("b", Response{Algo: "b"}, 100)
+	if _, ok := rc.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// "b" is now least recent; inserting "c" evicts it.
+	rc.Put("c", Response{Algo: "c"}, 100)
+	if _, ok := rc.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := rc.Get("a"); !ok {
+		t.Fatal("a evicted instead of b")
+	}
+	if rc.evictions.Load() != 1 {
+		t.Fatalf("evictions %d", rc.evictions.Load())
+	}
+
+	// Byte budget: one huge entry forces the others out (but the
+	// newest entry itself always stays).
+	rc2 := newResultCache(10, 250)
+	rc2.Put("x", Response{}, 100)
+	rc2.Put("y", Response{}, 100)
+	rc2.Put("z", Response{}, 200)
+	if rc2.Len() != 1 || rc2.Bytes() != 200 {
+		t.Fatalf("len=%d bytes=%d after byte-budget eviction", rc2.Len(), rc2.Bytes())
+	}
+
+	// Disabled cache never stores.
+	off := newResultCache(-1, 0)
+	off.Put("k", Response{}, 10)
+	if _, ok := off.Get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+
+	rel1, _, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second occupies the single waiting slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	admitted := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		rel2, _, err := a.admit(context.Background())
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+			return
+		}
+		close(admitted)
+		rel2()
+	}()
+	// Wait until the goroutine holds the waiting slot.
+	for i := 0; a.waiting.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// Third finds the queue full and is shed immediately.
+	if _, _, err := a.admit(context.Background()); err != errOverloaded {
+		t.Fatalf("want errOverloaded, got %v", err)
+	}
+	if a.rejected.Load() != 1 {
+		t.Fatalf("rejected %d", a.rejected.Load())
+	}
+	rel1()
+	wg.Wait()
+	select {
+	case <-admitted:
+	default:
+		t.Fatal("queued request never ran")
+	}
+
+	// A queued request whose deadline fires unwinds cleanly.
+	rel3, _, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := a.admit(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("queued deadline: %v", err)
+	}
+	rel3()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	code, body := get("/query?graph=g1&algo=bfs")
+	if code != http.StatusOK {
+		t.Fatalf("bfs status %d: %s", code, body)
+	}
+	var first Response
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Result.Reached == 0 || first.Engine.EdgesTraversed == 0 {
+		t.Fatalf("first response %+v", first)
+	}
+
+	// Identical query: served from cache, same answer.
+	code, body = get("/query?graph=g1&algo=bfs")
+	var second Response
+	if code != http.StatusOK || json.Unmarshal(body, &second) != nil {
+		t.Fatalf("cached status %d", code)
+	}
+	if !second.Cached || second.Result.Reached != first.Result.Reached {
+		t.Fatalf("cached response %+v vs %+v", second, first)
+	}
+
+	// no_cache bypasses and recomputes, still the same answer.
+	code, body = get("/query?graph=g1&algo=bfs&no_cache=1")
+	var third Response
+	if code != http.StatusOK || json.Unmarshal(body, &third) != nil {
+		t.Fatalf("no_cache status %d", code)
+	}
+	if third.Cached || third.Result.Reached != first.Result.Reached {
+		t.Fatalf("no_cache response %+v", third)
+	}
+
+	// Trace capture returns per-phase spans.
+	code, body = get("/query?graph=g1&algo=kcore&k=3&trace=1")
+	var traced Response
+	if code != http.StatusOK || json.Unmarshal(body, &traced) != nil {
+		t.Fatalf("trace status %d: %s", code, body)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal("trace=1 returned no spans")
+	}
+
+	// POST JSON body works too.
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"graph":"g1","algo":"cc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "components") {
+		t.Fatalf("POST status %d: %s", resp.StatusCode, b)
+	}
+
+	// Client errors.
+	if code, _ := get("/query?graph=nope&algo=bfs"); code != http.StatusBadRequest {
+		t.Fatalf("unknown graph status %d", code)
+	}
+	if code, _ := get("/query?graph=g1&algo=dijkstra"); code != http.StatusBadRequest {
+		t.Fatalf("unknown algo status %d", code)
+	}
+	if code, _ := get("/query?graph=g1&algo=bfs&root=bananas"); code != http.StatusBadRequest {
+		t.Fatalf("bad root status %d", code)
+	}
+
+	// statusz reflects the traffic.
+	code, body = get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.OK < 5 || st.Cache.Hits < 1 || st.Cache.HitRate <= 0 {
+		t.Fatalf("statusz %+v", st.Requests)
+	}
+	if st.Algos["bfs"].Engine.Count < 2 || st.Graphs["g1"].Vertices != 1<<7 {
+		t.Fatalf("statusz algos/graphs: %+v", st)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz %d", code)
+	}
+}
+
+func TestDeadlineReturns504AndSlotRecovers(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A 1ms deadline cannot finish a pagerank; the request must come
+	// back 504, not hang and not 500.
+	resp, err := http.Get(ts.URL + "/query?graph=g1&algo=pagerank&iters=50&deadline_ms=1&no_cache=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline status %d", resp.StatusCode)
+	}
+
+	// The poisoned slot is Reset on release: the same entry serves the
+	// next query normally.
+	resp, err = http.Get(ts.URL + "/query?graph=g1&algo=pagerank&iters=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-deadline status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestDrainAnswersInFlightThenRefuses(t *testing.T) {
+	s := testServer(t, Config{MaxInflight: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Launch a batch of queries, then drain while some are in flight.
+	const n = 8
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/query?graph=g1&algo=mis&seed=%d", ts.URL, i+1))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("in-flight query got %d during drain", code)
+		}
+	}
+
+	// After the drain everything is refused.
+	resp, err := http.Get(ts.URL + "/query?graph=g1&algo=bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d", resp.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz %d", hr.StatusCode)
+	}
+}

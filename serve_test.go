@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the sgserve process-level acceptance path (`make
+// serve-smoke`): start the daemon on a random port, verify an uncached
+// query computes, the identical query hits the cache, an over-capacity
+// burst is shed with 429 + Retry-After, and SIGTERM drains cleanly.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sgserve")
+
+	cmd := exec.Command(tools["sgserve"],
+		"-graph", "g=rmat:10,8,1", "-addr", "127.0.0.1:0",
+		"-max-inflight", "1", "-max-queue", "0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	errText := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(stderr)
+		errText <- string(b)
+	}()
+
+	// The startup line carries the resolved :0 port.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no startup line: %v (stderr: %s)", err, <-errText)
+	}
+	idx := strings.Index(line, "http://")
+	if idx < 0 {
+		t.Fatalf("startup line %q has no URL", line)
+	}
+	base := strings.TrimSpace(line[idx:])
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	// 1. Uncached query computes.
+	resp, body := get("/query?graph=g&algo=bfs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("uncached query: %d %s", resp.StatusCode, body)
+	}
+	var first struct {
+		Cached bool `json:"cached"`
+		Result struct {
+			Reached int `json:"reached"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &first); err != nil || first.Cached || first.Result.Reached == 0 {
+		t.Fatalf("uncached response (err=%v): %s", err, body)
+	}
+
+	// 2. The identical query is served from cache.
+	resp, body = get("/query?graph=g&algo=bfs")
+	var second struct {
+		Cached bool `json:"cached"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &second) != nil || !second.Cached {
+		t.Fatalf("cached query: %d %s", resp.StatusCode, body)
+	}
+
+	// 3. Over capacity: with one execution slot and no queue, a burst of
+	// slow uncached queries must shed at least one request with 429 and
+	// a Retry-After hint. Cache hits stay unaffected.
+	type shot struct {
+		code       int
+		retryAfter string
+	}
+	shots := make(chan shot, 8)
+	for i := 0; i < cap(shots); i++ {
+		go func() {
+			resp, err := http.Get(base + "/query?graph=g&algo=pagerank&iters=40&no_cache=1")
+			if err != nil {
+				shots <- shot{code: -1}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			shots <- shot{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+	var shed, served int
+	for i := 0; i < cap(shots); i++ {
+		s := <-shots
+		switch s.code {
+		case http.StatusOK:
+			served++
+		case http.StatusTooManyRequests:
+			shed++
+			if s.retryAfter == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("burst request got %d", s.code)
+		}
+	}
+	if served == 0 || shed == 0 {
+		t.Fatalf("burst: served=%d shed=%d, want both > 0", served, shed)
+	}
+
+	// 4. statusz shows the traffic and the cache hit.
+	resp, body = get("/statusz")
+	var st struct {
+		Cache struct {
+			Hits    int64   `json:"hits"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+		Requests struct {
+			Rejected int64 `json:"rejected"`
+		} `json:"requests"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &st) != nil {
+		t.Fatalf("statusz: %d %s", resp.StatusCode, body)
+	}
+	if st.Cache.Hits == 0 || st.Cache.HitRate <= 0 || st.Requests.Rejected == 0 {
+		t.Fatalf("statusz counters: %s", body)
+	}
+
+	// 5. SIGTERM drains cleanly: process exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sgserve exit after SIGTERM: %v (stderr: %s)", err, <-errText)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sgserve did not exit after SIGTERM")
+	}
+	if se := <-errText; !strings.Contains(se, "drained cleanly") {
+		t.Fatalf("stderr missing drain confirmation:\n%s", se)
+	}
+}
