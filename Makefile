@@ -2,9 +2,9 @@
 # transport and serving layer, run the seeded chaos soak, the sgserve
 # process smoke test, then the full suite (which includes the CLI trace
 # smoke test and the sustained serving load test).
-.PHONY: verify build vet test race smoke serve-smoke chaos
+.PHONY: verify build vet test race smoke serve-smoke serve-dist-smoke chaos
 
-verify: build race chaos serve-smoke test
+verify: build race chaos serve-smoke serve-dist-smoke test
 
 build:
 	go build ./...
@@ -33,3 +33,9 @@ smoke:
 # over-capacity queries (200/200/429), SIGTERM drain.
 serve-smoke:
 	go test -run TestServeSmoke -count=1 .
+
+# The distributed serving acceptance path: two sgworker processes plus
+# sgserve -workers, one query per engine mode with remote results
+# checked identical to the in-process provider.
+serve-dist-smoke:
+	go test -run TestServeDistSmoke -count=1 .

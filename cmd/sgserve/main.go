@@ -9,11 +9,18 @@
 //	sgserve -graph g=rmat:12,16,1 -addr :0 -max-inflight 4 -debug-addr :6060
 //	sgserve -graph g=rmat:12,16,1 -checkpoint-dir /var/lib/sgserve \
 //	        -checkpoint-every 8 -max-restarts 2 -stall-timeout 5s
+//	sgserve -graph g=rmat:12,16,1 -workers 127.0.0.1:7101,127.0.0.1:7102
+//
+// With -workers, queries run on a distributed ring of sgworker
+// processes (this daemon is node 0) instead of an in-process simulated
+// cluster; provider=local on a query selects the in-process engine.
 //
 // Query with:
 //
 //	curl 'http://localhost:8090/query?graph=web&algo=bfs'
+//	curl 'http://localhost:8090/query?graph=web&algo=bfs&provider=local'
 //	curl 'http://localhost:8090/statusz'
+//	curl 'http://localhost:8090/statusz?delta=1'
 package main
 
 import (
@@ -88,16 +95,18 @@ func main() {
 	obsFlags.Register(flag.CommandLine)
 	resilience.Register(flag.CommandLine)
 	var (
-		addr         = flag.String("addr", ":8090", "HTTP listen address (:0 picks a free port)")
-		nodes        = flag.Int("nodes", 4, "simulated cluster size per query engine")
-		workers      = flag.Int("workers", 1, "worker goroutines per node")
-		threshold    = flag.Int("threshold", core.DefaultDepThreshold, "differentiated-propagation degree threshold")
-		buffers      = flag.Int("buffers", 2, "double-buffering group count")
-		maxInflight  = flag.Int("max-inflight", 2, "queries executing concurrently")
-		maxQueue     = flag.Int("max-queue", 0, "queries waiting for a slot before shedding with 429 (0 = 4×max-inflight)")
-		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity in entries (-1 disables)")
-		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache capacity in marshaled bytes")
-		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight queries")
+		addr          = flag.String("addr", ":8090", "HTTP listen address (:0 picks a free port)")
+		nodes         = flag.Int("nodes", 4, "simulated cluster size per query engine (local provider)")
+		engineWorkers = flag.Int("engine-workers", 1, "worker goroutines per node")
+		workerRoster  = flag.String("workers", "", "comma-separated sgworker control addresses (host:port,...); enables the remote provider and makes it the default")
+		advertiseHost = flag.String("advertise-host", "", "host workers dial back for the data plane (default 127.0.0.1)")
+		threshold     = flag.Int("threshold", core.DefaultDepThreshold, "differentiated-propagation degree threshold")
+		buffers       = flag.Int("buffers", 2, "double-buffering group count")
+		maxInflight   = flag.Int("max-inflight", 2, "queries executing concurrently")
+		maxQueue      = flag.Int("max-queue", 0, "queries waiting for a slot before shedding with 429 (0 = 4×max-inflight)")
+		cacheEntries  = flag.Int("cache-entries", 256, "result cache capacity in entries (-1 disables)")
+		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "result cache capacity in marshaled bytes")
+		drainWait     = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight queries")
 	)
 	flag.Parse()
 
@@ -117,11 +126,16 @@ func main() {
 
 	opts := core.Options{
 		NumNodes:     *nodes,
-		Workers:      *workers,
+		Workers:      *engineWorkers,
 		DepThreshold: *threshold,
 		NumBuffers:   *buffers,
 	}
 	resilience.Apply(&opts)
+
+	roster, err := cliutil.ParseHostPorts(*workerRoster)
+	if err != nil {
+		fatalf("-workers: %v", err)
+	}
 
 	srv, err := server.New(server.Config{
 		Graphs:         loaded,
@@ -131,11 +145,16 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
 		CheckpointRoot: resilience.CheckpointDir,
+		Workers:        roster,
+		AdvertiseHost:  *advertiseHost,
 		Registry:       registry,
 		Tracer:         obsFlags.Tracer,
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if len(roster) > 0 {
+		fmt.Fprintf(os.Stderr, "sgserve: remote provider enabled over %d worker(s): %s\n", len(roster), strings.Join(roster, ","))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

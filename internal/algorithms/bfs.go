@@ -40,13 +40,13 @@ const (
 // iterations carry the loop-carried dependency — an unvisited vertex
 // stops scanning incoming neighbors at its first frontier hit — which
 // SympleGraph mode enforces across machines.
-func BFS(c *core.Cluster, root graph.VertexID) (*BFSResult, error) {
+func BFS(c core.Engine, root graph.VertexID) (*BFSResult, error) {
 	return BFSWithDirection(c, root, DirectionAdaptive)
 }
 
 // BFSWithDirection is BFS with a forced traversal direction, for
 // direction-ablation experiments.
-func BFSWithDirection(c *core.Cluster, root graph.VertexID, dir Direction) (*BFSResult, error) {
+func BFSWithDirection(c core.Engine, root graph.VertexID, dir Direction) (*BFSResult, error) {
 	g := c.Graph()
 	n := g.NumVertices()
 	if int(root) >= n {

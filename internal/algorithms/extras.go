@@ -13,7 +13,7 @@ import (
 // smallest vertex ID in its component, by push-style label propagation.
 // It has no loop-carried dependency (min is fully commutative) and is
 // included to show the substrate runs ordinary Gemini programs unchanged.
-func ConnectedComponents(c *core.Cluster) ([]uint32, error) {
+func ConnectedComponents(c core.Engine) ([]uint32, error) {
 	g := c.Graph()
 	n := g.NumVertices()
 	out := make([]uint32, n)
@@ -78,7 +78,7 @@ var InfDist = float32(math.Inf(1))
 // SSSP computes single-source shortest paths over positive edge weights
 // by distributed Bellman-Ford (push mode). Like ConnectedComponents it
 // exercises the general framework rather than the dependency machinery.
-func SSSP(c *core.Cluster, root graph.VertexID) ([]float32, error) {
+func SSSP(c core.Engine, root graph.VertexID) ([]float32, error) {
 	g := c.Graph()
 	if !g.Weighted() {
 		return nil, fmt.Errorf("algorithms: SSSP needs a weighted graph")

@@ -25,7 +25,7 @@ type KCoreResult struct {
 // machines later in the ring neither scan nor send; the master keeps any
 // vertex whose summed partials reach K. Counts are not carried across
 // machines — each machine counts its local neighbors from zero.
-func KCore(c *core.Cluster, k int) (*KCoreResult, error) {
+func KCore(c core.Engine, k int) (*KCoreResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("algorithms: KCore k = %d", k)
 	}

@@ -18,7 +18,7 @@ import (
 // vertex adopts the cluster of its first assigned neighbor, the
 // loop-carried dependency — executed as dense pull rounds. Results match
 // seq.KMeans under seq.RingOrder(c.Partition()) exactly.
-func KMeans(c *core.Cluster, centers, iters int, seed uint64) (*seq.KMeansResult, error) {
+func KMeans(c core.Engine, centers, iters int, seed uint64) (*seq.KMeansResult, error) {
 	if centers < 1 || iters < 1 {
 		return nil, fmt.Errorf("algorithms: KMeans centers=%d iters=%d", centers, iters)
 	}

@@ -23,7 +23,7 @@ type MISResult struct {
 //
 // Colors are the deterministic permutation seq.MISColors(n, seed), so the
 // result equals seq.GreedyMIS for every mode and machine count.
-func MIS(c *core.Cluster, seed uint64) (*MISResult, error) {
+func MIS(c core.Engine, seed uint64) (*MISResult, error) {
 	g := c.Graph()
 	n := g.NumVertices()
 	colors := seq.MISColors(n, seed)

@@ -14,7 +14,7 @@ import (
 // the sum — so SympleGraph mode runs it at Gemini cost; it is included
 // (like CC and SSSP) to show the engine is a complete vertex-centric
 // framework, and serves as the analyzer's negative example.
-func PageRank(c *core.Cluster, iters int, damping float64) ([]float64, error) {
+func PageRank(c core.Engine, iters int, damping float64) ([]float64, error) {
 	if iters < 1 || damping <= 0 || damping >= 1 {
 		return nil, fmt.Errorf("algorithms: PageRank iters=%d damping=%g", iters, damping)
 	}

@@ -40,7 +40,7 @@ type SampleResult struct {
 // pick but adds 8 bytes of dependency data per tracked vertex per step —
 // the trade-off behind Table 6's sampling row, where total communication
 // can exceed Gemini's.
-func Sample(c *core.Cluster, seed uint64, rounds int) (*SampleResult, error) {
+func Sample(c core.Engine, seed uint64, rounds int) (*SampleResult, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("algorithms: Sample rounds = %d", rounds)
 	}

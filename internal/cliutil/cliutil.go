@@ -10,6 +10,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -331,4 +332,31 @@ func PrintStats(w *os.File, s core.StatsSnapshot, numEdges int64, verbose bool) 
 	for _, warn := range s.Warnings {
 		fmt.Fprintf(w, "warning: %s\n", warn)
 	}
+}
+
+// ParseHostPorts splits a comma-separated host:port roster — the
+// -workers flag vocabulary shared by sgserve and scripts — validating
+// each entry and rejecting duplicates. An empty string is an empty
+// roster, not an error.
+func ParseHostPorts(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(f); err != nil {
+			return nil, fmt.Errorf("bad worker address %q: %w", f, err)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("duplicate worker address %q", f)
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	return out, nil
 }

@@ -1,0 +1,194 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The control protocol is the serving layer's out-of-band channel to
+// worker daemons: a front-end dials a worker, negotiates one engine
+// slot over the connection, ships the graph and options, and then
+// drives queries. It is deliberately separate from the data-plane
+// Endpoint framing — control traffic is low-rate and schema-ful, so
+// frames carry JSON documents (plus raw blobs for bulk payloads like
+// serialized graphs) instead of the engine's tagged binary messages.
+//
+// Frame layout: kind(1) len(4 LE) payload. Kind 'J' payloads are JSON
+// envelopes {type, body}; kind 'B' payloads are opaque blobs whose
+// meaning is established by the preceding JSON message.
+
+const (
+	ctrlFrameJSON = 'J'
+	ctrlFrameBlob = 'B'
+
+	// MaxCtrlFrame bounds a single control frame. Graph blobs dominate;
+	// 1 GiB comfortably covers every graph this runtime can hold while
+	// still rejecting a corrupt length prefix before allocating.
+	MaxCtrlFrame = 1 << 30
+)
+
+// CtrlMsg is the JSON envelope every non-blob control frame carries.
+type CtrlMsg struct {
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// CtrlConn is one control-protocol connection. Reads and writes are
+// each internally serialized, so one goroutine may send while another
+// receives, but concurrent senders interleave whole frames, never
+// bytes.
+type CtrlConn struct {
+	c net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	rmu sync.Mutex
+	br  *bufio.Reader
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewCtrlConn wraps an established connection in control framing.
+func NewCtrlConn(c net.Conn) *CtrlConn {
+	return &CtrlConn{
+		c:  c,
+		bw: bufio.NewWriter(c),
+		br: bufio.NewReader(c),
+	}
+}
+
+// DialCtrl connects to a worker's control address.
+func DialCtrl(addr string, timeout time.Duration) (*CtrlConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("comm: control dial %s: %w", addr, err)
+	}
+	return NewCtrlConn(c), nil
+}
+
+// RemoteAddr names the peer, for logs and error messages.
+func (cc *CtrlConn) RemoteAddr() string { return cc.c.RemoteAddr().String() }
+
+// SetDeadline bounds the next reads and writes (zero clears it).
+func (cc *CtrlConn) SetDeadline(t time.Time) error { return cc.c.SetDeadline(t) }
+
+func (cc *CtrlConn) writeFrame(kind byte, payload []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := cc.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("comm: control write: %w", err)
+	}
+	if _, err := cc.bw.Write(payload); err != nil {
+		return fmt.Errorf("comm: control write: %w", err)
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return fmt.Errorf("comm: control write: %w", err)
+	}
+	return nil
+}
+
+func (cc *CtrlConn) readFrame() (kind byte, payload []byte, err error) {
+	cc.rmu.Lock()
+	defer cc.rmu.Unlock()
+	var hdr [5]byte
+	if _, err := io.ReadFull(cc.br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("comm: control read: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[1:])
+	if size > MaxCtrlFrame {
+		return 0, nil, fmt.Errorf("comm: control frame of %d bytes exceeds limit %d", size, MaxCtrlFrame)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(cc.br, payload); err != nil {
+		return 0, nil, fmt.Errorf("comm: control read: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// Send marshals body into a typed JSON envelope and writes it as one
+// frame. A nil body sends an envelope with no payload.
+func (cc *CtrlConn) Send(msgType string, body any) error {
+	env := CtrlMsg{Type: msgType}
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("comm: control marshal %s: %w", msgType, err)
+		}
+		env.Body = b
+	}
+	frame, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("comm: control marshal %s: %w", msgType, err)
+	}
+	return cc.writeFrame(ctrlFrameJSON, frame)
+}
+
+// Recv reads the next JSON envelope. A blob frame in this position is a
+// protocol violation.
+func (cc *CtrlConn) Recv() (CtrlMsg, error) {
+	kind, payload, err := cc.readFrame()
+	if err != nil {
+		return CtrlMsg{}, err
+	}
+	if kind != ctrlFrameJSON {
+		return CtrlMsg{}, fmt.Errorf("comm: expected control message, got frame kind %q", kind)
+	}
+	var env CtrlMsg
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return CtrlMsg{}, fmt.Errorf("comm: bad control envelope: %w", err)
+	}
+	return env, nil
+}
+
+// Expect receives the next envelope and checks its type, decoding the
+// body into out when non-nil. It is the lockstep-protocol helper: any
+// other message type is an error naming both sides' expectation.
+func (cc *CtrlConn) Expect(msgType string, out any) error {
+	env, err := cc.Recv()
+	if err != nil {
+		return err
+	}
+	if env.Type != msgType {
+		return fmt.Errorf("comm: control expected %q, peer sent %q", msgType, env.Type)
+	}
+	if out != nil {
+		if err := json.Unmarshal(env.Body, out); err != nil {
+			return fmt.Errorf("comm: bad %q body: %w", msgType, err)
+		}
+	}
+	return nil
+}
+
+// SendBlob writes one opaque blob frame.
+func (cc *CtrlConn) SendBlob(b []byte) error {
+	return cc.writeFrame(ctrlFrameBlob, b)
+}
+
+// RecvBlob reads the next frame, which must be a blob.
+func (cc *CtrlConn) RecvBlob() ([]byte, error) {
+	kind, payload, err := cc.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if kind != ctrlFrameBlob {
+		return nil, fmt.Errorf("comm: expected control blob, got frame kind %q", kind)
+	}
+	return payload, nil
+}
+
+// Close shuts the connection down; safe to call repeatedly.
+func (cc *CtrlConn) Close() error {
+	cc.closeOnce.Do(func() { cc.closeErr = cc.c.Close() })
+	return cc.closeErr
+}

@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ctrlPair builds a connected CtrlConn pair over loopback TCP.
+func ctrlPair(t *testing.T) (*CtrlConn, *CtrlConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := DialCtrl(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	server := NewCtrlConn(r.c)
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestCtrlConnRoundTrip(t *testing.T) {
+	client, server := ctrlPair(t)
+
+	type hello struct {
+		Name  string `json:"name"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := client.Send("hello", hello{Name: "w1", Nodes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got hello
+	if err := server.Expect("hello", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "w1" || got.Nodes != 3 {
+		t.Fatalf("got %+v", got)
+	}
+
+	// A bodyless message decodes too.
+	if err := server.Send("ack", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Expect("ack", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blob frames interleave with JSON frames in declared order.
+	blob := bytes.Repeat([]byte{0xAB}, 1<<16)
+	if err := client.Send("graph", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendBlob(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Expect("graph", nil); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := server.RecvBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, blob) {
+		t.Fatalf("blob mismatch: %d bytes", len(got2))
+	}
+}
+
+func TestCtrlConnExpectMismatch(t *testing.T) {
+	client, server := ctrlPair(t)
+	if err := client.Send("run", nil); err != nil {
+		t.Fatal(err)
+	}
+	err := server.Expect("close", nil)
+	if err == nil || !strings.Contains(err.Error(), `expected "close"`) {
+		t.Fatalf("mismatch error: %v", err)
+	}
+
+	// A blob where a JSON envelope is expected is rejected, and vice
+	// versa.
+	if err := client.SendBlob([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("blob accepted as JSON envelope")
+	}
+	if err := client.Send("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.RecvBlob(); err == nil {
+		t.Fatal("JSON envelope accepted as blob")
+	}
+}
+
+func TestCtrlConnFrameLimitAndEOF(t *testing.T) {
+	client, server := ctrlPair(t)
+
+	// A corrupt length prefix is rejected before allocation.
+	raw := make([]byte, 5)
+	raw[0] = ctrlFrameJSON
+	binary.LittleEndian.PutUint32(raw[1:], uint32(MaxCtrlFrame)+1)
+	if _, err := client.c.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize frame: %v", err)
+	}
+
+	// A vanished peer surfaces as a read error, not a hang.
+	client.Close()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("read from closed peer succeeded")
+	}
+}
+
+func TestCtrlMsgEnvelopeShape(t *testing.T) {
+	// The wire envelope is stable JSON: {type, body}.
+	env := CtrlMsg{Type: "build", Body: json.RawMessage(`{"nodes":2}`)}
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"type":"build","body":{"nodes":2}}` {
+		t.Fatalf("envelope %s", b)
+	}
+}

@@ -39,17 +39,27 @@ func (e *ProtocolError) Error() string {
 		e.Node, e.GotTag, e.From, e.Kind, e.WantTag)
 }
 
-// ClosedError reports a receive that can never complete because the
-// endpoint closed: local teardown, run poisoning, or a lost TCP peer.
+// ClosedError reports an operation that can never complete because the
+// transport closed: local teardown, run poisoning, or a lost TCP peer.
+// Op is "send" when a write to the dead peer failed; empty for the
+// common case, a receive whose messages will never arrive.
 type ClosedError struct {
-	Node NodeID
-	From NodeID
-	Kind Kind
+	Node  NodeID
+	From  NodeID
+	Kind  Kind
+	Op    string
+	Cause error
 }
 
 func (e *ClosedError) Error() string {
+	if e.Op == "send" {
+		return fmt.Sprintf("comm: endpoint %d lost peer %d sending kind %v: %v", e.Node, e.From, e.Kind, e.Cause)
+	}
 	return fmt.Sprintf("comm: endpoint %d closed while receiving from %d kind %v", e.Node, e.From, e.Kind)
 }
+
+// Unwrap exposes the underlying I/O error, when one was recorded.
+func (e *ClosedError) Unwrap() error { return e.Cause }
 
 // TimeoutError reports a deadline receive that expired before the awaited
 // message arrived. It names the exact stream so stall reports can say who

@@ -228,11 +228,14 @@ func (e *TCPEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) erro
 	conn := e.conns[to]
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
+	// A failed write means the peer (or our own endpoint) is gone — the
+	// same transport cut a closed inbox reports — so it carries the
+	// peer-lost type, not a bare I/O error.
 	if _, err := conn.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("comm: node %d send to %d: %w", e.id, to, err)
+		return &ClosedError{Node: e.id, From: to, Kind: kind, Op: "send", Cause: err}
 	}
 	if _, err := conn.c.Write(payload); err != nil {
-		return fmt.Errorf("comm: node %d send to %d: %w", e.id, to, err)
+		return &ClosedError{Node: e.id, From: to, Kind: kind, Op: "send", Cause: err}
 	}
 	e.stats.countSend(to, kind, len(payload))
 	return nil

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// Engine is the surface the serving and algorithm layers program
+// against: everything they need from a cluster — running SPMD programs,
+// lifecycle (poison/reset/close), statistics, and the per-request hooks
+// a pool binds before dispatching a query — without naming the concrete
+// implementation.
+//
+// *Cluster is the canonical implementation, covering both the
+// in-process simulation (NewCluster) and one machine of a genuinely
+// distributed ring (NewDistributedNode). The serving layer adds a
+// remote implementation that fronts a cluster of worker processes; an
+// algorithm written against Engine runs unchanged on any of them.
+type Engine interface {
+	// Graph returns the graph the engine was built over.
+	Graph() *graph.Graph
+	// Options returns the engine's configuration.
+	Options() Options
+	// Partition returns the vertex partition.
+	Partition() *partition.Partition
+
+	// Run executes prog SPMD-style across the engine's machines and
+	// blocks until every machine this process hosts has finished.
+	Run(prog func(w *Worker) error) error
+	// RunContext is Run with cooperative cancellation.
+	RunContext(ctx context.Context, prog func(w *Worker) error) error
+	// Execute runs prog under the engine's configured resilience
+	// policy (plain Run, or RunWithRecovery when MaxRestarts > 0).
+	// Algorithms call Execute so one policy governs every entry point.
+	Execute(prog func(w *Worker) error) error
+
+	// Poisoned returns the error of the failed run that poisoned the
+	// engine, or nil while it is healthy.
+	Poisoned() error
+	// Reset re-forms a poisoned engine in place when the implementation
+	// supports it; implementations that cannot (a distributed node does
+	// not own its peers) return an error and the caller rebuilds.
+	Reset() error
+	// Close releases the engine's transport and resources.
+	Close() error
+
+	// Stats returns the full statistics snapshot for the most recent
+	// run; LastRunStats is the aggregate-totals shorthand.
+	Stats() StatsSnapshot
+	LastRunStats() RunStats
+
+	// SetBaseContext installs the context governing the context-less
+	// entry points (nil restores context.Background); SetTracer swaps
+	// the tracer subsequent runs record into. A serving layer binds
+	// both per leased request and clears them on release. Neither may
+	// be called while a run is in progress.
+	SetBaseContext(ctx context.Context)
+	SetTracer(tr *obs.Tracer)
+
+	// ClearCheckpoints discards the engine's checkpoint store, so one
+	// query's snapshots never leak into the next on a reused engine.
+	ClearCheckpoints()
+}
+
+// *Cluster is the reference Engine implementation.
+var _ Engine = (*Cluster)(nil)
+
+// NewEngine builds an in-process engine: every machine of the simulated
+// cluster lives in this process, wired over memory channels. It is
+// NewCluster behind the interface, for callers (the serving layer) that
+// program against Engine and never touch the concrete type.
+func NewEngine(g *graph.Graph, opts Options) (Engine, error) {
+	return NewCluster(g, opts)
+}
+
+// NewDistributedEngine builds the engine for one machine of a genuinely
+// distributed cluster: this process hosts the single node ep.ID() and
+// reaches its peers through ep. It is NewDistributedNode behind the
+// interface.
+func NewDistributedEngine(g *graph.Graph, opts Options, ep comm.Endpoint) (Engine, error) {
+	return NewDistributedNode(g, opts, ep)
+}

@@ -11,6 +11,7 @@ import (
 
 // NewDebugMux builds the engine's debug handler:
 //
+//	/healthz        200 "ok" while the process serves (liveness probe)
 //	/debug/metrics  registry JSON snapshot
 //	/debug/vars     expvar (stdlib memstats + published registries)
 //	/debug/trace    Chrome trace_event timeline (capturing tracers)
@@ -20,6 +21,9 @@ import (
 // 404/503 instead of being absent, so probes keep stable URLs.
 func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if reg == nil {
 			http.Error(w, "no metrics registry", http.StatusNotFound)

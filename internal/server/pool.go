@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"fmt"
-	"path/filepath"
 	"sync"
 
 	"repro/internal/core"
@@ -69,66 +68,92 @@ func (e *graphEntry) variant(v graphVariant) *graph.Graph {
 	return g
 }
 
-// slot is one leased unit: a warm cluster plus its private checkpoint
-// store (file-backed when the pool has a checkpoint root).
+// slot is one leased unit: a warm engine plus the coordinates it was
+// built for, so Release can route it home without the caller re-stating
+// them.
 type slot struct {
-	c  *core.Cluster
-	fs *core.FileCheckpointStore // nil when checkpointing is in-memory
-	id int
+	eng      Engine
+	provider string
+	graph    string
+	variant  graphVariant
+	mode     core.Mode
+	id       int
 }
 
-// poolEntry is the free list for one (graph, variant, mode) triple. Clusters
-// are built lazily — the first lease pays partition cost, later leases
-// reuse warm slots — up to the pool's per-entry cap.
+// poolEntry is the free list for one (provider, graph, variant, mode)
+// tuple. Engines are built lazily — the first lease pays partition (and,
+// for remote providers, graph-shipping) cost, later leases reuse warm
+// slots — up to the pool's per-entry cap.
 type poolEntry struct {
 	free  chan *slot
 	mu    sync.Mutex
 	built int
 }
 
-// PoolConfig configures the cluster pool.
+// PoolConfig configures the engine pool.
 type PoolConfig struct {
 	// Graphs maps serving names to loaded graphs.
 	Graphs map[string]*graph.Graph
-	// Engine is the base engine configuration every cluster is built
-	// with; Checkpoints/ResumeCheckpoints/Tracer are managed per slot.
-	Engine core.Options
-	// SlotsPerEntry caps concurrent clusters per (graph, variant).
+	// Providers lists the engine providers slots can be built on,
+	// keyed into the pool by Name(). At least one is required.
+	Providers []EngineProvider
+	// DefaultProvider names the provider used when a request does not
+	// pick one; empty selects the first entry of Providers.
+	DefaultProvider string
+	// SlotsPerEntry caps concurrent engines per (provider, graph,
+	// variant, mode).
 	SlotsPerEntry int
-	// CheckpointRoot, when set, gives each slot a file-backed
-	// checkpoint store under CheckpointRoot/slot-<id>, so an engine
-	// recovery — or a restarted daemon re-issued the same query —
-	// resumes from the last committed superstep.
-	CheckpointRoot string
 	// Tracer is the shared tracer slots record into when no
 	// per-request capture is active.
 	Tracer *obs.Tracer
 }
 
-// Pool owns the warm clusters the server leases per request.
+// Pool owns the warm engines the server leases per request. Slots from
+// different providers coexist: the pool key is (provider, graph,
+// variant, mode), so an in-process cluster and a remote worker ring for
+// the same graph are separate free lists.
 type Pool struct {
-	cfg     PoolConfig
-	graphs  map[string]*graphEntry
-	mu      sync.Mutex
-	entries map[string]*poolEntry
-	slots   []*slot // every slot ever built, for stats aggregation
-	nextID  int
+	cfg       PoolConfig
+	providers map[string]EngineProvider
+	defName   string
+	graphs    map[string]*graphEntry
+	mu        sync.Mutex
+	entries   map[string]*poolEntry
+	slots     []*slot // every slot ever built, for stats aggregation
+	nextID    int
 }
 
-// NewPool validates the configuration and indexes the graphs. Clusters
-// are not built yet; the first query for each (graph, variant) pays
-// that cost.
+// NewPool validates the configuration and indexes the graphs and
+// providers. Engines are not built yet; the first query for each
+// (provider, graph, variant) pays that cost.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	if len(cfg.Graphs) == 0 {
 		return nil, fmt.Errorf("server: pool needs at least one graph")
+	}
+	if len(cfg.Providers) == 0 {
+		return nil, fmt.Errorf("server: pool needs at least one engine provider")
 	}
 	if cfg.SlotsPerEntry <= 0 {
 		cfg.SlotsPerEntry = 1
 	}
 	p := &Pool{
-		cfg:     cfg,
-		graphs:  make(map[string]*graphEntry, len(cfg.Graphs)),
-		entries: make(map[string]*poolEntry),
+		cfg:       cfg,
+		providers: make(map[string]EngineProvider, len(cfg.Providers)),
+		graphs:    make(map[string]*graphEntry, len(cfg.Graphs)),
+		entries:   make(map[string]*poolEntry),
+	}
+	for _, prov := range cfg.Providers {
+		if _, dup := p.providers[prov.Name()]; dup {
+			return nil, fmt.Errorf("server: duplicate engine provider %q", prov.Name())
+		}
+		p.providers[prov.Name()] = prov
+	}
+	p.defName = cfg.DefaultProvider
+	if p.defName == "" {
+		p.defName = cfg.Providers[0].Name()
+	}
+	if _, ok := p.providers[p.defName]; !ok {
+		return nil, fmt.Errorf("server: default provider %q not in provider list", p.defName)
 	}
 	for name, g := range cfg.Graphs {
 		root, _ := graph.LargestOutDegreeVertex(g)
@@ -164,8 +189,26 @@ func (p *Pool) GraphNames() []string {
 	return names
 }
 
-func (p *Pool) entry(graphName string, v graphVariant, mode core.Mode) *poolEntry {
-	key := fmt.Sprintf("%s/%v/%v", graphName, v, mode)
+// DefaultProvider names the provider used when a request picks none.
+func (p *Pool) DefaultProvider() string { return p.defName }
+
+// HasProvider reports whether the pool can schedule onto name.
+func (p *Pool) HasProvider(name string) bool {
+	_, ok := p.providers[name]
+	return ok
+}
+
+// ProviderNames lists the configured providers (unordered).
+func (p *Pool) ProviderNames() []string {
+	names := make([]string, 0, len(p.providers))
+	for n := range p.providers {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (p *Pool) entry(provider, graphName string, v graphVariant, mode core.Mode) *poolEntry {
+	key := fmt.Sprintf("%s/%s/%v/%v", provider, graphName, v, mode)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	e, ok := p.entries[key]
@@ -176,15 +219,23 @@ func (p *Pool) entry(graphName string, v graphVariant, mode core.Mode) *poolEntr
 	return e
 }
 
-// Lease hands out a warm cluster for (graphName, variant), building one
-// if the entry has spare capacity, otherwise blocking until a slot is
-// released or ctx is done.
-func (p *Pool) Lease(ctx context.Context, graphName string, v graphVariant, mode core.Mode) (*slot, error) {
+// Lease hands out a warm engine for (provider, graphName, variant),
+// building one if the entry has spare capacity, otherwise blocking
+// until a slot is released or ctx is done. An empty provider selects
+// the pool's default.
+func (p *Pool) Lease(ctx context.Context, provider, graphName string, v graphVariant, mode core.Mode) (*slot, error) {
+	if provider == "" {
+		provider = p.defName
+	}
+	prov, ok := p.providers[provider]
+	if !ok {
+		return nil, fmt.Errorf("unknown engine provider %q", provider)
+	}
 	ge, ok := p.graphs[graphName]
 	if !ok {
 		return nil, fmt.Errorf("unknown graph %q", graphName)
 	}
-	e := p.entry(graphName, v, mode)
+	e := p.entry(provider, graphName, v, mode)
 
 	select {
 	case s := <-e.free:
@@ -195,7 +246,7 @@ func (p *Pool) Lease(ctx context.Context, graphName string, v graphVariant, mode
 	if e.built < p.cfg.SlotsPerEntry {
 		e.built++
 		e.mu.Unlock()
-		s, err := p.build(ge, v, mode)
+		s, err := p.build(prov, ge, v, mode)
 		if err != nil {
 			e.mu.Lock()
 			e.built--
@@ -213,126 +264,127 @@ func (p *Pool) Lease(ctx context.Context, graphName string, v graphVariant, mode
 	}
 }
 
-func (p *Pool) build(ge *graphEntry, v graphVariant, mode core.Mode) (*slot, error) {
+func (p *Pool) build(prov EngineProvider, ge *graphEntry, v graphVariant, mode core.Mode) (*slot, error) {
 	p.mu.Lock()
 	id := p.nextID
 	p.nextID++
 	p.mu.Unlock()
 
-	opts := p.cfg.Engine
-	opts.Mode = mode
-	opts.Tracer = p.cfg.Tracer
-	var fs *core.FileCheckpointStore
-	if p.cfg.CheckpointRoot != "" {
-		var err error
-		fs, err = core.NewFileCheckpointStore(filepath.Join(p.cfg.CheckpointRoot, fmt.Sprintf("slot-%d", id)))
-		if err != nil {
-			return nil, fmt.Errorf("checkpoint store for slot %d: %w", id, err)
-		}
-		opts.Checkpoints = fs
-		// The slot store is cleared by tag (one query's snapshots never
-		// leak into another), not at program start, so a restarted
-		// daemon re-running the same query resumes it.
-		opts.ResumeCheckpoints = true
-	}
-	c, err := core.NewCluster(ge.variant(v), opts)
+	eng, err := prov.Build(BuildSpec{
+		GraphName: ge.name,
+		Variant:   v,
+		Graph:     ge.variant(v),
+		Mode:      mode,
+		SlotID:    id,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("building cluster for %s/%v: %w", ge.name, v, err)
+		return nil, fmt.Errorf("provider %s: %w", prov.Name(), err)
 	}
-	s := &slot{c: c, fs: fs, id: id}
+	s := &slot{eng: eng, provider: prov.Name(), graph: ge.name, variant: v, mode: mode, id: id}
 	p.mu.Lock()
 	p.slots = append(p.slots, s)
 	p.mu.Unlock()
 	return s, nil
 }
 
-// BindQuery prepares the slot for one request: the request context
-// governs the run, a capturing tracer replaces the shared one when the
-// request asked for a trace, and the checkpoint store is re-tagged with
-// the query key — wiping snapshots of a different previous query,
-// keeping them when the same query is being resumed.
-func (s *slot) BindQuery(ctx context.Context, key string, tr *obs.Tracer) {
-	s.c.SetBaseContext(ctx)
-	if tr != nil {
-		s.c.SetTracer(tr)
-	}
-	if s.fs != nil {
-		s.fs.SetTag(key)
-	}
-}
-
-// Release returns the slot to its free list. A poisoned cluster (failed
-// run past its restart budget, cancelled deadline) is Reset first; if
-// the Reset itself fails the cluster is rebuilt from scratch, so the
-// pool never recycles a broken slot and a chaos failure never shrinks
-// serving capacity.
-func (p *Pool) Release(s *slot, graphName string, v graphVariant, mode core.Mode) {
-	s.c.SetBaseContext(nil)
-	s.c.SetTracer(p.cfg.Tracer)
-	if s.c.Poisoned() != nil {
-		if err := s.c.Reset(); err != nil {
-			s.c.Close()
-			if ge, ok := p.graphs[graphName]; ok {
-				if fresh, berr := p.build(ge, v, mode); berr == nil {
-					s = fresh
-				} else {
-					// Capacity shrinks by one slot; the next lease
-					// with spare room rebuilds it.
-					e := p.entry(graphName, v, mode)
-					e.mu.Lock()
-					e.built--
-					e.mu.Unlock()
-					return
-				}
+// Release returns the slot to its free list. The engine first completes
+// its request protocol (FinishQuery — for remote engines, collecting
+// worker acknowledgements); a poisoned or finish-failed engine is Reset
+// in place when the implementation supports it, and rebuilt from
+// scratch through its provider otherwise — so the pool never recycles a
+// broken slot, and a dead remote worker triggers a rebuild that
+// re-evaluates the roster and re-forms the ring over the survivors.
+func (p *Pool) Release(s *slot) {
+	finishErr := s.eng.FinishQuery()
+	s.eng.SetBaseContext(nil)
+	s.eng.SetTracer(p.cfg.Tracer)
+	if finishErr != nil || s.eng.Poisoned() != nil {
+		if err := s.eng.Reset(); err != nil || finishErr != nil {
+			s.eng.Close()
+			prov := p.providers[s.provider]
+			ge := p.graphs[s.graph]
+			var fresh *slot
+			var berr error
+			if prov != nil && ge != nil {
+				fresh, berr = p.build(prov, ge, s.variant, s.mode)
+			} else {
+				berr = fmt.Errorf("slot %d has no provider/graph to rebuild from", s.id)
 			}
+			if berr != nil {
+				// Capacity shrinks by one slot; the next lease with
+				// spare room rebuilds it.
+				e := p.entry(s.provider, s.graph, s.variant, s.mode)
+				e.mu.Lock()
+				e.built--
+				e.mu.Unlock()
+				return
+			}
+			s = fresh
 		}
 	}
-	e := p.entry(graphName, v, mode)
+	e := p.entry(s.provider, s.graph, s.variant, s.mode)
 	select {
 	case e.free <- s:
 	default:
 		// Free list full: a replacement was built while this slot was
 		// out (can't happen in the current accounting, but never block
 		// a release).
-		s.c.Close()
+		s.eng.Close()
 	}
 }
 
-// Close tears down every idle cluster. Leased slots are abandoned; call
-// only after the server has drained.
+// Close tears down every idle engine and then the providers. Leased
+// slots are abandoned; call only after the server has drained.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, e := range p.entries {
 		for {
 			select {
 			case s := <-e.free:
-				s.c.Close()
+				s.eng.Close()
 			default:
 				goto next
 			}
 		}
 	next:
 	}
+	p.mu.Unlock()
+	for _, prov := range p.providers {
+		prov.Close()
+	}
 }
 
-// Restarts sums recovery restarts across every cluster the pool ever
+// Restarts sums recovery restarts across every engine the pool ever
 // built — the serving-level view of how much chaos the resilience loop
-// absorbed. Reading a leased cluster's stats mid-run is safe.
+// absorbed. Reading a leased engine's stats mid-run is safe.
 func (p *Pool) Restarts() int64 {
 	p.mu.Lock()
 	slots := append([]*slot(nil), p.slots...)
 	p.mu.Unlock()
 	var total int64
 	for _, s := range slots {
-		total += s.c.Stats().Restarts
+		total += s.eng.Stats().Restarts
 	}
 	return total
 }
 
-// Slots reports how many clusters the pool has built.
+// Slots reports how many engines the pool has built.
 func (p *Pool) Slots() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.slots)
+}
+
+// ProviderSlots breaks Slots down by provider, for /statusz.
+func (p *Pool) ProviderSlots() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.providers))
+	for n := range p.providers {
+		out[n] = 0
+	}
+	for _, s := range p.slots {
+		out[s.provider]++
+	}
+	return out
 }

@@ -12,26 +12,33 @@ import (
 	"repro/internal/graph"
 )
 
-// TestPoolConcurrentLeasesMatchSequential leases two clusters from the
+// localTestPool builds a pool backed by the in-process provider alone.
+func localTestPool(t *testing.T, g *graph.Graph, opts core.Options, slots int) *Pool {
+	t.Helper()
+	p, err := NewPool(PoolConfig{
+		Graphs:        map[string]*graph.Graph{"g": g},
+		Providers:     []EngineProvider{NewLocalProvider(LocalProviderConfig{Options: opts})},
+		SlotsPerEntry: slots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestPoolConcurrentLeasesMatchSequential leases two engines from the
 // same pool and runs different algorithms on them simultaneously (run
 // under -race in `make race`): the slots must be fully isolated — the
 // concurrent results bit-identical to sequential runs of the same
 // queries.
 func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 	g := testGraph(7, 3)
-	p, err := NewPool(PoolConfig{
-		Graphs:        map[string]*graph.Graph{"g": g},
-		Engine:        core.Options{NumNodes: 2, Mode: core.ModeSympleGraph},
-		SlotsPerEntry: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Close()
+	p := localTestPool(t, g, core.Options{NumNodes: 2, Mode: core.ModeSympleGraph}, 2)
 	mode := core.ModeSympleGraph
 
-	// Sequential baselines on dedicated clusters.
-	baseBFS, err := core.NewCluster(g, core.Options{NumNodes: 2, Mode: mode})
+	// Sequential baselines on dedicated engines.
+	baseBFS, err := core.NewEngine(g, core.Options{NumNodes: 2, Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +48,7 @@ func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseKC, err := core.NewCluster(graph.Symmetrize(g), core.Options{NumNodes: 2, Mode: mode})
+	baseKC, err := core.NewEngine(graph.Symmetrize(g), core.Options{NumNodes: 2, Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,16 +62,16 @@ func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 	// rounds so the slots are recycled through Release in between.
 	ctx := context.Background()
 	for round := 0; round < 3; round++ {
-		s1, err := p.Lease(ctx, "g", variantDirected, mode)
+		s1, err := p.Lease(ctx, "", "g", variantDirected, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s2, err := p.Lease(ctx, "g", variantUndirected, mode)
+		s2, err := p.Lease(ctx, "local", "g", variantUndirected, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if s1.c == s2.c {
-			t.Fatal("two live leases share a cluster")
+		if s1.eng == s2.eng {
+			t.Fatal("two live leases share an engine")
 		}
 		var wg sync.WaitGroup
 		var gotBFS *algorithms.BFSResult
@@ -73,15 +80,15 @@ func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			gotBFS, err1 = algorithms.BFS(s1.c, root)
+			gotBFS, err1 = algorithms.BFS(s1.eng, root)
 		}()
 		go func() {
 			defer wg.Done()
-			gotKC, err2 = algorithms.KCore(s2.c, 3)
+			gotKC, err2 = algorithms.KCore(s2.eng, 3)
 		}()
 		wg.Wait()
-		p.Release(s1, "g", variantDirected, mode)
-		p.Release(s2, "g", variantUndirected, mode)
+		p.Release(s1)
+		p.Release(s2)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("round %d: bfs err=%v kcore err=%v", round, err1, err2)
 		}
@@ -92,9 +99,12 @@ func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 			t.Fatalf("round %d: concurrent KCore diverged from sequential", round)
 		}
 	}
-	// Both variants reuse warm clusters across rounds: 2 slots total.
+	// Both variants reuse warm engines across rounds: 2 slots total.
 	if p.Slots() != 2 {
-		t.Fatalf("pool built %d clusters, want 2", p.Slots())
+		t.Fatalf("pool built %d engines, want 2", p.Slots())
+	}
+	if got := p.ProviderSlots()["local"]; got != 2 {
+		t.Fatalf("provider slot count = %d, want 2", got)
 	}
 }
 
@@ -102,30 +112,22 @@ func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 // lease with 2 slots outstanding waits until one is released, and a
 // cancelled context unblocks it with ctx.Err().
 func TestPoolLeaseBlocksAtCapacity(t *testing.T) {
-	p, err := NewPool(PoolConfig{
-		Graphs:        map[string]*graph.Graph{"g": testGraph(6, 1)},
-		Engine:        core.Options{NumNodes: 2},
-		SlotsPerEntry: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Close()
+	p := localTestPool(t, testGraph(6, 1), core.Options{NumNodes: 2}, 2)
 	mode := core.ModeSympleGraph
 	ctx := context.Background()
 
-	s1, err := p.Lease(ctx, "g", variantDirected, mode)
+	s1, err := p.Lease(ctx, "", "g", variantDirected, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := p.Lease(ctx, "g", variantDirected, mode)
+	s2, err := p.Lease(ctx, "", "g", variantDirected, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	done := make(chan *slot)
 	go func() {
-		s3, err := p.Lease(ctx, "g", variantDirected, mode)
+		s3, err := p.Lease(ctx, "", "g", variantDirected, mode)
 		if err != nil {
 			t.Errorf("blocked lease: %v", err)
 		}
@@ -136,26 +138,29 @@ func TestPoolLeaseBlocksAtCapacity(t *testing.T) {
 		t.Fatal("third lease did not block at capacity")
 	case <-time.After(50 * time.Millisecond):
 	}
-	p.Release(s1, "g", variantDirected, mode)
+	p.Release(s1)
 	s3 := <-done
 	if s3 == nil {
 		t.Fatal("no slot after release")
 	}
-	p.Release(s2, "g", variantDirected, mode)
-	p.Release(s3, "g", variantDirected, mode)
+	p.Release(s2)
+	p.Release(s3)
 
 	// At capacity with nothing released, a deadline unblocks the wait.
-	a, _ := p.Lease(ctx, "g", variantDirected, mode)
-	b, _ := p.Lease(ctx, "g", variantDirected, mode)
+	a, _ := p.Lease(ctx, "", "g", variantDirected, mode)
+	b, _ := p.Lease(ctx, "", "g", variantDirected, mode)
 	cctx, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := p.Lease(cctx, "g", variantDirected, mode); err != context.Canceled {
+	if _, err := p.Lease(cctx, "", "g", variantDirected, mode); err != context.Canceled {
 		t.Fatalf("cancelled lease: %v", err)
 	}
-	p.Release(a, "g", variantDirected, mode)
-	p.Release(b, "g", variantDirected, mode)
+	p.Release(a)
+	p.Release(b)
 
-	if _, err := p.Lease(ctx, "missing", variantDirected, mode); err == nil {
+	if _, err := p.Lease(ctx, "", "missing", variantDirected, mode); err == nil {
 		t.Fatal("unknown graph leased")
+	}
+	if _, err := p.Lease(ctx, "nosuch", "g", variantDirected, mode); err == nil {
+		t.Fatal("unknown provider leased")
 	}
 }

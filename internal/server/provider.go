@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Engine is one schedulable query engine as the pool sees it: the full
+// core.Engine surface plus the per-request binding hooks. The pool
+// leases Engines without knowing whether they are in-process clusters
+// or front-ends to a ring of worker processes.
+type Engine interface {
+	core.Engine
+
+	// BindQuery prepares the engine for one leased request: the
+	// request's context governs the run, a capturing tracer replaces
+	// the shared one when non-nil, and — for implementations that
+	// schedule remote workers — the canonicalized query is announced to
+	// every machine so the SPMD programs line up. An error means the
+	// engine could not be prepared; the pool treats it like a poisoned
+	// run.
+	BindQuery(ctx context.Context, q Request, key string, tr *obs.Tracer) error
+
+	// FinishQuery completes the request's engine-side protocol on
+	// release (collecting worker acknowledgements, surfacing failures
+	// the local run did not observe). A non-nil error marks the engine
+	// unfit for reuse; the pool resets or rebuilds it.
+	FinishQuery() error
+}
+
+// BuildSpec describes one engine the pool asks a provider to build.
+type BuildSpec struct {
+	// GraphName is the serving name; Graph the (variant-derived) graph
+	// the engine must load.
+	GraphName string
+	Variant   graphVariant
+	Graph     *graph.Graph
+	// Mode is the engine mode this slot serves.
+	Mode core.Mode
+	// SlotID is the pool-unique slot number, for checkpoint roots and
+	// diagnostics.
+	SlotID int
+}
+
+// EngineProvider builds warm engines for the pool. The provider owns
+// everything behind the Engine surface — where the machines live, how
+// the graph reaches them, what happens when one dies. Build is called
+// lazily (first lease of each pool entry) and again whenever a poisoned
+// slot could not be reset in place, so a provider backed by fallible
+// workers re-evaluates its roster on every build.
+type EngineProvider interface {
+	// Name identifies the provider in pool keys, request routing and
+	// /statusz ("local", "remote").
+	Name() string
+	// Build constructs one warm engine for spec.
+	Build(spec BuildSpec) (Engine, error)
+	// Close releases provider-held resources once the pool is done.
+	Close()
+}
+
+// LocalProviderConfig configures the in-process provider.
+type LocalProviderConfig struct {
+	// Options is the base engine configuration every cluster is built
+	// with; Mode, Tracer and Checkpoints are managed per slot.
+	Options core.Options
+	// Tracer is the shared tracer slots record into when no
+	// per-request capture is active.
+	Tracer *obs.Tracer
+	// CheckpointRoot, when set, gives each slot a file-backed
+	// checkpoint store under CheckpointRoot/slot-<id>.
+	CheckpointRoot string
+}
+
+// localProvider builds in-process simulated clusters — the single-node
+// deployment every sgserve has served since PR 3, now behind the
+// provider boundary.
+type localProvider struct {
+	cfg LocalProviderConfig
+}
+
+// NewLocalProvider returns the in-process engine provider.
+func NewLocalProvider(cfg LocalProviderConfig) EngineProvider {
+	return &localProvider{cfg: cfg}
+}
+
+func (p *localProvider) Name() string { return "local" }
+
+func (p *localProvider) Close() {}
+
+func (p *localProvider) Build(spec BuildSpec) (Engine, error) {
+	opts := p.cfg.Options
+	opts.Mode = spec.Mode
+	opts.Tracer = p.cfg.Tracer
+	var fs *core.FileCheckpointStore
+	if p.cfg.CheckpointRoot != "" {
+		var err error
+		fs, err = core.NewFileCheckpointStore(filepath.Join(p.cfg.CheckpointRoot, fmt.Sprintf("slot-%d", spec.SlotID)))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint store for slot %d: %w", spec.SlotID, err)
+		}
+		opts.Checkpoints = fs
+		// The slot store is cleared by tag (one query's snapshots never
+		// leak into another), not at program start, so a restarted
+		// daemon re-running the same query resumes it.
+		opts.ResumeCheckpoints = true
+	}
+	eng, err := core.NewEngine(spec.Graph, opts)
+	if err != nil {
+		return nil, fmt.Errorf("building cluster for %s/%v: %w", spec.GraphName, spec.Variant, err)
+	}
+	return &localEngine{Engine: eng, fs: fs}, nil
+}
+
+// localEngine decorates an in-process cluster with the per-request
+// binding the pool expects: context, tracer, and the checkpoint-store
+// tag that keeps one query's snapshots from leaking into the next.
+type localEngine struct {
+	core.Engine
+	fs *core.FileCheckpointStore // nil when checkpointing is in-memory
+}
+
+func (e *localEngine) BindQuery(ctx context.Context, q Request, key string, tr *obs.Tracer) error {
+	e.SetBaseContext(ctx)
+	if tr != nil {
+		e.SetTracer(tr)
+	}
+	if e.fs != nil {
+		// Re-tag with the query key: wipes snapshots of a different
+		// previous query, keeps them when the same query is resumed.
+		e.fs.SetTag(key)
+	}
+	return nil
+}
+
+func (e *localEngine) FinishQuery() error { return nil }

@@ -37,9 +37,13 @@ type Request struct {
 	Seed    uint64 `json:"seed"`    // mis/kmeans/sampling
 
 	// Per-request scheduling knobs; never part of the cache key.
-	DeadlineMs int  `json:"deadline_ms"` // 0 = no per-request deadline
-	NoCache    bool `json:"no_cache"`    // bypass the result cache
-	Trace      bool `json:"trace"`       // capture a per-request phase trace
+	// Provider stays out of the key deliberately: results are
+	// deterministic and independent of where the engine runs, so a
+	// remote answer satisfies a later local query and vice versa.
+	DeadlineMs int    `json:"deadline_ms"` // 0 = no per-request deadline
+	NoCache    bool   `json:"no_cache"`    // bypass the result cache
+	Trace      bool   `json:"trace"`       // capture a per-request phase trace
+	Provider   string `json:"provider"`    // engine provider ("local", "remote"); "" = server default
 }
 
 // algoNames is the fixed serving vocabulary; per-algo histograms and the
@@ -100,6 +104,7 @@ func parseQueryValues(v url.Values) (Request, error) {
 	}
 	q.NoCache = v.Get("no_cache") == "1" || v.Get("no_cache") == "true"
 	q.Trace = v.Get("trace") == "1" || v.Get("trace") == "true"
+	q.Provider = v.Get("provider")
 	return q, err
 }
 
@@ -119,7 +124,7 @@ func canonicalize(q Request, info graphInfo) (Request, error) {
 	}
 
 	c := Request{Graph: q.Graph, Algo: q.Algo, Mode: q.Mode,
-		DeadlineMs: q.DeadlineMs, NoCache: q.NoCache, Trace: q.Trace}
+		DeadlineMs: q.DeadlineMs, NoCache: q.NoCache, Trace: q.Trace, Provider: q.Provider}
 	switch q.Algo {
 	case "bfs", "sssp":
 		c.Root = q.Root
@@ -234,15 +239,20 @@ type Response struct {
 	Result      Result      `json:"result"`
 	Engine      EngineStats `json:"engine"`
 	Cached      bool        `json:"cached"`
+	Coalesced   bool        `json:"coalesced,omitempty"`
+	Provider    string      `json:"provider,omitempty"`
 	QueueWaitMs float64     `json:"queue_wait_ms"`
 	EngineMs    float64     `json:"engine_ms"`
 	Trace       []TraceSpan `json:"trace,omitempty"`
 }
 
-// runAlgorithm dispatches a canonicalized request on a leased cluster
+// runAlgorithm dispatches a canonicalized request on a leased engine
 // and distills the algorithm's answer into the compact Result. The
-// cluster's graph is the variant variantFor(q.Algo) selected.
-func runAlgorithm(c *core.Cluster, q Request) (Result, error) {
+// engine's graph is the variant variantFor(q.Algo) selected. The same
+// dispatch runs on every machine of a distributed engine — the
+// canonical request is the SPMD program selector, so front-end and
+// workers issue identical Execute sequences.
+func runAlgorithm(c core.Engine, q Request) (Result, error) {
 	var res Result
 	switch q.Algo {
 	case "bfs":

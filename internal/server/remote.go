@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// The remote provider turns a worker roster into pool slots: each Build
+// forms one distributed cluster with this process as node 0 and one
+// sgworker process per surviving roster entry as nodes 1..p-1, connected
+// by the engine's TCP endpoints. The control protocol (comm.CtrlConn)
+// carries the per-slot negotiation:
+//
+//	front-end → worker   build {graph, variant, fp, node, nodes, opts}
+//	worker → front-end   graph-state {have}
+//	front-end → worker   graph + blob        (only when the worker lacks fp)
+//	worker → front-end   ready {data_addr}
+//	front-end → worker   start {addrs}       (the full data-plane address list)
+//	worker → front-end   up {error}          (mesh formed, engine built)
+//	…per query…          run {Request} / done {error}
+//	front-end → worker   close               (slot teardown)
+//
+// Closures cannot cross process boundaries, so queries ship as the
+// canonical Request and every machine runs the same runAlgorithm
+// dispatch — the SPMD contract: identical Execute sequences on every
+// node, differing only in which vertex partition each owns.
+
+// Remote engines run with recovery and checkpointing disabled: a node
+// cannot re-form a ring it does not own, so the failure model is
+// "poison, rebuild through the provider against the surviving roster"
+// rather than in-place restart.
+
+const (
+	defaultCtrlDialTimeout = 3 * time.Second
+	// defaultBuildTimeout bounds each control-protocol step of slot
+	// construction (graph shipping dominates).
+	defaultBuildTimeout = 2 * time.Minute
+	// defaultFinishTimeout bounds waiting for per-query worker
+	// acknowledgements; a worker that cannot answer by then is treated
+	// as lost and the slot is rebuilt.
+	defaultFinishTimeout = 30 * time.Second
+)
+
+// wireOptions is the engine configuration shipped to workers — the
+// subset of core.Options that is meaningful across process boundaries.
+type wireOptions struct {
+	Mode         string  `json:"mode"`
+	DepThreshold int     `json:"dep_threshold"`
+	NumBuffers   int     `json:"num_buffers"`
+	Workers      int     `json:"workers"`
+	Alpha        float64 `json:"alpha"`
+	StallMs      int64   `json:"stall_ms"`
+}
+
+type buildMsg struct {
+	Graph   string      `json:"graph"`
+	Variant string      `json:"variant"`
+	FP      string      `json:"fp"` // sha256 of the serialized graph
+	Node    int         `json:"node"`
+	Nodes   int         `json:"nodes"`
+	Opts    wireOptions `json:"opts"`
+}
+
+type graphStateMsg struct {
+	Have bool `json:"have"`
+}
+
+type readyMsg struct {
+	DataAddr string `json:"data_addr"`
+}
+
+type startMsg struct {
+	Addrs []string `json:"addrs"`
+}
+
+type upMsg struct {
+	Error string `json:"error,omitempty"`
+}
+
+type doneMsg struct {
+	Error string `json:"error,omitempty"`
+}
+
+// RemoteProviderConfig configures the remote engine provider.
+type RemoteProviderConfig struct {
+	// Workers lists sgworker control addresses. Required non-empty.
+	Workers []string
+	// Options is the base engine configuration; NumNodes is derived
+	// from the surviving roster, and recovery/checkpoint fields are
+	// forced off (see the failure model above).
+	Options core.Options
+	// Tracer receives node-0 phase spans (worker-side spans stay on the
+	// workers).
+	Tracer *obs.Tracer
+	// AdvertiseHost is the host workers dial back for node 0's data
+	// plane; default 127.0.0.1.
+	AdvertiseHost string
+	// DialTimeout bounds each control dial; BuildTimeout each build
+	// step; FinishTimeout the per-query acknowledgement wait.
+	DialTimeout   time.Duration
+	BuildTimeout  time.Duration
+	FinishTimeout time.Duration
+}
+
+// RemoteProvider builds engines over a roster of sgworker processes.
+type RemoteProvider struct {
+	cfg RemoteProviderConfig
+
+	mu    sync.Mutex
+	blobs map[*graph.Graph]graphBlob // serialized-variant cache
+}
+
+type graphBlob struct {
+	data []byte
+	fp   string
+}
+
+// NewRemoteProvider returns a provider that schedules onto cfg.Workers.
+func NewRemoteProvider(cfg RemoteProviderConfig) EngineProvider {
+	if cfg.AdvertiseHost == "" {
+		cfg.AdvertiseHost = "127.0.0.1"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultCtrlDialTimeout
+	}
+	if cfg.BuildTimeout <= 0 {
+		cfg.BuildTimeout = defaultBuildTimeout
+	}
+	if cfg.FinishTimeout <= 0 {
+		cfg.FinishTimeout = defaultFinishTimeout
+	}
+	return &RemoteProvider{cfg: cfg, blobs: make(map[*graph.Graph]graphBlob)}
+}
+
+func (p *RemoteProvider) Name() string { return "remote" }
+
+func (p *RemoteProvider) Close() {}
+
+// blobFor serializes g once and caches the bytes + fingerprint; every
+// slot build for the same variant reuses them, and workers that already
+// hold the fingerprint skip the transfer entirely.
+func (p *RemoteProvider) blobFor(g *graph.Graph) (graphBlob, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.blobs[g]; ok {
+		return b, nil
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		return graphBlob{}, fmt.Errorf("serializing graph: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	b := graphBlob{data: buf.Bytes(), fp: hex.EncodeToString(sum[:])}
+	p.blobs[g] = b
+	return b, nil
+}
+
+// Build dials the roster, ships the graph to workers that lack it,
+// forms the data-plane ring, and returns the node-0 engine. Unreachable
+// workers are skipped — the slot is built over the survivors — so a
+// rebuild after a worker death re-forms the ring without it; only a
+// fully unreachable roster fails the build.
+func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
+	blob, err := p.blobFor(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	var conns []*comm.CtrlConn
+	var dialErrs []error
+	for _, addr := range p.cfg.Workers {
+		cc, err := comm.DialCtrl(addr, p.cfg.DialTimeout)
+		if err != nil {
+			dialErrs = append(dialErrs, err)
+			continue
+		}
+		conns = append(conns, cc)
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("no sgworker reachable (roster %v): %v", p.cfg.Workers, dialErrs)
+	}
+	closeAll := func() {
+		for _, cc := range conns {
+			cc.Close()
+		}
+	}
+
+	n := len(conns) + 1 // node 0 is this process
+	opts := p.cfg.Options
+	opts.NumNodes = n
+	opts.Mode = spec.Mode
+	opts.Tracer = p.cfg.Tracer
+	opts.Endpoints = nil
+	opts.Link = nil
+	opts.Fault = nil
+	opts.MaxRestarts = 0
+	opts.CheckpointEvery = 0
+	opts.Checkpoints = nil
+	opts.ResumeCheckpoints = false
+
+	wire := wireOptions{
+		Mode:         spec.Mode.String(),
+		DepThreshold: opts.DepThreshold,
+		NumBuffers:   opts.NumBuffers,
+		Workers:      opts.Workers,
+		Alpha:        opts.Alpha,
+		StallMs:      opts.StallTimeout.Milliseconds(),
+	}
+
+	deadline := time.Now().Add(p.cfg.BuildTimeout)
+	for _, cc := range conns {
+		cc.SetDeadline(deadline)
+	}
+
+	// Phase 1: announce the build and ship the graph where needed.
+	addrs := make([]string, n)
+	for i, cc := range conns {
+		node := i + 1
+		msg := buildMsg{Graph: spec.GraphName, Variant: spec.Variant.String(),
+			FP: blob.fp, Node: node, Nodes: n, Opts: wire}
+		if err := cc.Send("build", msg); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		}
+		var gs graphStateMsg
+		if err := cc.Expect("graph-state", &gs); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		}
+		if !gs.Have {
+			if err := cc.Send("graph", nil); err == nil {
+				err = cc.SendBlob(blob.data)
+			}
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("shipping graph to worker %s: %w", cc.RemoteAddr(), err)
+			}
+		}
+		var rd readyMsg
+		if err := cc.Expect("ready", &rd); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		}
+		addrs[node] = rd.DataAddr
+	}
+
+	// Phase 2: open node 0's data listener, broadcast the address list,
+	// and form the mesh. Every NewTCPEndpoint (ours and each worker's)
+	// must run concurrently — the mesh blocks until complete.
+	ln, err := net.Listen("tcp", net.JoinHostPort(p.cfg.AdvertiseHost, "0"))
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("node-0 data listener: %w", err)
+	}
+	addrs[0] = ln.Addr().String()
+	for _, cc := range conns {
+		if err := cc.Send("start", startMsg{Addrs: addrs}); err != nil {
+			ln.Close()
+			closeAll()
+			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		}
+	}
+	ep, err := comm.NewTCPEndpoint(0, ln, addrs)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("forming data plane: %w", err)
+	}
+	for _, cc := range conns {
+		var up upMsg
+		err := cc.Expect("up", &up)
+		if err == nil && up.Error != "" {
+			err = fmt.Errorf("%s", up.Error)
+		}
+		if err != nil {
+			ep.Close()
+			closeAll()
+			return nil, fmt.Errorf("worker %s failed to come up: %w", cc.RemoteAddr(), err)
+		}
+	}
+	for _, cc := range conns {
+		cc.SetDeadline(time.Time{})
+	}
+
+	eng, err := core.NewDistributedEngine(spec.Graph, opts, ep)
+	if err != nil {
+		ep.Close()
+		closeAll()
+		return nil, fmt.Errorf("building node-0 engine: %w", err)
+	}
+	return &remoteEngine{Engine: eng, ep: ep, conns: conns, finishTimeout: p.cfg.FinishTimeout}, nil
+}
+
+// remoteEngine is node 0 of a worker ring: the embedded engine runs the
+// local share of every program over the TCP endpoint, and the control
+// connections keep the workers' dispatch in lockstep with ours.
+//
+// BindQuery/FinishQuery are called by the single request holding the
+// slot lease, so the per-query fields need no locking.
+type remoteEngine struct {
+	core.Engine
+	ep            *comm.TCPEndpoint
+	conns         []*comm.CtrlConn
+	finishTimeout time.Duration
+
+	inFlight bool
+	failed   error // sticky: a worker-side failure marks the slot for rebuild
+}
+
+// BindQuery announces the canonicalized request to every worker — each
+// starts the same runAlgorithm dispatch — and binds the local context
+// and tracer. The request context does not propagate to workers; a
+// cancelled node 0 tears its endpoint down, which unblocks them.
+func (e *remoteEngine) BindQuery(ctx context.Context, q Request, key string, tr *obs.Tracer) error {
+	e.Engine.SetBaseContext(ctx)
+	if tr != nil {
+		e.Engine.SetTracer(tr)
+	}
+	e.inFlight = true
+	for _, cc := range e.conns {
+		if err := cc.Send("run", q); err != nil {
+			e.failed = fmt.Errorf("announcing query to worker %s: %w", cc.RemoteAddr(), err)
+			return e.failed
+		}
+	}
+	return nil
+}
+
+// FinishQuery collects one done acknowledgement per worker. Any worker
+// error — or a worker that cannot answer within the finish timeout —
+// poisons the slot: the pool rebuilds it through the provider, which
+// re-evaluates the roster.
+func (e *remoteEngine) FinishQuery() error {
+	if !e.inFlight {
+		return e.failed
+	}
+	e.inFlight = false
+	deadline := time.Now().Add(e.finishTimeout)
+	for _, cc := range e.conns {
+		cc.SetDeadline(deadline)
+		var d doneMsg
+		if err := cc.Expect("done", &d); err != nil {
+			e.failed = fmt.Errorf("worker %s lost mid-query: %w", cc.RemoteAddr(), err)
+			continue
+		}
+		if d.Error != "" {
+			e.failed = fmt.Errorf("worker %s: %s", cc.RemoteAddr(), d.Error)
+		}
+		cc.SetDeadline(time.Time{})
+	}
+	return e.failed
+}
+
+// Reset always fails: node 0 does not own the workers' endpoints, so a
+// poisoned remote engine is rebuilt through the provider instead.
+func (e *remoteEngine) Reset() error {
+	return fmt.Errorf("server: remote engine cannot reset in place; rebuild through the provider")
+}
+
+// Close tears the slot down: a best-effort close message lets each
+// worker free its engine promptly, then the control connections and the
+// data plane drop.
+func (e *remoteEngine) Close() error {
+	for _, cc := range e.conns {
+		cc.SetDeadline(time.Now().Add(2 * time.Second))
+		cc.Send("close", nil)
+		cc.Close()
+	}
+	e.ep.Close()
+	return e.Engine.Close()
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startWorkers launches n in-process worker daemons and returns their
+// control addresses.
+func startWorkers(t *testing.T, n int) ([]*WorkerDaemon, []string) {
+	t.Helper()
+	daemons := make([]*WorkerDaemon, n)
+	addrs := make([]string, n)
+	for i := range daemons {
+		d, err := StartWorkerDaemon(WorkerConfig{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		daemons[i] = d
+		addrs[i] = d.Addr()
+	}
+	return daemons, addrs
+}
+
+func getResponse(t *testing.T, url string) (int, Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var r Response
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatalf("bad response body: %v\n%s", err, body)
+		}
+	}
+	return resp.StatusCode, r, string(body)
+}
+
+// TestRemoteProviderMatchesLocal is the acceptance gate for the remote
+// path: a front-end with a 2-worker roster serves BFS, SSSP and K-core
+// in both engine modes over real TCP worker processes, and every result
+// is identical to the in-process provider on the same graph and seed.
+func TestRemoteProviderMatchesLocal(t *testing.T) {
+	daemons, addrs := startWorkers(t, 2)
+	s := testServer(t, Config{Workers: addrs})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, mode := range []string{"symplegraph", "gemini"} {
+		for _, algo := range []string{"bfs", "sssp", "kcore"} {
+			base := fmt.Sprintf("%s/query?graph=g1&algo=%s&mode=%s&no_cache=1", ts.URL, algo, mode)
+			code, remote, body := getResponse(t, base+"&provider=remote")
+			if code != http.StatusOK {
+				t.Fatalf("%s/%s remote: %d %s", algo, mode, code, body)
+			}
+			code, local, body := getResponse(t, base+"&provider=local")
+			if code != http.StatusOK {
+				t.Fatalf("%s/%s local: %d %s", algo, mode, code, body)
+			}
+			if remote.Provider != "remote" || local.Provider != "local" {
+				t.Fatalf("%s/%s providers: %q vs %q", algo, mode, remote.Provider, local.Provider)
+			}
+			if !reflect.DeepEqual(remote.Result, local.Result) {
+				t.Fatalf("%s/%s diverged: remote %+v local %+v", algo, mode, remote.Result, local.Result)
+			}
+		}
+	}
+
+	// The roster is the default provider: an unrouted query runs remote.
+	code, r, body := getResponse(t, ts.URL+"/query?graph=g1&algo=bfs&no_cache=1")
+	if code != http.StatusOK || r.Provider != "remote" {
+		t.Fatalf("default provider: %d %q %s", code, r.Provider, body)
+	}
+	if daemons[0].SlotsBuilt() == 0 || daemons[1].SlotsBuilt() == 0 {
+		t.Fatalf("worker slots built: %d, %d", daemons[0].SlotsBuilt(), daemons[1].SlotsBuilt())
+	}
+
+	// Unknown providers are a client error, not a scheduling surprise.
+	if code, _, _ := getResponse(t, ts.URL+"/query?graph=g1&algo=bfs&provider=cloud"); code != http.StatusBadRequest {
+		t.Fatalf("unknown provider: %d", code)
+	}
+}
+
+// TestWorkerLossMidQueryRebuildsSlot kills one sgworker while it is
+// executing a query: the in-flight query must fail with the peer-lost
+// typed error (comm.ClosedError through cliutil's classifier), the
+// poisoned slot must be rebuilt against the surviving roster, and a
+// re-issued query must succeed.
+func TestWorkerLossMidQueryRebuildsSlot(t *testing.T) {
+	daemons, addrs := startWorkers(t, 2)
+	s := testServer(t, Config{Workers: addrs})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Kill worker 1 as soon as any worker has started executing.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if daemons[0].RunsStarted()+daemons[1].RunsStarted() > 0 {
+				daemons[1].Close()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	code, _, body := getResponse(t, ts.URL+"/query?graph=g1&algo=pagerank&iters=400&no_cache=1&provider=remote")
+	<-killed
+	if code != http.StatusInternalServerError {
+		t.Fatalf("mid-kill query: %d %s", code, body)
+	}
+	if !strings.Contains(body, "peer lost") {
+		t.Fatalf("mid-kill error not classified as peer loss: %s", body)
+	}
+
+	// The slot rebuild re-evaluated the roster: the next remote query
+	// runs on a ring formed over the surviving worker alone.
+	code, r, body := getResponse(t, ts.URL+"/query?graph=g1&algo=bfs&no_cache=1&provider=remote")
+	if code != http.StatusOK || r.Provider != "remote" {
+		t.Fatalf("post-kill query: %d %q %s", code, r.Provider, body)
+	}
+	// And it still matches the in-process answer.
+	code, local, body := getResponse(t, ts.URL+"/query?graph=g1&algo=bfs&no_cache=1&provider=local")
+	if code != http.StatusOK {
+		t.Fatalf("post-kill local query: %d %s", code, body)
+	}
+	if !reflect.DeepEqual(r.Result, local.Result) {
+		t.Fatalf("post-kill results diverged: remote %+v local %+v", r.Result, local.Result)
+	}
+}
+
+// TestRetryAfterClamp pins the overload-amplification fix: with an
+// empty engine-latency histogram (mean 0) a shed client must still be
+// told to back off at least one second, never "retry immediately".
+func TestRetryAfterClamp(t *testing.T) {
+	if got := retryAfter(0, 0, 1); got < time.Second {
+		t.Fatalf("empty-histogram retry-after = %v, want ≥ 1s", got)
+	}
+	if got := retryAfter(0, 100, 0); got < time.Second {
+		t.Fatalf("zero-inflight retry-after = %v, want ≥ 1s", got)
+	}
+	if got := retryAfter(time.Microsecond, 1, 8); got < time.Second {
+		t.Fatalf("tiny-mean retry-after = %v, want ≥ 1s", got)
+	}
+	// A genuinely long drain estimate passes through (rounded).
+	if got := retryAfter(10*time.Second, 7, 2); got < 10*time.Second {
+		t.Fatalf("long drain estimate clamped down: %v", got)
+	}
+}

@@ -34,8 +34,19 @@ type Config struct {
 	CacheEntries int
 	CacheBytes   int64
 	// CheckpointRoot, when set, persists superstep checkpoints per
-	// pool slot under this directory.
+	// pool slot under this directory (local provider only; remote
+	// engines are rebuilt, not resumed).
 	CheckpointRoot string
+	// Workers lists sgworker control addresses (host:port). When
+	// non-empty a remote provider is registered alongside the local one
+	// and becomes the default: queries run on a TCP ring of worker
+	// processes with this server as node 0. Requests pick explicitly
+	// with provider=local|remote.
+	Workers []string
+	// AdvertiseHost is the host workers dial back for the data plane
+	// (default 127.0.0.1; set to this machine's reachable address when
+	// workers are remote).
+	AdvertiseHost string
 	// Registry receives serving metrics when non-nil.
 	Registry *obs.Registry
 	// Tracer is the shared engine tracer (may be nil).
@@ -47,6 +58,16 @@ type Config struct {
 type perAlgo struct {
 	queue  obs.Histogram
 	engine obs.Histogram
+}
+
+// flight is one in-progress uncached query that identical concurrent
+// requests coalesce onto: the leader runs the engine, publishes resp,
+// and closes done; followers wait on done and reuse the answer without
+// passing admission.
+type flight struct {
+	done chan struct{}
+	resp Response
+	ok   bool // leader succeeded; resp is valid
 }
 
 // Server is the graph query service. Create with New, mount Handler on
@@ -63,11 +84,27 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup // in-flight /query handlers
 
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
 	total     atomic.Int64
 	ok        atomic.Int64
 	clientErr atomic.Int64
 	serverErr atomic.Int64
 	timeouts  atomic.Int64
+	coalesced atomic.Int64
+
+	deltaMu   sync.Mutex
+	deltaAt   time.Time
+	deltaBase deltaBaseline
+}
+
+// deltaBaseline is the monotonic-counter snapshot taken at the last
+// /statusz?delta=1 scrape; the next scrape reports counters minus it.
+type deltaBaseline struct {
+	requests                               RequestCounters
+	cacheHits, cacheMisses, cacheEvictions int64
+	restarts                               int64
 }
 
 // New builds the service: graphs indexed, pool warm-ready, admission
@@ -82,24 +119,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 256
 	}
-	pool, err := NewPool(PoolConfig{
-		Graphs:         cfg.Graphs,
-		Engine:         cfg.Engine,
-		SlotsPerEntry:  cfg.MaxInflight,
-		CheckpointRoot: cfg.CheckpointRoot,
+	providers := []EngineProvider{NewLocalProvider(LocalProviderConfig{
+		Options:        cfg.Engine,
 		Tracer:         cfg.Tracer,
+		CheckpointRoot: cfg.CheckpointRoot,
+	})}
+	def := "local"
+	if len(cfg.Workers) > 0 {
+		providers = append(providers, NewRemoteProvider(RemoteProviderConfig{
+			Workers:       cfg.Workers,
+			Options:       cfg.Engine,
+			Tracer:        cfg.Tracer,
+			AdvertiseHost: cfg.AdvertiseHost,
+		}))
+		def = "remote"
+	}
+	pool, err := NewPool(PoolConfig{
+		Graphs:          cfg.Graphs,
+		Providers:       providers,
+		DefaultProvider: def,
+		SlotsPerEntry:   cfg.MaxInflight,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  pool,
-		adm:   newAdmission(cfg.MaxInflight, cfg.MaxQueue),
-		cache: newResultCache(cfg.CacheEntries, cfg.CacheBytes),
-		algos: make(map[string]*perAlgo, len(algoNames)),
-		start: time.Now(),
+		cfg:     cfg,
+		pool:    pool,
+		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		algos:   make(map[string]*perAlgo, len(algoNames)),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
 	}
+	s.deltaAt = s.start
 	for _, a := range algoNames {
 		s.algos[a] = &perAlgo{}
 	}
@@ -187,6 +241,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if q.Provider != "" && !s.pool.HasProvider(q.Provider) {
+		s.clientErr.Add(1)
+		http.Error(w, fmt.Sprintf("unknown provider %q (have %v)", q.Provider, s.pool.ProviderNames()), http.StatusBadRequest)
+		return
+	}
 	key := cacheKey(q)
 	pa := s.algos[q.Algo]
 
@@ -209,6 +268,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(q.DeadlineMs)*time.Millisecond)
 		defer cancel()
+	}
+
+	// Coalesce concurrent identical queries: one leader runs the engine,
+	// followers wait for its answer and — like cache hits — never pass
+	// admission, so a thundering herd on one key costs one pool slot.
+	// Traced and no-cache requests opt out: their answers are
+	// request-specific. Provider is part of the cache key's identity
+	// problem only insofar as results are provider-independent, so
+	// requests naming different providers still coalesce.
+	var lead *flight
+	if !q.NoCache && !q.Trace {
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.ok {
+					resp := f.resp
+					resp.Coalesced = true
+					resp.QueueWaitMs = 0
+					s.coalesced.Add(1)
+					s.ok.Add(1)
+					writeJSON(w, http.StatusOK, resp)
+					return
+				}
+				// Leader failed; run independently below — a transient
+				// engine fault on the leader shouldn't fail the herd.
+			case <-ctx.Done():
+				s.timeouts.Add(1)
+				http.Error(w, "deadline expired waiting for coalesced result", http.StatusGatewayTimeout)
+				return
+			}
+		} else {
+			lead = &flight{done: make(chan struct{})}
+			s.flights[key] = lead
+			s.flightMu.Unlock()
+			defer func() {
+				s.flightMu.Lock()
+				delete(s.flights, key)
+				s.flightMu.Unlock()
+				close(lead.done)
+			}()
+		}
 	}
 
 	release, wait, err := s.adm.admit(ctx)
@@ -241,33 +343,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.QueueWaitMs = durMs(wait)
+	if lead != nil {
+		lead.resp, lead.ok = resp, true
+	}
 	s.ok.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// execute leases a cluster, binds the request's context / tracer /
-// checkpoint tag, runs the algorithm, and populates the cache.
+// execute leases an engine from the requested provider, binds the
+// request's context / tracer / checkpoint tag, runs the algorithm, and
+// populates the cache.
 func (s *Server) execute(ctx context.Context, q Request, key string) (Response, int, error) {
 	v := variantFor(q.Algo)
 	mode, _ := cliutil.ParseMode(q.Mode) // canonicalize validated it
-	slot, err := s.pool.Lease(ctx, q.Graph, v, mode)
+	slot, err := s.pool.Lease(ctx, q.Provider, q.Graph, v, mode)
 	if err != nil {
 		if ctx.Err() != nil {
 			return Response{}, http.StatusGatewayTimeout, err
 		}
 		return Response{}, http.StatusInternalServerError, err
 	}
-	defer s.pool.Release(slot, q.Graph, v, mode)
+	defer s.pool.Release(slot)
 
 	var reqTracer *obs.Tracer
 	if q.Trace {
 		reqTracer = obs.NewCapturingTracer(4096)
 	}
-	slot.BindQuery(ctx, key, reqTracer)
+	if err := slot.eng.BindQuery(ctx, q, key, reqTracer); err != nil {
+		return Response{}, http.StatusInternalServerError, err
+	}
 
-	statsBefore := slot.c.Stats().Restarts
+	statsBefore := slot.eng.Stats().Restarts
 	engineStart := time.Now()
-	result, err := runAlgorithm(slot.c, q)
+	result, err := runAlgorithm(slot.eng, q)
 	engineDur := time.Since(engineStart)
 	s.algos[q.Algo].engine.Observe(engineDur)
 	if err != nil {
@@ -277,18 +385,19 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 		return Response{}, http.StatusInternalServerError, err
 	}
 
-	run := slot.c.LastRunStats()
+	run := slot.eng.LastRunStats()
 	resp := Response{
-		Graph:  q.Graph,
-		Algo:   q.Algo,
-		Mode:   q.Mode,
-		Result: result,
+		Graph:    q.Graph,
+		Algo:     q.Algo,
+		Mode:     q.Mode,
+		Provider: slot.provider,
+		Result:   result,
 		Engine: EngineStats{
 			EdgesTraversed:  run.EdgesTraversed,
 			UpdateBytes:     run.UpdateBytes,
 			DependencyBytes: run.DependencyBytes,
 			ControlBytes:    run.ControlBytes,
-			Restarts:        slot.c.Stats().Restarts - statsBefore,
+			Restarts:        slot.eng.Stats().Restarts - statsBefore,
 		},
 		EngineMs: durMs(engineDur),
 	}
@@ -378,6 +487,20 @@ type RequestCounters struct {
 	ServerErrors int64 `json:"server_errors"`
 	Timeouts     int64 `json:"timeouts"`
 	Rejected     int64 `json:"rejected"`
+	Coalesced    int64 `json:"coalesced"`
+}
+
+// sub returns the counter deltas since base; every field is monotonic.
+func (c RequestCounters) sub(base RequestCounters) RequestCounters {
+	return RequestCounters{
+		Total:        c.Total - base.Total,
+		OK:           c.OK - base.OK,
+		ClientErrors: c.ClientErrors - base.ClientErrors,
+		ServerErrors: c.ServerErrors - base.ServerErrors,
+		Timeouts:     c.Timeouts - base.Timeouts,
+		Rejected:     c.Rejected - base.Rejected,
+		Coalesced:    c.Coalesced - base.Coalesced,
+	}
 }
 
 type CacheCounters struct {
@@ -390,8 +513,10 @@ type CacheCounters struct {
 }
 
 type PoolCounters struct {
-	Clusters int   `json:"clusters"`
-	Restarts int64 `json:"restarts"`
+	Clusters        int            `json:"clusters"`
+	Restarts        int64          `json:"restarts"`
+	Providers       map[string]int `json:"providers"` // built slots per provider
+	DefaultProvider string         `json:"default_provider"`
 }
 
 type AdmissionCounters struct {
@@ -419,6 +544,7 @@ func (s *Server) StatusSnapshot() Status {
 			ServerErrors: s.serverErr.Load(),
 			Timeouts:     s.timeouts.Load(),
 			Rejected:     s.adm.rejected.Load(),
+			Coalesced:    s.coalesced.Load(),
 		},
 		Cache: CacheCounters{
 			Hits:      s.cache.hits.Load(),
@@ -428,8 +554,10 @@ func (s *Server) StatusSnapshot() Status {
 			Bytes:     s.cache.Bytes(),
 		},
 		Pool: PoolCounters{
-			Clusters: s.pool.Slots(),
-			Restarts: s.pool.Restarts(),
+			Clusters:        s.pool.Slots(),
+			Restarts:        s.pool.Restarts(),
+			Providers:       s.pool.ProviderSlots(),
+			DefaultProvider: s.pool.DefaultProvider(),
 		},
 		Admission: AdmissionCounters{
 			Running:     s.adm.running.Load(),
@@ -457,7 +585,67 @@ func (s *Server) StatusSnapshot() Status {
 	return st
 }
 
+// DeltaStatus is the /statusz?delta=1 document: monotonic counters
+// since the previous delta scrape, so a scraper reads rates directly
+// instead of subtracting successive absolute snapshots.
+type DeltaStatus struct {
+	WindowSec float64         `json:"window_sec"`
+	Requests  RequestCounters `json:"requests"`
+	Cache     CacheDelta      `json:"cache"`
+	Pool      PoolDelta       `json:"pool"`
+}
+
+type CacheDelta struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+type PoolDelta struct {
+	Restarts int64 `json:"restarts"`
+}
+
+// DeltaSnapshot reports counters accumulated since the last
+// DeltaSnapshot call (or server start) and resets the baseline.
+func (s *Server) DeltaSnapshot() DeltaStatus {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	now := time.Now()
+	cur := deltaBaseline{
+		requests: RequestCounters{
+			Total:        s.total.Load(),
+			OK:           s.ok.Load(),
+			ClientErrors: s.clientErr.Load(),
+			ServerErrors: s.serverErr.Load(),
+			Timeouts:     s.timeouts.Load(),
+			Rejected:     s.adm.rejected.Load(),
+			Coalesced:    s.coalesced.Load(),
+		},
+		cacheHits:      s.cache.hits.Load(),
+		cacheMisses:    s.cache.misses.Load(),
+		cacheEvictions: s.cache.evictions.Load(),
+		restarts:       s.pool.Restarts(),
+	}
+	d := DeltaStatus{
+		WindowSec: now.Sub(s.deltaAt).Seconds(),
+		Requests:  cur.requests.sub(s.deltaBase.requests),
+		Cache: CacheDelta{
+			Hits:      cur.cacheHits - s.deltaBase.cacheHits,
+			Misses:    cur.cacheMisses - s.deltaBase.cacheMisses,
+			Evictions: cur.cacheEvictions - s.deltaBase.cacheEvictions,
+		},
+		Pool: PoolDelta{Restarts: cur.restarts - s.deltaBase.restarts},
+	}
+	s.deltaBase = cur
+	s.deltaAt = now
+	return d
+}
+
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("delta"); v == "1" || v == "true" {
+		writeJSON(w, http.StatusOK, s.DeltaSnapshot())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.StatusSnapshot())
 }
 
@@ -469,6 +657,7 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterInt("server.requests.server_errors", s.serverErr.Load)
 	reg.RegisterInt("server.requests.timeouts", s.timeouts.Load)
 	reg.RegisterInt("server.requests.rejected", s.adm.rejected.Load)
+	reg.RegisterInt("server.requests.coalesced", s.coalesced.Load)
 	reg.RegisterInt("server.pool.clusters", func() int64 { return int64(s.pool.Slots()) })
 	reg.RegisterInt("server.pool.restarts", s.pool.Restarts)
 	s.cache.RegisterMetrics(reg)

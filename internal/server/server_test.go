@@ -351,3 +351,117 @@ func TestDrainAnswersInFlightThenRefuses(t *testing.T) {
 		t.Fatalf("post-drain healthz %d", hr.StatusCode)
 	}
 }
+
+// TestCoalescingSharesOneRun fires a herd of identical uncached queries
+// and checks the singleflight accounting: every response is exactly one
+// of engine-run / coalesced / cache-hit, and at least one follower
+// shared the leader's run instead of burning a pool slot.
+func TestCoalescingSharesOneRun(t *testing.T) {
+	s := testServer(t, Config{MaxInflight: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/query?graph=g1&algo=pagerank&iters=2000")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("herd query got %d", code)
+		}
+	}
+
+	st := s.StatusSnapshot()
+	runs := st.Algos["pagerank"].Engine.Count
+	if st.Requests.OK != n {
+		t.Fatalf("ok = %d, want %d", st.Requests.OK, n)
+	}
+	// Exact accounting: each answer came from exactly one source.
+	if runs+st.Requests.Coalesced+st.Cache.Hits != n {
+		t.Fatalf("runs %d + coalesced %d + hits %d != %d",
+			runs, st.Requests.Coalesced, st.Cache.Hits, n)
+	}
+	if st.Requests.Coalesced == 0 {
+		t.Fatalf("no request coalesced (runs %d, hits %d)", runs, st.Cache.Hits)
+	}
+}
+
+// TestStatuszDelta pins the ?delta=1 contract: the first scrape reports
+// counters since start, the second only what happened in between.
+func TestStatuszDelta(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/query?graph=g1&algo=bfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	scrape := func() DeltaStatus {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/statusz?delta=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var d DeltaStatus
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	first := scrape()
+	if first.Requests.Total != 3 || first.Requests.OK != 3 {
+		t.Fatalf("first delta %+v", first.Requests)
+	}
+	if first.Cache.Hits != 2 || first.Cache.Misses != 1 {
+		t.Fatalf("first delta cache %+v", first.Cache)
+	}
+	if first.WindowSec <= 0 {
+		t.Fatalf("window %v", first.WindowSec)
+	}
+
+	// Nothing happened since: the next window is all zeros.
+	second := scrape()
+	if second.Requests.Total != 0 || second.Cache.Hits != 0 || second.Cache.Misses != 0 {
+		t.Fatalf("second delta not zeroed: %+v / %+v", second.Requests, second.Cache)
+	}
+
+	// One more query lands in the third window alone, and the absolute
+	// /statusz view stays monotonic throughout.
+	resp, err := http.Get(ts.URL + "/query?graph=g1&algo=bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	third := scrape()
+	if third.Requests.Total != 1 || third.Cache.Hits != 1 {
+		t.Fatalf("third delta %+v / %+v", third.Requests, third.Cache)
+	}
+	full := s.StatusSnapshot()
+	if full.Requests.Total != 4 || full.Pool.DefaultProvider != "local" {
+		t.Fatalf("absolute statusz drifted: %+v pool %+v", full.Requests, full.Pool)
+	}
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// WorkerConfig configures a worker daemon.
+type WorkerConfig struct {
+	// Addr is the control listen address ("127.0.0.1:0", ":7101").
+	Addr string
+	// DataHost is the host data-plane listeners bind and advertise
+	// (default 127.0.0.1; set to this machine's reachable address when
+	// the ring spans hosts).
+	DataHost string
+	// Logf receives one line per lifecycle event when non-nil.
+	Logf func(format string, args ...any)
+	// Registry receives worker.* metrics when non-nil.
+	Registry *obs.Registry
+}
+
+// WorkerDaemon is the sgworker runtime: it accepts control connections
+// from a serving front-end, each negotiating one engine slot — graph
+// (shipped once per fingerprint and cached), data-plane endpoint,
+// distributed engine — and then answers run requests in lockstep with
+// node 0. One connection is one slot; the front-end's RemoteProvider
+// holds one per pooled remote engine.
+type WorkerDaemon struct {
+	cfg WorkerConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[*workerConn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	graphMu sync.Mutex
+	graphs  map[string]*graph.Graph // fingerprint → deserialized graph
+
+	slotsBuilt  atomic.Int64
+	runsStarted atomic.Int64
+	runsFailed  atomic.Int64
+}
+
+// workerConn is one control connection and the slot state hanging off
+// it; ep is published under mu so Close can cut a run short.
+type workerConn struct {
+	cc *comm.CtrlConn
+	mu sync.Mutex
+	ep *comm.TCPEndpoint
+}
+
+func (wc *workerConn) setEndpoint(ep *comm.TCPEndpoint) {
+	wc.mu.Lock()
+	wc.ep = ep
+	wc.mu.Unlock()
+}
+
+func (wc *workerConn) closeEndpoint() {
+	wc.mu.Lock()
+	if wc.ep != nil {
+		wc.ep.Close()
+	}
+	wc.mu.Unlock()
+}
+
+// StartWorkerDaemon listens on cfg.Addr and serves slots until Close.
+func StartWorkerDaemon(cfg WorkerConfig) (*WorkerDaemon, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.DataHost == "" {
+		cfg.DataHost = "127.0.0.1"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: worker listen %s: %w", cfg.Addr, err)
+	}
+	d := &WorkerDaemon{
+		cfg:    cfg,
+		ln:     ln,
+		conns:  make(map[*workerConn]struct{}),
+		graphs: make(map[string]*graph.Graph),
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.RegisterInt("worker.slots_built", d.slotsBuilt.Load)
+		cfg.Registry.RegisterInt("worker.runs_started", d.runsStarted.Load)
+		cfg.Registry.RegisterInt("worker.runs_failed", d.runsFailed.Load)
+		cfg.Registry.RegisterInt("worker.graphs_cached", func() int64 {
+			d.graphMu.Lock()
+			defer d.graphMu.Unlock()
+			return int64(len(d.graphs))
+		})
+	}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Addr is the control address the daemon is reachable on.
+func (d *WorkerDaemon) Addr() string { return d.ln.Addr().String() }
+
+// RunsStarted counts queries this worker has begun executing; test
+// harnesses poll it to time a mid-run kill deterministically.
+func (d *WorkerDaemon) RunsStarted() int64 { return d.runsStarted.Load() }
+
+// SlotsBuilt counts engine slots successfully negotiated.
+func (d *WorkerDaemon) SlotsBuilt() int64 { return d.slotsBuilt.Load() }
+
+// Close stops accepting, severs every control connection and data
+// plane (aborting in-flight runs), and waits for slot goroutines.
+func (d *WorkerDaemon) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	err := d.ln.Close()
+	d.mu.Lock()
+	for wc := range d.conns {
+		wc.cc.Close()
+		wc.closeEndpoint()
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+	return err
+}
+
+func (d *WorkerDaemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		c, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		wc := &workerConn{cc: comm.NewCtrlConn(c)}
+		d.mu.Lock()
+		if d.closed.Load() {
+			d.mu.Unlock()
+			wc.cc.Close()
+			return
+		}
+		d.conns[wc] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveSlot(wc)
+			d.mu.Lock()
+			delete(d.conns, wc)
+			d.mu.Unlock()
+		}()
+	}
+}
+
+// graphFor returns the cached graph for a fingerprint.
+func (d *WorkerDaemon) graphFor(fp string) (*graph.Graph, bool) {
+	d.graphMu.Lock()
+	defer d.graphMu.Unlock()
+	g, ok := d.graphs[fp]
+	return g, ok
+}
+
+func (d *WorkerDaemon) storeGraph(fp string, g *graph.Graph) {
+	d.graphMu.Lock()
+	d.graphs[fp] = g
+	d.graphMu.Unlock()
+}
+
+// serveSlot drives one slot's lifetime on one control connection:
+// build handshake, graph transfer when the fingerprint is new, mesh
+// formation, then the run/done loop until the front-end closes the
+// slot or either side fails.
+func (d *WorkerDaemon) serveSlot(wc *workerConn) {
+	cc := wc.cc
+	defer cc.Close()
+
+	var bm buildMsg
+	if err := cc.Expect("build", &bm); err != nil {
+		return
+	}
+	g, have := d.graphFor(bm.FP)
+	if err := cc.Send("graph-state", graphStateMsg{Have: have}); err != nil {
+		return
+	}
+	if !have {
+		if err := cc.Expect("graph", nil); err != nil {
+			return
+		}
+		blob, err := cc.RecvBlob()
+		if err != nil {
+			return
+		}
+		sum := sha256.Sum256(blob)
+		if hex.EncodeToString(sum[:]) != bm.FP {
+			d.cfg.Logf("sgworker: graph blob fingerprint mismatch from %s", cc.RemoteAddr())
+			return
+		}
+		g, err = graph.ReadBinary(bytes.NewReader(blob))
+		if err != nil {
+			d.cfg.Logf("sgworker: bad graph blob: %v", err)
+			return
+		}
+		d.storeGraph(bm.FP, g)
+		d.cfg.Logf("sgworker: cached graph %s/%s (%d vertices, fp %.12s)",
+			bm.Graph, bm.Variant, g.NumVertices(), bm.FP)
+	}
+
+	dataLn, err := net.Listen("tcp", net.JoinHostPort(d.cfg.DataHost, "0"))
+	if err != nil {
+		d.cfg.Logf("sgworker: data listener: %v", err)
+		return
+	}
+	if err := cc.Send("ready", readyMsg{DataAddr: dataLn.Addr().String()}); err != nil {
+		dataLn.Close()
+		return
+	}
+	var st startMsg
+	if err := cc.Expect("start", &st); err != nil {
+		dataLn.Close()
+		return
+	}
+	ep, err := comm.NewTCPEndpoint(comm.NodeID(bm.Node), dataLn, st.Addrs)
+	if err != nil {
+		cc.Send("up", upMsg{Error: err.Error()})
+		dataLn.Close()
+		return
+	}
+	wc.setEndpoint(ep) // Close() can now cut a run short
+	defer ep.Close()   // closes dataLn too
+
+	mode, err := cliutil.ParseMode(bm.Opts.Mode)
+	if err != nil {
+		cc.Send("up", upMsg{Error: err.Error()})
+		return
+	}
+	opts := core.Options{
+		NumNodes:     bm.Nodes,
+		Mode:         mode,
+		DepThreshold: bm.Opts.DepThreshold,
+		NumBuffers:   bm.Opts.NumBuffers,
+		Workers:      bm.Opts.Workers,
+		Alpha:        bm.Opts.Alpha,
+		StallTimeout: time.Duration(bm.Opts.StallMs) * time.Millisecond,
+	}
+	eng, err := core.NewDistributedEngine(g, opts, ep)
+	if err != nil {
+		cc.Send("up", upMsg{Error: err.Error()})
+		return
+	}
+	defer eng.Close()
+	if err := cc.Send("up", upMsg{}); err != nil {
+		return
+	}
+	d.slotsBuilt.Add(1)
+	d.cfg.Logf("sgworker: slot up as node %d/%d for %s/%s (%v)",
+		bm.Node, bm.Nodes, bm.Graph, bm.Variant, mode)
+
+	for {
+		env, err := cc.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case "run":
+			var q Request
+			if err := json.Unmarshal(env.Body, &q); err != nil {
+				cc.Send("done", doneMsg{Error: fmt.Sprintf("bad run request: %v", err)})
+				return
+			}
+			d.runsStarted.Add(1)
+			_, runErr := runAlgorithm(eng, q)
+			var dm doneMsg
+			if runErr != nil {
+				d.runsFailed.Add(1)
+				dm.Error = runErr.Error()
+			}
+			if err := cc.Send("done", dm); err != nil {
+				return
+			}
+			if runErr != nil {
+				// The engine is poisoned and this node cannot re-form
+				// the ring; the front-end rebuilds the slot.
+				d.cfg.Logf("sgworker: run failed, retiring slot: %v", runErr)
+				return
+			}
+		case "close":
+			return
+		default:
+			d.cfg.Logf("sgworker: unexpected control message %q", env.Type)
+			return
+		}
+	}
+}

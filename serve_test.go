@@ -12,19 +12,16 @@ import (
 	"time"
 )
 
-// TestServeSmoke is the sgserve process-level acceptance path (`make
-// serve-smoke`): start the daemon on a random port, verify an uncached
-// query computes, the identical query hits the cache, an over-capacity
-// burst is shed with 429 + Retry-After, and SIGTERM drains cleanly.
-func TestServeSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds binaries")
-	}
-	tools := buildTools(t, "sgserve")
-
-	cmd := exec.Command(tools["sgserve"],
-		"-graph", "g=rmat:10,8,1", "-addr", "127.0.0.1:0",
-		"-max-inflight", "1", "-max-queue", "0")
+// startDaemon launches bin with args, waits for a stdout startup line,
+// and returns that line, a stderr drain channel, and a wait function.
+// wait reaps the process only after the stderr reader hit EOF —
+// calling cmd.Wait directly would race the reader for the pipe (Wait
+// closes it, discarding unread output). The process is killed via
+// t.Cleanup; callers that shut it down deliberately should wait()
+// themselves first.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string, chan string, func() error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -36,23 +33,137 @@ func TestServeSmoke(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer cmd.Process.Kill()
+	t.Cleanup(func() { cmd.Process.Kill() })
 	errText := make(chan string, 1)
+	readDone := make(chan struct{})
 	go func() {
 		b, _ := io.ReadAll(stderr)
 		errText <- string(b)
+		close(readDone)
 	}()
-
-	// The startup line carries the resolved :0 port.
+	wait := func() error {
+		<-readDone
+		return cmd.Wait()
+	}
 	line, err := bufio.NewReader(stdout).ReadString('\n')
 	if err != nil {
-		t.Fatalf("no startup line: %v (stderr: %s)", err, <-errText)
+		t.Fatalf("%s: no startup line: %v (stderr: %s)", bin, err, <-errText)
 	}
+	return cmd, strings.TrimSpace(line), errText, wait
+}
+
+// TestServeDistSmoke is the distributed-serving acceptance path (`make
+// serve-dist-smoke`): two real sgworker processes plus an sgserve
+// front-end pointed at them with -workers, then one query per engine
+// mode verified bit-identical between the remote (3-process TCP ring)
+// and local (in-process simulated cluster) providers.
+func TestServeDistSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sgserve", "sgworker")
+
+	// Two worker daemons on ephemeral control ports.
+	var roster []string
+	for i := 0; i < 2; i++ {
+		_, line, errText, _ := startDaemon(t, tools["sgworker"], "-addr", "127.0.0.1:0")
+		const prefix = "sgworker: control on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("sgworker startup line %q (stderr: %s)", line, <-errText)
+		}
+		roster = append(roster, strings.TrimPrefix(line, prefix))
+	}
+
+	// The front-end is node 0 of a 3-process ring.
+	cmd, line, errText, wait := startDaemon(t, tools["sgserve"],
+		"-graph", "g=rmat:10,8,1", "-addr", "127.0.0.1:0",
+		"-workers", strings.Join(roster, ","))
+	idx := strings.Index(line, "http://")
+	if idx < 0 {
+		t.Fatalf("sgserve startup line %q has no URL (stderr: %s)", line, <-errText)
+	}
+	base := line[idx:]
+
+	query := func(params string) (int, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Get(base + "/query?" + params)
+		if err != nil {
+			t.Fatalf("GET %s: %v", params, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %s: %d %s", params, resp.StatusCode, b)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("query %s: %v in %s", params, err, b)
+		}
+		return resp.StatusCode, m
+	}
+
+	// One query per engine mode, each algorithm checked remote-vs-local.
+	// no_cache keeps every request an actual engine run (the cache would
+	// otherwise serve the second provider the first provider's result and
+	// prove nothing).
+	for _, mode := range []string{"symplegraph", "gemini"} {
+		for _, algo := range []string{"bfs", "sssp", "kcore"} {
+			q := "graph=g&algo=" + algo + "&mode=" + mode + "&no_cache=1"
+			_, remote := query(q + "&provider=remote")
+			_, local := query(q + "&provider=local")
+			if string(remote["provider"]) != `"remote"` {
+				t.Fatalf("%s %s: provider field %s, want remote", mode, algo, remote["provider"])
+			}
+			if string(local["provider"]) != `"local"` {
+				t.Fatalf("%s %s: provider field %s, want local", mode, algo, local["provider"])
+			}
+			if string(remote["result"]) != string(local["result"]) {
+				t.Fatalf("%s %s: remote result %s != local %s", mode, algo, remote["result"], local["result"])
+			}
+		}
+	}
+
+	// With -workers the remote provider is the default.
+	_, def := query("graph=g&algo=bfs&no_cache=1")
+	if string(def["provider"]) != `"remote"` {
+		t.Fatalf("default provider %s, want remote", def["provider"])
+	}
+
+	// SIGTERM drains the front-end cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sgserve exit after SIGTERM: %v (stderr: %s)", err, <-errText)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sgserve did not exit after SIGTERM")
+	}
+}
+
+// TestServeSmoke is the sgserve process-level acceptance path (`make
+// serve-smoke`): start the daemon on a random port, verify an uncached
+// query computes, the identical query hits the cache, an over-capacity
+// burst is shed with 429 + Retry-After, and SIGTERM drains cleanly.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sgserve")
+
+	// The startup line carries the resolved :0 port.
+	cmd, line, errText, wait := startDaemon(t, tools["sgserve"],
+		"-graph", "g=rmat:10,8,1", "-addr", "127.0.0.1:0",
+		"-max-inflight", "1", "-max-queue", "0")
 	idx := strings.Index(line, "http://")
 	if idx < 0 {
 		t.Fatalf("startup line %q has no URL", line)
 	}
-	base := strings.TrimSpace(line[idx:])
+	base := line[idx:]
 
 	get := func(path string) (*http.Response, []byte) {
 		t.Helper()
@@ -151,7 +262,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	go func() { done <- wait() }()
 	select {
 	case err := <-done:
 		if err != nil {
