@@ -1,10 +1,11 @@
-# Tier-1 verification gate: build everything, vet, race-test the engine,
-# transport and serving layer, run the seeded chaos soak, the sgserve
-# process smoke test, then the full suite (which includes the CLI trace
-# smoke test and the sustained serving load test).
-.PHONY: verify build vet test race smoke serve-smoke serve-dist-smoke chaos
+# Tier-1 verification gate: build everything, vet, lint the project
+# invariants with sgvet, race-test the engine, transport and serving
+# layer, run the seeded chaos soak, the sgserve process smoke test, then
+# the full suite (which includes the CLI trace smoke test and the
+# sustained serving load test).
+.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos
 
-verify: build race chaos serve-smoke serve-dist-smoke test
+verify: build lint race chaos serve-smoke serve-dist-smoke test
 
 build:
 	go build ./...
@@ -12,6 +13,11 @@ build:
 
 vet:
 	go vet ./...
+
+# Project-invariant lint: the sgvet suite (depbreak, snapdet, commerr,
+# ctxblock) over the whole module. Exit 1 on findings fails the gate.
+lint:
+	go run ./cmd/sgvet ./...
 
 race:
 	go test -race -count=1 ./internal/comm/... ./internal/core/... ./internal/server/...

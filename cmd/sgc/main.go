@@ -8,6 +8,9 @@
 //
 //	sgc analyze udf.go            # print the dependency report
 //	sgc analyze -r ./pkg          # analyze every .go file under a directory
+//	sgc analyze -typed ./pkg      # type-resolved analysis (whole package,
+//	                              # aliased contexts, helper breaks)
+//	sgc analyze -json udf.go      # machine-readable report (stable schema)
 //	sgc instrument udf.go         # print instrumented source to stdout
 //	sgc instrument -w udf.go      # rewrite the file in place
 //	sgc instrument -o out.go udf.go
@@ -19,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/analyzer"
+	"repro/internal/analyzer/typed"
 	"repro/internal/cliutil"
 )
 
@@ -32,6 +36,8 @@ func main() {
 	out := fs.String("o", "", "output path (instrument; default stdout)")
 	recursive := fs.Bool("r", false, "treat arguments as directories (analyze)")
 	verbose := fs.Bool("v", false, "verbose: include files without signal UDFs, print reports while instrumenting")
+	useTyped := fs.Bool("typed", false, "type-resolved analysis: load whole packages, resolve aliases and helper calls (analyze)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (analyze)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatalf("%v", err)
 	}
@@ -42,6 +48,10 @@ func main() {
 
 	switch mode {
 	case "analyze":
+		if *useTyped || *asJSON {
+			analyzeDocument(files, *useTyped, *asJSON, *verbose)
+			return
+		}
 		if *recursive {
 			for _, dir := range files {
 				reports, err := analyzer.AnalyzeDir(dir)
@@ -106,8 +116,40 @@ func main() {
 	}
 }
 
+// analyzeDocument is the document-shaped analyze path behind -typed and
+// -json: typed whole-package analysis (with syntactic fallback for
+// targets outside a module), or the forced syntactic pass when -typed is
+// absent, rendered as JSON or human-readable reports.
+func analyzeDocument(targets []string, useTyped, asJSON, verbose bool) {
+	var doc *typed.Document
+	var err error
+	if useTyped {
+		doc, err = typed.AnalyzeTargets(targets...)
+	} else {
+		doc, err = typed.AnalyzeTargetsSyntactic(targets...)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if asJSON {
+		b, err := doc.MarshalIndent()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	for i := range doc.Packages {
+		pr := &doc.Packages[i]
+		if len(pr.Funcs) == 0 && !verbose {
+			continue
+		}
+		fmt.Printf("== %s (%s) ==\n%s", pr.ImportPath, doc.Mode, pr)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sgc analyze|instrument [-w] [-o out.go] [-v] file.go...")
+	fmt.Fprintln(os.Stderr, "usage: sgc analyze [-r] [-typed] [-json] [-v] target... | sgc instrument [-w] [-o out.go] [-v] file.go...")
 	os.Exit(2)
 }
 

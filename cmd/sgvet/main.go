@@ -1,0 +1,235 @@
+// Command sgvet runs SympleGraph's invariant lint suite (package
+// internal/sgvet) over the repository: depbreak, snapdet, commerr, and
+// ctxblock.
+//
+// Standalone usage (the supported day-to-day mode, wired into
+// `make lint`):
+//
+//	sgvet ./...                   # whole module
+//	sgvet ./internal/server/...   # a subtree
+//	sgvet -c depbreak,commerr ./...
+//	sgvet -json ./...             # machine-readable diagnostics
+//
+// Exit status is 0 when clean, 1 when diagnostics were reported, 2 on
+// usage or load errors.
+//
+// sgvet also speaks enough of the `go vet -vettool` unit-checker
+// protocol to be used as
+//
+//	go vet -vettool=$(which sgvet) ./...
+//
+// In that mode the Go tool hands sgvet a JSON config per package with
+// pre-built export data; sgvet type-checks against it (no source
+// re-resolution) and reports findings in vet's file:line:col format.
+// The protocol is best-effort: it depends on the toolchain writing
+// export data for dependencies, so the standalone mode — which resolves
+// everything from source — remains the mode CI relies on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/analyzer/typed"
+	"repro/internal/cliutil"
+	"repro/internal/sgvet"
+)
+
+func main() {
+	// `go vet` handshake: -V=full asks for a version string used as a
+	// build-cache key; -flags asks for the tool's flag schema as JSON
+	// (sgvet exposes none in vettool mode).
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			fmt.Println("sgvet version 1 (symplegraph invariant suite)")
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	// Unit-checker mode: a single *.cfg argument (go vet protocol).
+	if args := os.Args[1:]; len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitCheck(args[0]))
+	}
+
+	fs := flag.NewFlagSet("sgvet", flag.ExitOnError)
+	checks := fs.String("c", "", "comma-separated analyzers to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sgvet [-c analyzers] [-json] [patterns...]")
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range sgvet.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(2)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	analyzers, err := sgvet.ByName(*checks)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := typed.NewLoader(typed.Config{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "sgvet: %s: type error: %v\n", pkg.ImportPath, terr)
+		}
+	}
+
+	diags := sgvet.Run(pkgs, analyzers)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the subset of cmd/go's vet JSON config sgvet needs.
+type vetConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck implements one package of the vettool protocol. Returns the
+// process exit code: 0 clean, 2 diagnostics (vet's convention).
+func unitCheck(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sgvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// sgvet computes no cross-package facts, but go vet requires the
+	// facts file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sgvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := loadUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "sgvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	diags := sgvet.Run([]*typed.Package{pkg}, sgvet.All())
+	for _, d := range diags {
+		// vet's plain diagnostic format, one per line on stderr.
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.File, d.Line, d.Col, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// loadUnit parses and type-checks one vet unit against the toolchain's
+// pre-built export data, producing the same Package shape the source
+// loader yields.
+func loadUnit(cfg *vetConfig) (*typed.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &typed.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Filenames:  names,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func fatalf(format string, args ...any) {
+	cliutil.Fatalf("sgvet", format, args...)
+}

@@ -124,7 +124,11 @@ func Sample(c core.Engine, seed uint64, rounds int) (*SampleResult, error) {
 						acc += seq.VertexWeight(seed, u)
 						if acc >= r {
 							cand = u
-							break
+							// Machine-local pick over neighbors the mass
+							// loop above already scanned in full: later
+							// machines still need their own scans, so no
+							// dependency is emitted.
+							break //sgc:local
 						}
 					}
 					ctx.Emit(core.WeightedPick{Sum: mass, Cand: uint32(cand)})

@@ -38,6 +38,11 @@ type LoopReport struct {
 	HasBreak bool
 	// Breaks counts such break statements.
 	Breaks int
+	// LocalBreaks counts bound breaks annotated //sgc:local: declared
+	// machine-local early exits (e.g. a re-walk of neighbors already
+	// fully scanned) that are not loop-carried dependencies and must
+	// not be instrumented.
+	LocalBreaks int
 	// CarriedVars lists variables declared outside the loop and
 	// assigned inside it — candidate loop-carried data-dependency state
 	// (the paper's DepMessage data members).
@@ -93,14 +98,15 @@ func Analyze(filename string, src []byte) (*Report, error) {
 
 func analyzeFile(fset *token.FileSet, file *ast.File) *Report {
 	rep := &Report{}
+	local := LocalDirectiveLines(fset, file)
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
-			if fr, ok := analyzeFunc(fset, fn.Name.Name, fn.Type, fn.Body); ok {
+			if fr, ok := analyzeFunc(fset, fn.Name.Name, fn.Type, fn.Body, local); ok {
 				rep.Funcs = append(rep.Funcs, fr)
 			}
 		case *ast.FuncLit:
-			if fr, ok := analyzeFunc(fset, "<anonymous>", fn.Type, fn.Body); ok {
+			if fr, ok := analyzeFunc(fset, "<anonymous>", fn.Type, fn.Body, local); ok {
 				rep.Funcs = append(rep.Funcs, fr)
 			}
 		}
@@ -109,9 +115,39 @@ func analyzeFile(fset *token.FileSet, file *ast.File) *Report {
 	return rep
 }
 
+// LocalDirectiveLines returns the lines of file carrying an //sgc:local
+// directive. The directive declares a bound break to be a machine-local
+// early exit rather than a loop-carried dependency: the analysis does
+// not count it and the instrumenter does not insert EmitDep before it.
+// It applies to a break on the same line or the line directly below the
+// comment.
+func LocalDirectiveLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			if strings.HasPrefix(strings.TrimSpace(text), "sgc:local") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isLocalExit reports whether the statement at pos is covered by an
+// //sgc:local directive (same line or line above).
+func isLocalExit(fset *token.FileSet, local map[int]bool, pos token.Pos) bool {
+	if len(local) == 0 {
+		return false
+	}
+	line := fset.Position(pos).Line
+	return local[line] || local[line-1]
+}
+
 // analyzeFunc recognizes a dense-signal UDF and analyzes its neighbor
 // loops.
-func analyzeFunc(fset *token.FileSet, name string, typ *ast.FuncType, body *ast.BlockStmt) (FuncReport, bool) {
+func analyzeFunc(fset *token.FileSet, name string, typ *ast.FuncType, body *ast.BlockStmt, local map[int]bool) (FuncReport, bool) {
 	if body == nil || typ.Params == nil {
 		return FuncReport{}, false
 	}
@@ -128,9 +164,14 @@ func analyzeFunc(fset *token.FileSet, name string, typ *ast.FuncType, body *ast.
 	fr.AlreadyInstrumented = containsCall(body, ctxName, "EmitDep")
 	for _, loop := range neighborLoops(body, nbrName) {
 		lr := LoopReport{Line: fset.Position(loop.Pos()).Line}
-		breaks := loopBreaks(loop)
-		lr.Breaks = len(breaks)
-		lr.HasBreak = len(breaks) > 0
+		for _, br := range loopBreaks(loop) {
+			if isLocalExit(fset, local, br.Pos()) {
+				lr.LocalBreaks++
+				continue
+			}
+			lr.Breaks++
+		}
+		lr.HasBreak = lr.Breaks > 0
 		lr.CarriedVars = carriedVars(loop, body)
 		fr.Loops = append(fr.Loops, lr)
 		if lr.HasBreak {
@@ -260,17 +301,21 @@ func forBoundsOnLen(l *ast.ForStmt, nbrName string) bool {
 	return isLen(bin.X) || isLen(bin.Y)
 }
 
-// loopBreaks returns the break statements that bind to this loop: plain
-// breaks not captured by a nested for/range/switch/select, plus labeled
-// breaks naming the loop's label. The binding rules mirror the Go spec.
+// loopBreaks returns the break statements that bind to this loop.
 func loopBreaks(loop neighborLoop) []*ast.BranchStmt {
+	return BoundBreaks(loop.body())
+}
+
+// BoundBreaks returns the break statements in loopBody that bind to the
+// loop owning that body: plain breaks not captured by a nested
+// for/range/switch/select. The binding rules mirror the Go spec. Labeled
+// breaks are conservatively treated as not-ours (the loop's label is not
+// visible from its own body, and a labeled break to an *outer* statement
+// must not count). Shared by this syntactic pass and the type-resolved
+// pass in analyzer/typed, so both agree on what "a neighbor-loop break"
+// means.
+func BoundBreaks(loopBody *ast.BlockStmt) []*ast.BranchStmt {
 	var out []*ast.BranchStmt
-	// The loop's label, when the loop is the direct child of a labeled
-	// statement, is not visible from the RangeStmt itself; labeled
-	// breaks are matched by the caller context instead. Here we accept
-	// any labeled break as not-ours (conservative: labeled breaks out
-	// of the neighbor loop are rare in UDFs, and a labeled break to an
-	// *outer* statement must not count).
 	var walk func(n ast.Stmt, inOurLoop bool)
 	walk = func(n ast.Stmt, inOurLoop bool) {
 		switch s := n.(type) {
@@ -309,7 +354,7 @@ func loopBreaks(loop neighborLoop) []*ast.BranchStmt {
 			walk(s.Stmt, inOurLoop)
 		}
 	}
-	walk(loop.body(), true)
+	walk(loopBody, true)
 	return out
 }
 

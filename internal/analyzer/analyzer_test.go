@@ -3,6 +3,8 @@ package analyzer
 import (
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -459,5 +461,100 @@ func other(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
 	}
 	if rep.Funcs[0].LoopCarried || len(rep.Funcs[0].Loops) != 0 {
 		t.Fatalf("non-neighbor for loop misdetected: %+v", rep.Funcs[0])
+	}
+}
+
+// TestInstrumentIdempotentOnTree re-instruments every shipped algorithm
+// kernel: the first pass must be a byte-identical no-op (the tree is
+// committed instrumented), and a second pass over the output must also
+// be byte-identical — `sgc instrument -w` run twice never dirties a
+// file. This is the regression fence for the idempotence contract.
+func TestInstrumentIdempotentOnTree(t *testing.T) {
+	dir := filepath.Join("..", "algorithms")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		once, _, err := Instrument(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(once) != string(src) {
+			t.Errorf("%s: instrumenting the committed tree changed it — either the kernel is uninstrumented or the rewrite is not idempotent", name)
+		}
+		twice, _, err := Instrument(name, once)
+		if err != nil {
+			t.Fatalf("%s second pass: %v", name, err)
+		}
+		if string(twice) != string(once) {
+			t.Errorf("%s: second instrument pass changed bytes", name)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no algorithm sources checked")
+	}
+}
+
+// TestInstrumentRespectsLocalDirective pins the //sgc:local contract: a
+// break declared machine-local (sampling's hierarchical fallback pick)
+// must not get an EmitDep inserted, while an unannotated break in the
+// same file still does.
+func TestInstrumentRespectsLocalDirective(t *testing.T) {
+	src := `package udf
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func s(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		if active.Get(int(u)) {
+			break //sgc:local full local scan already done above
+		}
+	}
+	for _, u := range srcs {
+		if active.Get(int(u)) {
+			break
+		}
+	}
+}
+`
+	out, rep, err := Instrument("local.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(out), "ctx.EmitDep()"); n != 1 {
+		t.Fatalf("want exactly 1 inserted EmitDep (the unannotated break), got %d:\n%s", n, out)
+	}
+	f := rep.Funcs[0]
+	if len(f.Loops) != 2 {
+		t.Fatalf("loops: %+v", f.Loops)
+	}
+	if f.Loops[0].Breaks != 0 || f.Loops[0].LocalBreaks != 1 {
+		t.Fatalf("annotated loop miscounted: %+v", f.Loops[0])
+	}
+	if f.Loops[1].Breaks != 1 || f.Loops[1].LocalBreaks != 0 {
+		t.Fatalf("plain loop miscounted: %+v", f.Loops[1])
+	}
+	// Idempotence across the directive: re-instrumenting must not touch
+	// the annotated break either.
+	twice, _, err := Instrument("local.go", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(twice) != string(out) {
+		t.Fatalf("re-instrument changed directive-bearing file:\n%s", twice)
 	}
 }

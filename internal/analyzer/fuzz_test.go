@@ -32,6 +32,69 @@ func s(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
 	}
 }
 `)
+	// Interprocedural shape: the neighbor slice escapes into a helper
+	// whose loop exits early. The syntactic instrumenter must leave the
+	// UDF alone (nothing it can rewrite) yet stay stable under
+	// re-instrumentation; the typed pass is what reports these.
+	f.Add(`package p
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func s(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	if first(srcs) >= 0 {
+		ctx.Emit(uint32(dst))
+	}
+}
+
+func first(srcs []graph.VertexID) int {
+	for i := range srcs {
+		if srcs[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+`)
+	// Aliased context and neighbor slice: the spelled names differ from
+	// the parameters.
+	f.Add(`package p
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func s(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	c := ctx
+	ns := srcs
+	for _, u := range ns {
+		c.Edge()
+		if u == dst {
+			break
+		}
+	}
+}
+`)
+	// Machine-local exit directive: must survive instrumentation
+	// untouched.
+	f.Add(`package p
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func s(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		if u == dst {
+			break //sgc:local
+		}
+	}
+}
+`)
 	f.Fuzz(func(t *testing.T, src string) {
 		out, _, err := Instrument("fuzz.go", []byte(src))
 		if err != nil {
@@ -40,6 +103,15 @@ func s(ctx *core.DenseCtx[uint32], srcs []graph.VertexID) {
 		fset := token.NewFileSet()
 		if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
 			t.Fatalf("instrumented output does not parse: %v\ninput:\n%s\noutput:\n%s", err, src, out)
+		}
+		// Instrumentation is a fixed point: a second pass over valid
+		// output must be a byte-identical no-op.
+		again, _, err := Instrument("fuzz.go", out)
+		if err != nil {
+			t.Fatalf("second pass errored on own output: %v\noutput:\n%s", err, out)
+		}
+		if string(again) != string(out) {
+			t.Fatalf("instrument not idempotent\ninput:\n%s\nfirst:\n%s\nsecond:\n%s", src, out, again)
 		}
 	})
 }

@@ -23,6 +23,7 @@ func Instrument(filename string, src []byte) ([]byte, *Report, error) {
 		return nil, nil, fmt.Errorf("analyzer: %w", err)
 	}
 	rep := analyzeFile(fset, file)
+	local := LocalDirectiveLines(fset, file)
 
 	ast.Inspect(file, func(n ast.Node) bool {
 		var typ *ast.FuncType
@@ -46,7 +47,7 @@ func Instrument(filename string, src []byte) ([]byte, *Report, error) {
 			return true // already instrumented
 		}
 		for _, loop := range neighborLoops(body, nbrName) {
-			instrumentLoop(loop, ctxName)
+			instrumentLoop(fset, loop, ctxName, local)
 		}
 		return true
 	})
@@ -59,10 +60,14 @@ func Instrument(filename string, src []byte) ([]byte, *Report, error) {
 }
 
 // instrumentLoop inserts ctx.Edge() at the loop head (unless present)
-// and ctx.EmitDep() before each break bound to the loop.
-func instrumentLoop(loop neighborLoop, ctxName string) {
+// and ctx.EmitDep() before each break bound to the loop. Breaks under
+// an //sgc:local directive are declared machine-local and skipped.
+func instrumentLoop(fset *token.FileSet, loop neighborLoop, ctxName string, local map[int]bool) {
 	breaks := map[*ast.BranchStmt]bool{}
 	for _, br := range loopBreaks(loop) {
+		if isLocalExit(fset, local, br.Pos()) {
+			continue
+		}
 		breaks[br] = true
 	}
 	body := loop.body()

@@ -1,0 +1,835 @@
+package typed
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+)
+
+// Instrumentation state of a signal UDF, the classification the
+// syntactic pass cannot make precisely (it only greps for an EmitDep
+// call anywhere in the function).
+const (
+	// InstrumentedNotNeeded — no neighbor-loop early exit, nothing to
+	// instrument.
+	InstrumentedNotNeeded = "not-needed"
+	// InstrumentedYes — every neighbor-loop early exit is immediately
+	// preceded by ctx.EmitDep().
+	InstrumentedYes = "yes"
+	// InstrumentedPartial — some early exits are covered, others not:
+	// the paper Listing 2 manual-fix failure class.
+	InstrumentedPartial = "partial"
+	// InstrumentedNo — early exits exist and none is covered.
+	InstrumentedNo = "no"
+)
+
+// CarriedVar is one loop-carried data-dependency candidate: a variable
+// declared outside the neighbor loop and touched inside it — a
+// DepMessage data member in the paper's terms.
+type CarriedVar struct {
+	Name string `json:"name"`
+	// Type is the variable's resolved type.
+	Type string `json:"type,omitempty"`
+	// Access is "read", "write" or "readwrite". An accumulator the loop
+	// both reads and updates (cnt++, sum += w) is "readwrite" — true
+	// carried state; a write-only variable is a result slot.
+	Access string `json:"access"`
+}
+
+// InterBreak is an interprocedural early exit: the UDF (or a helper)
+// passes the neighbor slice to a callee whose loop over it exits early.
+type InterBreak struct {
+	// Callee is the helper's name.
+	Callee string `json:"callee"`
+	// CallLine is the call site's line in the caller.
+	CallLine int `json:"call_line"`
+	// ExitLine is the early exit's line inside the (possibly nested)
+	// callee.
+	ExitLine int `json:"exit_line"`
+	// Depth is the call depth (1 = direct helper).
+	Depth int `json:"depth"`
+	// Covered reports that the helper emits the dependency itself
+	// (ctx.EmitDep() immediately before the exit).
+	Covered bool `json:"covered"`
+}
+
+// LoopReport describes one neighbor-traversal loop.
+type LoopReport struct {
+	Line int `json:"line"`
+	// Breaks counts break statements bound to the loop.
+	Breaks int `json:"breaks"`
+	// Returns counts return statements inside the loop — early exits
+	// the syntactic pass ignores entirely.
+	Returns int `json:"returns,omitempty"`
+	// LocalExits counts early exits annotated //sgc:local — intentional
+	// machine-local breaks that are not loop-carried dependencies (e.g.
+	// a re-walk of neighbors already fully scanned). They need no
+	// EmitDep and are excluded from Breaks/Returns.
+	LocalExits int `json:"local_exits,omitempty"`
+	// UncoveredExits lists the lines of breaks/returns not immediately
+	// preceded by ctx.EmitDep().
+	UncoveredExits []int `json:"uncovered_exits,omitempty"`
+	// Carried lists loop-carried data-dependency candidates.
+	Carried []CarriedVar `json:"carried,omitempty"`
+}
+
+// FuncReport describes one signal UDF, resolved.
+type FuncReport struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Path is the file's full path (excluded from JSON, which keeps the
+	// stable base name in File).
+	Path string `json:"-"`
+
+	CtxParam      string `json:"ctx_param"`
+	NeighborParam string `json:"neighbor_param"`
+	// MsgType is the DenseCtx type argument (the update-message type M).
+	MsgType string `json:"msg_type,omitempty"`
+
+	Loops []LoopReport `json:"loops"`
+	// InterBreaks lists early exits reached through helpers.
+	InterBreaks []InterBreak `json:"inter_breaks,omitempty"`
+
+	// LoopCarried reports whether any path — direct or through a
+	// helper — exits neighbor traversal early.
+	LoopCarried bool `json:"loop_carried"`
+	// Instrumented is one of the Instrumented* constants.
+	Instrumented string `json:"instrumented"`
+}
+
+// PackageReport is the analysis of one package.
+type PackageReport struct {
+	ImportPath string       `json:"import_path"`
+	Dir        string       `json:"dir,omitempty"`
+	Funcs      []FuncReport `json:"funcs"`
+	TypeErrors []string     `json:"type_errors,omitempty"`
+}
+
+// LoopCarriedFuncs returns the names of UDFs needing dependency
+// propagation.
+func (r *PackageReport) LoopCarriedFuncs() []string {
+	var out []string
+	for _, f := range r.Funcs {
+		if f.LoopCarried {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// AnalyzePackage runs the type-resolved §4 analysis over one loaded
+// package.
+func AnalyzePackage(pkg *Package) *PackageReport {
+	rep := &PackageReport{ImportPath: pkg.ImportPath, Dir: pkg.Dir}
+	for _, err := range pkg.TypeErrors {
+		rep.TypeErrors = append(rep.TypeErrors, err.Error())
+	}
+	a := &passState{
+		pkg:        pkg,
+		helperMemo: make(map[helperKey]helperResult),
+		localLines: localExitLines(pkg.Fset, pkg.Files),
+	}
+	for i, file := range pkg.Files {
+		filename := pkg.Filenames[i]
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				if fr, ok := a.analyzeFunc(fn.Name.Name, filename, fn.Type, fn.Body); ok {
+					rep.Funcs = append(rep.Funcs, fr)
+				}
+			case *ast.FuncLit:
+				if fr, ok := a.analyzeFunc("<anonymous>", filename, fn.Type, fn.Body); ok {
+					rep.Funcs = append(rep.Funcs, fr)
+				}
+			}
+			return true
+		})
+	}
+	return rep
+}
+
+type passState struct {
+	pkg        *Package
+	helperMemo map[helperKey]helperResult
+	// localLines marks, per filename, the lines carrying an //sgc:local
+	// directive.
+	localLines map[string]map[int]bool
+}
+
+// localExitLines collects //sgc:local directive lines per file. The
+// directive marks an early exit as machine-local — intentionally not a
+// loop-carried dependency — on its own line or the line above the exit.
+func localExitLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				if !strings.HasPrefix(strings.TrimSpace(text), "sgc:local") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// isLocalExit reports whether the exit at pos carries the //sgc:local
+// directive (same line or the line above).
+func (a *passState) isLocalExit(pos token.Pos) bool {
+	p := a.pkg.Fset.Position(pos)
+	m := a.localLines[p.Filename]
+	return m != nil && (m[p.Line] || m[p.Line-1])
+}
+
+type helperKey struct {
+	fn    types.Object
+	param int
+}
+
+type helperResult struct {
+	exits []InterBreak // exit/break lines found in the helper, depth-relative
+}
+
+// isDenseCtxPtr reports whether t is *core.DenseCtx[M], returning M.
+func isDenseCtxPtr(t types.Type) (msg types.Type, ok bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil, false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "DenseCtx" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/core") {
+		return nil, false
+	}
+	if args := named.TypeArgs(); args != nil && args.Len() == 1 {
+		return args.At(0), true
+	}
+	return nil, true
+}
+
+// isVertexSlice reports whether t is []graph.VertexID.
+func isVertexSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "VertexID" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
+}
+
+// paramObjects returns the declared objects of a function's parameters
+// matching the two signal-UDF roles, resolved by type.
+func (a *passState) paramObjects(typ *ast.FuncType) (ctx, nbr *types.Var, msg types.Type) {
+	if typ.Params == nil {
+		return nil, nil, nil
+	}
+	for _, field := range typ.Params.List {
+		for _, name := range field.Names {
+			obj, ok := a.pkg.Info.Defs[name].(*types.Var)
+			if !ok || obj == nil {
+				continue
+			}
+			if m, ok := isDenseCtxPtr(obj.Type()); ok && ctx == nil {
+				ctx, msg = obj, m
+			} else if isVertexSlice(obj.Type()) && nbr == nil {
+				nbr = obj
+			}
+		}
+	}
+	return ctx, nbr, msg
+}
+
+func (a *passState) analyzeFunc(name, filename string, typ *ast.FuncType, body *ast.BlockStmt) (FuncReport, bool) {
+	ctxObj, nbrObj, msgType := a.paramObjects(typ)
+	if ctxObj == nil || nbrObj == nil {
+		return FuncReport{}, false
+	}
+	fset := a.pkg.Fset
+	fr := FuncReport{
+		Name:          name,
+		File:          filepath.Base(filename),
+		Path:          filename,
+		Line:          fset.Position(typ.Pos()).Line,
+		CtxParam:      ctxObj.Name(),
+		NeighborParam: nbrObj.Name(),
+	}
+	if msgType != nil {
+		fr.MsgType = types.TypeString(msgType, func(p *types.Package) string { return p.Name() })
+	}
+
+	ctxAliases := a.aliasSet(body, ctxObj)
+	nbrAliases := a.aliasSet(body, nbrObj)
+
+	covered := 0
+	uncovered := 0
+	for _, loop := range a.neighborLoops(body, nbrAliases) {
+		lr := LoopReport{Line: fset.Position(loop.Pos()).Line}
+		exits := a.loopExits(loop)
+		carriedExits := 0
+		for _, ex := range exits {
+			if a.isLocalExit(ex.stmt.Pos()) {
+				lr.LocalExits++
+				continue
+			}
+			carriedExits++
+			if ex.isReturn {
+				lr.Returns++
+			} else {
+				lr.Breaks++
+			}
+			if a.exitCovered(loop.body(), ex.stmt, ctxAliases) {
+				covered++
+			} else {
+				uncovered++
+				lr.UncoveredExits = append(lr.UncoveredExits, fset.Position(ex.stmt.Pos()).Line)
+			}
+		}
+		lr.Carried = a.carriedVars(loop, body)
+		fr.Loops = append(fr.Loops, lr)
+		if carriedExits > 0 {
+			fr.LoopCarried = true
+		}
+	}
+
+	// Interprocedural pass: calls that hand the neighbor slice to a
+	// helper whose traversal exits early.
+	fr.InterBreaks = a.interBreaks(body, nbrAliases, 1)
+	for _, ib := range fr.InterBreaks {
+		fr.LoopCarried = true
+		if ib.Covered {
+			covered++
+		} else {
+			uncovered++
+		}
+	}
+
+	switch {
+	case !fr.LoopCarried:
+		fr.Instrumented = InstrumentedNotNeeded
+	case uncovered == 0:
+		fr.Instrumented = InstrumentedYes
+	case covered > 0:
+		fr.Instrumented = InstrumentedPartial
+	default:
+		fr.Instrumented = InstrumentedNo
+	}
+	return fr, true
+}
+
+// aliasSet computes the set of objects that alias root within body:
+// root itself plus variables assigned from an alias (c := ctx,
+// ns := srcs, ns2 := ns[1:]). Iterates to a fixed point so chains and
+// out-of-order closures resolve.
+func (a *passState) aliasSet(body *ast.BlockStmt, root *types.Var) map[types.Object]bool {
+	set := map[types.Object]bool{root: true}
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !a.exprAliases(rhs, set) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := a.pkg.Info.Defs[id]
+				if obj == nil {
+					obj = a.pkg.Info.Uses[id]
+				}
+				if obj != nil && !set[obj] {
+					set[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return set
+		}
+	}
+}
+
+// exprAliases reports whether e evaluates to (a sub-slice of) an object
+// in set.
+func (a *passState) exprAliases(e ast.Expr, set map[types.Object]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return set[a.pkg.Info.Uses[x]]
+	case *ast.ParenExpr:
+		return a.exprAliases(x.X, set)
+	case *ast.SliceExpr:
+		return a.exprAliases(x.X, set)
+	}
+	return false
+}
+
+// neighborLoop mirrors the syntactic pass's loop wrapper.
+type neighborLoop struct {
+	rng *ast.RangeStmt
+	fr  *ast.ForStmt
+}
+
+func (nl neighborLoop) Pos() token.Pos {
+	if nl.rng != nil {
+		return nl.rng.Pos()
+	}
+	return nl.fr.Pos()
+}
+
+func (nl neighborLoop) body() *ast.BlockStmt {
+	if nl.rng != nil {
+		return nl.rng.Body
+	}
+	return nl.fr.Body
+}
+
+// neighborLoops finds loops traversing any alias of the neighbor slice:
+// range loops over it and index loops bounded by its length.
+func (a *passState) neighborLoops(body *ast.BlockStmt, nbrAliases map[types.Object]bool) []neighborLoop {
+	var loops []neighborLoop
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			if a.exprAliases(l.X, nbrAliases) {
+				loops = append(loops, neighborLoop{rng: l})
+			}
+		case *ast.ForStmt:
+			if a.forBoundsOnLen(l, nbrAliases) {
+				loops = append(loops, neighborLoop{fr: l})
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+func (a *passState) forBoundsOnLen(l *ast.ForStmt, nbrAliases map[types.Object]bool) bool {
+	bin, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	isLen := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "len" {
+			return false
+		}
+		// Resolved check: the len must be the builtin, not a shadow.
+		if _, isBuiltin := a.pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		return a.exprAliases(call.Args[0], nbrAliases)
+	}
+	return isLen(bin.X) || isLen(bin.Y)
+}
+
+// loopExit is a statement that terminates neighbor traversal early: a
+// break bound to the loop, or a return inside it.
+type loopExit struct {
+	stmt     ast.Stmt
+	isReturn bool
+}
+
+// loopExits collects the loop's early exits. Break binding reuses the
+// syntactic pass's walker (analyzer.BoundBreaks) so the two passes agree
+// on Go's binding rules; returns are collected here, skipping nested
+// function literals.
+func (a *passState) loopExits(loop neighborLoop) []loopExit {
+	var exits []loopExit
+	for _, br := range analyzer.BoundBreaks(loop.body()) {
+		exits = append(exits, loopExit{stmt: br})
+	}
+	ast.Inspect(loop.body(), func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exits = append(exits, loopExit{stmt: s, isReturn: true})
+		}
+		return true
+	})
+	sort.Slice(exits, func(i, j int) bool { return exits[i].stmt.Pos() < exits[j].stmt.Pos() })
+	return exits
+}
+
+// exitCovered reports whether the statement immediately preceding exit
+// in its innermost statement list is ctx.EmitDep() on a context alias —
+// the exact shape the instrumenter emits.
+func (a *passState) exitCovered(body *ast.BlockStmt, exit ast.Stmt, ctxAliases map[types.Object]bool) bool {
+	covered := false
+	var scan func(list []ast.Stmt)
+	scan = func(list []ast.Stmt) {
+		for i, st := range list {
+			if st == exit {
+				if i > 0 && a.isEmitDep(list[i-1], ctxAliases) {
+					covered = true
+				}
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			scan(s.List)
+		case *ast.CaseClause:
+			scan(s.Body)
+		case *ast.CommClause:
+			scan(s.Body)
+		}
+		return true
+	})
+	return covered
+}
+
+// isEmitDep reports whether st is `c.EmitDep()` for a context alias c.
+func (a *passState) isEmitDep(st ast.Stmt, ctxAliases map[types.Object]bool) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "EmitDep" {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return ctxAliases[a.pkg.Info.Uses[id]]
+	}
+	return false
+}
+
+// containsEmitDepBefore reports whether the statement immediately before
+// exit inside callee calls EmitDep on any DenseCtx-typed value — helper
+// coverage, where the helper carries its own ctx parameter.
+func (a *passState) containsEmitDepBefore(callee *ast.FuncDecl, exit ast.Stmt) bool {
+	if callee.Body == nil {
+		return false
+	}
+	// A helper covers its own exit when the immediately preceding
+	// statement calls EmitDep on something DenseCtx-typed.
+	covered := false
+	var scan func(list []ast.Stmt)
+	scan = func(list []ast.Stmt) {
+		for i, st := range list {
+			if st == exit {
+				if i > 0 {
+					if es, ok := list[i-1].(*ast.ExprStmt); ok {
+						if call, ok := es.X.(*ast.CallExpr); ok {
+							if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "EmitDep" {
+								if tv, ok := a.pkg.Info.Types[sel.X]; ok {
+									if _, isCtx := isDenseCtxPtr(tv.Type); isCtx {
+										covered = true
+									}
+								}
+							}
+						}
+					}
+				}
+				return
+			}
+		}
+	}
+	ast.Inspect(callee.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			scan(s.List)
+		case *ast.CaseClause:
+			scan(s.Body)
+		case *ast.CommClause:
+			scan(s.Body)
+		}
+		return true
+	})
+	return covered
+}
+
+const maxHelperDepth = 4
+
+// interBreaks finds calls inside body that pass a neighbor-slice alias
+// to a package-local function whose loop over that parameter exits
+// early. depth guards recursion through helper chains.
+func (a *passState) interBreaks(body ast.Node, nbrAliases map[types.Object]bool, depth int) []InterBreak {
+	if depth > maxHelperDepth {
+		return nil
+	}
+	var out []InterBreak
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for argIdx, arg := range call.Args {
+			if !a.exprAliases(arg, nbrAliases) {
+				continue
+			}
+			decl, obj := a.calleeDecl(call.Fun)
+			if decl == nil {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Params().Len() <= argIdx || sig.Variadic() && argIdx >= sig.Params().Len()-1 {
+				continue
+			}
+			for _, ib := range a.helperExits(decl, obj, argIdx, depth) {
+				ib.CallLine = a.pkg.Fset.Position(call.Pos()).Line
+				out = append(out, ib)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeDecl resolves a call target to its FuncDecl within the loaded
+// package, or nil for methods, imported functions and builtins.
+func (a *passState) calleeDecl(fun ast.Expr) (*ast.FuncDecl, types.Object) {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := a.pkg.Info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != a.pkg.Types {
+		return nil, nil
+	}
+	for _, file := range a.pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if a.pkg.Info.Defs[fd.Name] == obj {
+				return fd, obj
+			}
+		}
+	}
+	return nil, nil
+}
+
+// helperExits analyzes helper fn: does its loop over parameter paramIdx
+// exit early? Memoized; recurses one level per helper hop.
+func (a *passState) helperExits(decl *ast.FuncDecl, obj types.Object, paramIdx int, depth int) []InterBreak {
+	key := helperKey{fn: obj, param: paramIdx}
+	if res, ok := a.helperMemo[key]; ok {
+		return res.exits
+	}
+	// Mark in-progress to cut recursion cycles.
+	a.helperMemo[key] = helperResult{}
+
+	var exits []InterBreak
+	if decl.Body != nil && decl.Type.Params != nil {
+		// Find the parameter object at paramIdx.
+		var paramObj *types.Var
+		idx := 0
+		for _, field := range decl.Type.Params.List {
+			names := field.Names
+			if len(names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range names {
+				if idx == paramIdx {
+					paramObj, _ = a.pkg.Info.Defs[name].(*types.Var)
+				}
+				idx++
+			}
+		}
+		if paramObj != nil && isVertexSlice(paramObj.Type()) {
+			aliases := a.aliasSet(decl.Body, paramObj)
+			fset := a.pkg.Fset
+			for _, loop := range a.neighborLoops(decl.Body, aliases) {
+				for _, ex := range a.loopExits(loop) {
+					if a.isLocalExit(ex.stmt.Pos()) {
+						continue
+					}
+					exits = append(exits, InterBreak{
+						Callee:   decl.Name.Name,
+						ExitLine: fset.Position(ex.stmt.Pos()).Line,
+						Depth:    depth,
+						Covered:  a.containsEmitDepBefore(decl, ex.stmt),
+					})
+				}
+			}
+			// Helper chains: the helper may itself hand the slice on.
+			for _, ib := range a.interBreaks(decl.Body, aliases, depth+1) {
+				ib.Callee = decl.Name.Name + ">" + ib.Callee
+				ib.Depth = depth + 1
+				exits = append(exits, ib)
+			}
+		}
+	}
+	a.helperMemo[key] = helperResult{exits: exits}
+	return exits
+}
+
+// carriedVars lists variables declared in the function outside the loop
+// and touched inside it, with resolved types and read/write access.
+func (a *passState) carriedVars(loop neighborLoop, body *ast.BlockStmt) []CarriedVar {
+	info := a.pkg.Info
+	loopBody := loop.body()
+
+	inLoop := func(obj types.Object) bool {
+		return obj.Pos() >= loop.Pos() && obj.Pos() <= loopBody.End()
+	}
+	inFunc := func(obj types.Object) bool {
+		return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+
+	type access struct{ read, write bool }
+	accesses := map[*types.Var]*access{}
+	var order []*types.Var
+	touch := func(obj types.Object, write bool) {
+		v, ok := obj.(*types.Var)
+		if !ok || v == nil || inLoop(v) || !inFunc(v) || v.Name() == "_" {
+			return
+		}
+		acc, ok := accesses[v]
+		if !ok {
+			acc = &access{}
+			accesses[v] = acc
+			order = append(order, v)
+		}
+		if write {
+			acc.write = true
+		} else {
+			acc.read = true
+		}
+	}
+
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						touch(obj, true)
+						if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+							touch(obj, false) // compound assignment reads too
+						}
+					}
+				}
+			}
+			for _, rhs := range s.Rhs {
+				a.touchReads(rhs, touch)
+			}
+			return false
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					touch(obj, true)
+					touch(obj, false)
+				}
+			}
+			return false
+		case *ast.Ident:
+			if obj := info.Uses[s]; obj != nil {
+				touch(obj, false)
+			}
+		}
+		return true
+	})
+
+	var out []CarriedVar
+	for _, v := range order {
+		acc := accesses[v]
+		if !acc.write {
+			continue // read-only outer state is not carried, just captured
+		}
+		kind := "write"
+		if acc.read {
+			kind = "readwrite"
+		}
+		out = append(out, CarriedVar{
+			Name:   v.Name(),
+			Type:   types.TypeString(v.Type(), func(p *types.Package) string { return p.Name() }),
+			Access: kind,
+		})
+	}
+	return out
+}
+
+func (a *passState) touchReads(e ast.Expr, touch func(types.Object, bool)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := a.pkg.Info.Uses[id]; obj != nil {
+				touch(obj, false)
+			}
+		}
+		return true
+	})
+}
+
+// String renders the package report in the tool's human format,
+// extending the syntactic format with resolution detail.
+func (r *PackageReport) String() string {
+	var b strings.Builder
+	for _, f := range r.Funcs {
+		fmt.Fprintf(&b, "func %s (%s:%d): ctx=%s neighbors=%s", f.Name, f.File, f.Line, f.CtxParam, f.NeighborParam)
+		if f.MsgType != "" {
+			fmt.Fprintf(&b, " msg=%s", f.MsgType)
+		}
+		fmt.Fprintf(&b, " [instrumented=%s]\n", f.Instrumented)
+		for _, l := range f.Loops {
+			fmt.Fprintf(&b, "  loop at line %d: breaks=%d", l.Line, l.Breaks)
+			if l.Returns > 0 {
+				fmt.Fprintf(&b, " returns=%d", l.Returns)
+			}
+			if len(l.Carried) > 0 {
+				names := make([]string, len(l.Carried))
+				for i, c := range l.Carried {
+					names[i] = fmt.Sprintf("%s(%s %s)", c.Name, c.Type, c.Access)
+				}
+				fmt.Fprintf(&b, " carried=%v", names)
+			}
+			b.WriteString("\n")
+		}
+		for _, ib := range f.InterBreaks {
+			fmt.Fprintf(&b, "  helper exit via %s (call line %d, exit line %d, depth %d, covered=%v)\n",
+				ib.Callee, ib.CallLine, ib.ExitLine, ib.Depth, ib.Covered)
+		}
+		if f.LoopCarried {
+			b.WriteString("  => loop-carried dependency\n")
+		} else {
+			b.WriteString("  => no loop-carried dependency\n")
+		}
+	}
+	return b.String()
+}

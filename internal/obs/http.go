@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -80,15 +81,21 @@ func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, err
 		srv:  &http.Server{Handler: NewDebugMux(reg, tr)},
 	}
 	go func() {
-		err := s.srv.Serve(ln)
-		if err == http.ErrServerClosed {
-			err = nil // the Close lifecycle, not a failure
-		}
+		err := serveResult(s.srv.Serve(ln))
 		s.serveMu.Lock()
 		s.served = err
 		s.serveMu.Unlock()
 	}()
 	return s, nil
+}
+
+// serveResult classifies the serve loop's exit: ErrServerClosed — even
+// wrapped — is the Close lifecycle, not a failure.
+func serveResult(err error) error {
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
 }
 
 // Err reports the error that stopped the serve loop, if any. Nil while

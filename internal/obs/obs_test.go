@@ -231,3 +231,23 @@ func TestDebugServerBindErrorIsSurfaced(t *testing.T) {
 		t.Fatalf("healthy server reports Err %v", s.Err())
 	}
 }
+
+// The serve loop's lifecycle classification must treat ErrServerClosed
+// as a clean exit even when a wrapping layer annotates it; any other
+// error passes through untouched.
+func TestServeResultClassifiesWrappedClose(t *testing.T) {
+	if got := serveResult(http.ErrServerClosed); got != nil {
+		t.Fatalf("bare ErrServerClosed classified as failure: %v", got)
+	}
+	wrapped := fmt.Errorf("serve loop: %w", http.ErrServerClosed)
+	if got := serveResult(wrapped); got != nil {
+		t.Fatalf("wrapped ErrServerClosed classified as failure: %v", got)
+	}
+	real := fmt.Errorf("accept tcp: use of closed socket")
+	if got := serveResult(real); got != real {
+		t.Fatalf("real error not passed through: %v", got)
+	}
+	if got := serveResult(nil); got != nil {
+		t.Fatalf("nil error classified as failure: %v", got)
+	}
+}

@@ -59,6 +59,7 @@ func (a *admission) admit(ctx context.Context) (release func(), wait time.Durati
 	a.waiting.Add(1)
 	defer func() {
 		a.waiting.Add(-1)
+		//sgvet:ignore ctxblock returns this goroutine's own token to a buffered channel it filled; capacity guarantees room, so the receive never blocks
 		<-a.queue
 	}()
 	select {
@@ -75,6 +76,7 @@ func (a *admission) releaseFunc() func() {
 	return func() {
 		if once.CompareAndSwap(false, true) {
 			a.running.Add(-1)
+			//sgvet:ignore ctxblock returns this goroutine's own token to a buffered channel it filled; capacity guarantees room, so the receive never blocks
 			<-a.inflight
 		}
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -180,12 +181,14 @@ func (p *Pool) Info(name string) (graphInfo, bool) {
 	return e.info, true
 }
 
-// GraphNames lists the served graphs (unordered).
+// GraphNames lists the served graphs in sorted order, so status
+// snapshots and logs render identically across calls.
 func (p *Pool) GraphNames() []string {
 	names := make([]string, 0, len(p.graphs))
 	for n := range p.graphs {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -198,12 +201,13 @@ func (p *Pool) HasProvider(name string) bool {
 	return ok
 }
 
-// ProviderNames lists the configured providers (unordered).
+// ProviderNames lists the configured providers in sorted order.
 func (p *Pool) ProviderNames() []string {
 	names := make([]string, 0, len(p.providers))
 	for n := range p.providers {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 

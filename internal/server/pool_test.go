@@ -164,3 +164,32 @@ func TestPoolLeaseBlocksAtCapacity(t *testing.T) {
 		t.Fatal("unknown provider leased")
 	}
 }
+
+// TestPoolNamesSorted pins the sgvet snapdet fix: GraphNames and
+// ProviderNames are built by map iteration, so without an explicit sort
+// their order — and with it /statusz rendering and error messages —
+// changed run to run.
+func TestPoolNamesSorted(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+	for _, n := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		graphs[n] = testGraph(4, 1)
+	}
+	p, err := NewPool(PoolConfig{
+		Graphs:        graphs,
+		Providers:     []EngineProvider{NewLocalProvider(LocalProviderConfig{Options: core.Options{NumNodes: 1}})},
+		SlotsPerEntry: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	want := []string{"alpha", "beta", "mid", "omega", "zeta"}
+	for i := 0; i < 8; i++ {
+		if got := p.GraphNames(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("GraphNames() = %v, want sorted %v", got, want)
+		}
+	}
+	if got := p.ProviderNames(); !reflect.DeepEqual(got, []string{"local"}) {
+		t.Fatalf("ProviderNames() = %v", got)
+	}
+}

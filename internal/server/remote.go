@@ -220,6 +220,7 @@ func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 
 	deadline := time.Now().Add(p.cfg.BuildTimeout)
 	for _, cc := range conns {
+		//sgvet:ignore commerr deadline-arm failure means the conn is already dead; the next Expect/Send on it reports the real error
 		cc.SetDeadline(deadline)
 	}
 
@@ -289,6 +290,7 @@ func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 		}
 	}
 	for _, cc := range conns {
+		//sgvet:ignore commerr clearing a deadline on a dead conn is harmless; later traffic reports the real error
 		cc.SetDeadline(time.Time{})
 	}
 
@@ -347,6 +349,7 @@ func (e *remoteEngine) FinishQuery() error {
 	e.inFlight = false
 	deadline := time.Now().Add(e.finishTimeout)
 	for _, cc := range e.conns {
+		//sgvet:ignore commerr deadline-arm failure means the conn is already dead; Expect below reports it
 		cc.SetDeadline(deadline)
 		var d doneMsg
 		if err := cc.Expect("done", &d); err != nil {
@@ -356,6 +359,7 @@ func (e *remoteEngine) FinishQuery() error {
 		if d.Error != "" {
 			e.failed = fmt.Errorf("worker %s: %s", cc.RemoteAddr(), d.Error)
 		}
+		//sgvet:ignore commerr clearing a deadline on a dead conn is harmless; the next query's traffic reports it
 		cc.SetDeadline(time.Time{})
 	}
 	return e.failed
@@ -372,7 +376,9 @@ func (e *remoteEngine) Reset() error {
 // data plane drop.
 func (e *remoteEngine) Close() error {
 	for _, cc := range e.conns {
+		//sgvet:ignore commerr best-effort teardown: the close message is a courtesy, Close below drops the conn regardless
 		cc.SetDeadline(time.Now().Add(2 * time.Second))
+		//sgvet:ignore commerr best-effort teardown: the close message is a courtesy, Close below drops the conn regardless
 		cc.Send("close", nil)
 		cc.Close()
 	}

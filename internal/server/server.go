@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -570,9 +569,8 @@ func (s *Server) StatusSnapshot() Status {
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)
 	}
-	names := s.pool.GraphNames()
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range s.pool.GraphNames() { // already sorted
+
 		info, _ := s.pool.Info(n)
 		st.Graphs[n] = GraphInfo{Vertices: info.vertices, Edges: info.edges}
 	}

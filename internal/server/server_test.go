@@ -269,9 +269,11 @@ func TestDeadlineReturns504AndSlotRecovers(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	// A 1ms deadline cannot finish a pagerank; the request must come
-	// back 504, not hang and not 500.
-	resp, err := http.Get(ts.URL + "/query?graph=g1&algo=pagerank&iters=50&deadline_ms=1&no_cache=1")
+	// A 1ms deadline cannot finish a 5000-iteration pagerank (a warm
+	// slot clears 50 iterations on this graph in about a millisecond,
+	// which made the old iters=50 version a coin flip on idle
+	// machines); the request must come back 504, not hang and not 500.
+	resp, err := http.Get(ts.URL + "/query?graph=g1&algo=pagerank&iters=5000&deadline_ms=1&no_cache=1")
 	if err != nil {
 		t.Fatal(err)
 	}

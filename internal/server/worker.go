@@ -236,6 +236,7 @@ func (d *WorkerDaemon) serveSlot(wc *workerConn) {
 	}
 	ep, err := comm.NewTCPEndpoint(comm.NodeID(bm.Node), dataLn, st.Addrs)
 	if err != nil {
+		//sgvet:ignore commerr best-effort error reply: if the send fails the master's Expect fails too and reports the drop
 		cc.Send("up", upMsg{Error: err.Error()})
 		dataLn.Close()
 		return
@@ -245,6 +246,7 @@ func (d *WorkerDaemon) serveSlot(wc *workerConn) {
 
 	mode, err := cliutil.ParseMode(bm.Opts.Mode)
 	if err != nil {
+		//sgvet:ignore commerr best-effort error reply: if the send fails the master's Expect fails too and reports the drop
 		cc.Send("up", upMsg{Error: err.Error()})
 		return
 	}
@@ -259,6 +261,7 @@ func (d *WorkerDaemon) serveSlot(wc *workerConn) {
 	}
 	eng, err := core.NewDistributedEngine(g, opts, ep)
 	if err != nil {
+		//sgvet:ignore commerr best-effort error reply: if the send fails the master's Expect fails too and reports the drop
 		cc.Send("up", upMsg{Error: err.Error()})
 		return
 	}
@@ -279,6 +282,7 @@ func (d *WorkerDaemon) serveSlot(wc *workerConn) {
 		case "run":
 			var q Request
 			if err := json.Unmarshal(env.Body, &q); err != nil {
+				//sgvet:ignore commerr best-effort error reply: if the send fails the master's Expect fails too and reports the drop
 				cc.Send("done", doneMsg{Error: fmt.Sprintf("bad run request: %v", err)})
 				return
 			}

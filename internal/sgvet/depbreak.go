@@ -1,0 +1,44 @@
+package sgvet
+
+import "repro/internal/analyzer/typed"
+
+// DepBreak enforces the paper's §4 invariant: every early exit from a
+// dense-signal UDF's neighbor traversal must be announced with
+// ctx.EmitDep(), or downstream machines keep scanning neighbors the
+// algorithm already resolved — and, worse, algorithms that *rely* on
+// the skip (K-core's counting cut-off, sampling's prefix walk) silently
+// compute wrong byte counts or wrong answers on >1 machines. This is
+// the uninstrumented-UDF trap: code that compiles, runs, and degrades
+// the guarantee without any error.
+//
+// The check runs the type-resolved analysis, so it sees through aliased
+// contexts and neighbor slices and through helper functions the slice
+// is handed to (interprocedural breaks). Intentional machine-local
+// exits are declared with //sgc:local on the break.
+var DepBreak = &Analyzer{
+	Name: "depbreak",
+	Doc:  "neighbor-loop early exit without ctx.EmitDep() in a signal UDF",
+	Run:  runDepBreak,
+}
+
+func runDepBreak(p *Pass) {
+	rep := typed.AnalyzePackage(p.Pkg)
+	for _, f := range rep.Funcs {
+		if f.Instrumented != typed.InstrumentedNo && f.Instrumented != typed.InstrumentedPartial {
+			continue
+		}
+		for _, l := range f.Loops {
+			for _, line := range l.UncoveredExits {
+				p.ReportAt(f.Path, line, 1,
+					"signal UDF %s: neighbor-loop early exit without ctx.EmitDep() — the loop-carried dependency is not propagated (run `sgc instrument`, or mark a machine-local exit with //sgc:local)", f.Name)
+			}
+		}
+		for _, ib := range f.InterBreaks {
+			if ib.Covered {
+				continue
+			}
+			p.ReportAt(f.Path, ib.CallLine, 1,
+				"signal UDF %s: helper %s exits neighbor traversal early (line %d) without ctx.EmitDep() — interprocedural loop-carried dependency is not propagated", f.Name, ib.Callee, ib.ExitLine)
+		}
+	}
+}

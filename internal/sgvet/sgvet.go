@@ -1,0 +1,222 @@
+// Package sgvet is SympleGraph's project-invariant lint suite: a small
+// go/analysis-style framework (stdlib-only — the build environment pins
+// dependencies, so golang.org/x/tools is unavailable) plus the four
+// analyzers that machine-check invariants the engine's correctness
+// leans on:
+//
+//   - depbreak — a dense-signal UDF whose neighbor traversal exits
+//     early without ctx.EmitDep() silently loses the precise
+//     loop-carried-dependency guarantee (paper Listing 2's failure
+//     class). Backed by the type-resolved analysis in analyzer/typed,
+//     including interprocedural helper breaks.
+//   - snapdet — map iteration feeding an order-sensitive sink inside
+//     snapshot/checkpoint/stats code is nondeterministic and breaks the
+//     bit-identical recovery contract.
+//   - commerr — comm/engine taxonomy errors compared with == (pointer
+//     identity — never true for wrapped errors) or discarded; the
+//     recovery loop and CLI exit codes classify with errors.As.
+//   - ctxblock — channel operations in serving paths without a
+//     ctx.Done()/default escape arm can wedge a handler forever and
+//     defeat graceful drain.
+//
+// Diagnostics can be suppressed per line with
+//
+//	//sgvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line above. The reason is mandatory in
+// spirit: an ignore documents why the invariant holds anyway.
+package sgvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer/typed"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass gives an analyzer one loaded package and a reporting sink.
+type Pass struct {
+	Pkg   *typed.Package
+	diags *[]Diagnostic
+	name  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.ReportAt(position.Filename, position.Line, position.Column, format, args...)
+}
+
+// ReportAt records a diagnostic at an explicit file/line, for findings
+// derived from reports that carry positions as lines (analyzer/typed).
+func (p *Pass) ReportAt(file string, line, col int, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.name,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("sgvet: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages and returns surviving
+// diagnostics, sorted by position, with //sgvet:ignore suppressions
+// applied.
+func Run(pkgs []*typed.Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := ignoreLines(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, diags: &pkgDiags, name: a.Name})
+		}
+		for _, d := range pkgDiags {
+			if ignores.covers(d) {
+				continue
+			}
+			// Test files exercise failure paths on purpose — wedging
+			// channels, asserting exact error identity — so the suite
+			// polices shipped code only. (The source loader never feeds
+			// test files; this matters in `go vet -vettool` mode, where
+			// the toolchain hands us the test variant of each package.)
+			if strings.HasSuffix(d.File, "_test.go") {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreSet maps file → line → set of ignored analyzer names ("*" for
+// all).
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		if names := lines[line]; names != nil && (names["*"] || names[d.Analyzer]) {
+			return true
+		}
+	}
+	// An ignore placed above the diagnostic line must be adjacent;
+	// handled by the line-1 check. Same-line trailing comments are the
+	// d.Line check.
+	return false
+}
+
+// ignoreLines parses //sgvet:ignore directives out of a package.
+func ignoreLines(pkg *typed.Package) ignoreSet {
+	set := ignoreSet{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				rest, ok := strings.CutPrefix(text, "sgvet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				names := map[string]bool{}
+				if len(fields) == 0 {
+					names["*"] = true
+				} else {
+					for _, n := range strings.Split(fields[0], ",") {
+						if n != "" {
+							names[n] = true
+						}
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				for n := range names {
+					lines[pos.Line][n] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// inspectFiles walks every file of the pass's package.
+func (p *Pass) inspectFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

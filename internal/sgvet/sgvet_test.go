@@ -1,0 +1,428 @@
+package sgvet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer/typed"
+)
+
+// repoRoot walks up from the working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// loadFixture writes src as a single-file package under an optional
+// subdir (some analyzers scope by import-path suffix) and loads it with
+// imports resolving against the real module.
+func loadFixture(t *testing.T, subdir, src string) *typed.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if subdir != "" {
+		dir = filepath.Join(dir, filepath.FromSlash(subdir))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := typed.NewLoader(typed.Config{ModuleRoot: repoRoot(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// checkFixture runs the analyzers over the fixture and matches the
+// diagnostics against `// want:name[,name]` markers: each marked line
+// must produce exactly the listed analyzers' diagnostics, and no
+// unmarked line may produce any.
+func checkFixture(t *testing.T, src, subdir string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg := loadFixture(t, subdir, src)
+	diags := Run([]*typed.Package{pkg}, analyzers)
+
+	want := map[int][]string{}
+	for i, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, "// want:")
+		if idx < 0 {
+			continue
+		}
+		names := strings.Fields(line[idx+len("// want:"):])
+		if len(names) == 0 {
+			t.Fatalf("line %d: empty want marker", i+1)
+		}
+		want[i+1] = append(want[i+1], strings.Split(names[0], ",")...)
+	}
+	got := map[int][]string{}
+	for _, d := range diags {
+		got[d.Line] = append(got[d.Line], d.Analyzer)
+	}
+	key := func(m map[int][]string, line int) string {
+		names := append([]string(nil), m[line]...)
+		sort.Strings(names)
+		return strings.Join(names, ",")
+	}
+	lines := map[int]bool{}
+	for l := range want {
+		lines[l] = true
+	}
+	for l := range got {
+		lines[l] = true
+	}
+	for l := range lines {
+		if w, g := key(want, l), key(got, l); w != g {
+			t.Errorf("line %d: want diagnostics [%s], got [%s]\nall diagnostics:\n%s", l, w, g, renderDiags(diags))
+		}
+	}
+	return diags
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+const udfHeader = `package fixture
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var frontier interface{ Get(int) bool }
+var _ = graph.VertexID(0)
+var _ core.Mode
+`
+
+func TestDepBreakFixture(t *testing.T) {
+	src := udfHeader + `
+func bad(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		ctx.Edge()
+		if frontier.Get(int(u)) {
+			break // want:depbreak
+		}
+	}
+}
+
+func helperBad(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	if firstActive(srcs) >= 0 { // want:depbreak
+		ctx.Emit(uint32(dst))
+	}
+}
+
+func firstActive(srcs []graph.VertexID) int {
+	for i, u := range srcs {
+		if frontier.Get(int(u)) {
+			return i
+		}
+	}
+	return -1
+}
+
+func good(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		ctx.Edge()
+		if frontier.Get(int(u)) {
+			ctx.EmitDep()
+			break
+		}
+	}
+}
+
+func localPick(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		ctx.Edge()
+		if frontier.Get(int(u)) {
+			break //sgc:local machine-local candidate pick, full scan already done
+		}
+	}
+}
+`
+	checkFixture(t, src, "", DepBreak)
+}
+
+func TestSnapDetFixture(t *testing.T) {
+	src := `package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type StatsCodec struct{}
+
+func (c *StatsCodec) EncodeStats(w io.Writer, m map[string]int64) {
+	for k, v := range m { // want:snapdet
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func Snapshot(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want:snapdet
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func SnapshotSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Names is not a serialization context, but it returns the slice it
+// builds from map order — callers observe randomness.
+func Names(m map[string]bool) []string {
+	var out []string
+	for k := range m { // want:snapdet
+		out = append(out, k)
+	}
+	return out
+}
+
+// EncodeTotal accumulates floats in a deterministic context: float
+// addition is not associative, so the sum depends on iteration order.
+func EncodeTotal(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m { // want:snapdet
+		t += v
+	}
+	return t
+}
+
+// sumCounts folds integers — order-insensitive, fine anywhere.
+func sumCounts(m map[string]int64) int64 {
+	var t int64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// cloneInto writes map→map — order-insensitive.
+func cloneInto(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// prune deletes during iteration — the staged-checkpoint idiom, fine.
+func (c *StatsCodec) prune(m map[string]int) {
+	for k := range m {
+		if m[k] == 0 {
+			delete(m, k)
+		}
+	}
+}
+`
+	checkFixture(t, src, "", SnapDet)
+}
+
+func TestCommErrFixture(t *testing.T) {
+	src := `package fixture
+
+import (
+	"errors"
+	"repro/internal/comm"
+)
+
+var ep comm.Endpoint
+var errSentinel = errors.New("sentinel")
+
+func classifyByIdentity(err error) bool {
+	to := &comm.TimeoutError{}
+	return err == to // want:commerr
+}
+
+func compareSentinels(err error) bool {
+	return err == errSentinel // want:commerr
+}
+
+func classifyRight(err error) bool {
+	var to *comm.TimeoutError
+	return errors.As(err, &to) || errors.Is(err, errSentinel)
+}
+
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+func discardBare() {
+	comm.Barrier(ep, 1) // want:commerr
+}
+
+func discardBlank() int64 {
+	v, _ := comm.AllReduceInt64(ep, 1, 2, nil) // want:commerr
+	return v
+}
+
+func handled() error {
+	return comm.Barrier(ep, 1)
+}
+
+func deferred() {
+	defer comm.Barrier(ep, 1)
+}
+`
+	checkFixture(t, src, "", CommErr)
+}
+
+func TestCtxBlockFixture(t *testing.T) {
+	src := `package fixture
+
+import (
+	"context"
+	"time"
+)
+
+type daemon struct {
+	queue chan int
+	done  chan struct{}
+}
+
+func (d *daemon) leaseBad() int {
+	return <-d.queue // want:ctxblock
+}
+
+func (d *daemon) leaseGood(ctx context.Context) int {
+	select {
+	case v := <-d.queue:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+func (d *daemon) sendBad(v int) {
+	d.queue <- v // want:ctxblock
+}
+
+func (d *daemon) sendGood(v int) bool {
+	select {
+	case d.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *daemon) twoPeers(other chan int) int {
+	select { // want:ctxblock
+	case v := <-d.queue:
+		return v
+	case v := <-other:
+		return v
+	}
+}
+
+func (d *daemon) waitShutdown() {
+	<-d.done
+}
+
+func (d *daemon) deadlineWait(other chan int) int {
+	select {
+	case v := <-other:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+func (d *daemon) drain() {
+	for range d.queue {
+	}
+}
+
+func (d *daemon) provedNonBlocking() int {
+	//sgvet:ignore ctxblock capacity token returned to a buffered channel that always has room
+	return <-d.queue
+}
+`
+	checkFixture(t, src, "internal/server", CtxBlock)
+}
+
+// TestCtxBlockScopedToServer: the same blocking ops outside an
+// internal/server package produce nothing.
+func TestCtxBlockScopedToServer(t *testing.T) {
+	src := `package fixture
+
+func recv(ch chan int) int {
+	return <-ch
+}
+`
+	checkFixture(t, src, "", CtxBlock)
+}
+
+func TestIgnoreDirectiveSameLineAndAbove(t *testing.T) {
+	src := `package fixture
+
+type daemon struct{ queue chan int }
+
+func (d *daemon) sameLine() int {
+	return <-d.queue //sgvet:ignore ctxblock buffered by construction
+}
+
+func (d *daemon) lineAbove() int {
+	//sgvet:ignore ctxblock buffered by construction
+	return <-d.queue
+}
+
+func (d *daemon) wrongName() int {
+	//sgvet:ignore snapdet wrong analyzer name does not suppress
+	return <-d.queue // want:ctxblock
+}
+`
+	checkFixture(t, src, "internal/server", CtxBlock)
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %v, %v", all, err)
+	}
+	two, err := ByName("depbreak, snapdet")
+	if err != nil || len(two) != 2 || two[0].Name != "depbreak" || two[1].Name != "snapdet" {
+		t.Fatalf("ByName list = %v, %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+}

@@ -1,0 +1,38 @@
+// Package udfpkg is the golden fixture for `sgc analyze -json`: one
+// fully instrumented UDF, and one whose neighbor traversal exits early
+// inside a helper function — a loop-carried dependency only the typed
+// pass (-typed) can see, because the syntactic pass analyzes one
+// function at a time.
+package udfpkg
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var frontier interface{ Get(int) bool }
+
+func instrumented(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	for _, u := range srcs {
+		ctx.Edge()
+		if frontier.Get(int(u)) {
+			ctx.EmitDep()
+			break
+		}
+	}
+}
+
+func viaHelper(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, _ []float32) {
+	if firstActive(srcs) >= 0 {
+		ctx.Emit(uint32(dst))
+	}
+}
+
+func firstActive(srcs []graph.VertexID) int {
+	for i, u := range srcs {
+		if frontier.Get(int(u)) {
+			return i
+		}
+	}
+	return -1
+}
