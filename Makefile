@@ -3,7 +3,7 @@
 # layer, run the seeded chaos soak, the sgserve process smoke test, then
 # the full suite (which includes the CLI trace smoke test and the
 # sustained serving load test).
-.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos
+.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos bench-baseline bench-check
 
 verify: build lint race chaos serve-smoke serve-dist-smoke test
 
@@ -15,9 +15,23 @@ vet:
 	go vet ./...
 
 # Project-invariant lint: the sgvet suite (depbreak, snapdet, commerr,
-# ctxblock) over the whole module. Exit 1 on findings fails the gate.
+# ctxblock, bufown) over the whole module. Exit 1 on findings fails the
+# gate.
 lint:
 	go run ./cmd/sgvet ./...
+
+# Perf baseline: run the deterministic 8-algorithm sweep and append the
+# next BENCH_<n>.json to the committed trajectory (the first invocation
+# writes BENCH_0.json from the legacy data plane and BENCH_1.json from
+# the current one, in a single run).
+bench-baseline:
+	go run ./cmd/sgbench -baseline
+
+# Regression gate: re-run the sweep and fail if engine seconds (above
+# the 50ms noise floor) or allocs/op regressed >10% vs the newest
+# committed BENCH_<n>.json.
+bench-check:
+	go run ./cmd/sgbench -bench-check
 
 race:
 	go test -race -count=1 ./internal/comm/... ./internal/core/... ./internal/server/...

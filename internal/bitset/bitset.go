@@ -250,12 +250,7 @@ func (b *Bitmap) Words() []uint64 { return b.words }
 // receiver must know it (dependency bitmaps always cover a fixed vertex
 // partition).
 func (b *Bitmap) MarshalBinaryTo(dst []byte) []byte {
-	for _, w := range b.words {
-		dst = append(dst,
-			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
-			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
-	}
-	return dst
+	return b.AppendSegmentLE(dst, 0, b.n)
 }
 
 // MarshaledSize returns the number of bytes MarshalBinaryTo appends.

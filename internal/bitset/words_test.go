@@ -1,0 +1,93 @@
+package bitset
+
+import "testing"
+
+func TestSegmentWordBytes(t *testing.T) {
+	cases := []struct{ lo, hi, want int }{
+		{0, 0, 0}, {5, 5, 0}, {10, 5, 0},
+		{0, 1, 8}, {0, 64, 8}, {0, 65, 16},
+		{64, 128, 8}, {63, 65, 16}, {128, 300, 24},
+	}
+	for _, c := range cases {
+		if got := SegmentWordBytes(c.lo, c.hi); got != c.want {
+			t.Errorf("SegmentWordBytes(%d, %d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestAppendOrSegmentRoundTrip(t *testing.T) {
+	b := New(300)
+	for _, i := range []int{0, 1, 63, 64, 100, 191, 192, 255, 299} {
+		b.Set(i)
+	}
+	for _, seg := range [][2]int{{0, 300}, {0, 64}, {64, 192}, {64, 300}, {192, 299}} {
+		lo, hi := seg[0], seg[1]
+		blob := b.AppendSegmentLE(nil, lo, hi)
+		if len(blob) != SegmentWordBytes(lo, hi) {
+			t.Fatalf("[%d,%d): %d bytes, want %d", lo, hi, len(blob), SegmentWordBytes(lo, hi))
+		}
+		out := New(300)
+		if err := out.OrSegmentLE(blob, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		// Every set bit within the covered words must round-trip.
+		wLo, wHi := (lo/64)*64, ((hi+63)/64)*64
+		if wHi > 300 {
+			wHi = 300
+		}
+		b.RangeSegment(wLo, wHi, func(i int) bool {
+			if !out.Get(i) {
+				t.Errorf("[%d,%d): bit %d lost", lo, hi, i)
+			}
+			return true
+		})
+		if out.Count() != b.CountSegment(wLo, wHi) {
+			t.Errorf("[%d,%d): %d bits, want %d", lo, hi, out.Count(), b.CountSegment(wLo, wHi))
+		}
+	}
+}
+
+func TestOrSegmentMerges(t *testing.T) {
+	a := New(128)
+	a.Set(3)
+	blob := a.AppendSegmentLE(nil, 0, 64)
+	b := New(128)
+	b.Set(70)
+	b.Set(5)
+	if err := b.OrSegmentLE(blob, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{3, 5, 70} {
+		if !b.Get(i) {
+			t.Errorf("bit %d missing after OR merge", i)
+		}
+	}
+	if b.Count() != 3 {
+		t.Errorf("count = %d, want 3", b.Count())
+	}
+}
+
+func TestOrSegmentSizeMismatch(t *testing.T) {
+	b := New(128)
+	if err := b.OrSegmentLE(make([]byte, 7), 0, 64); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if err := b.OrSegmentLE(make([]byte, 8), 64, 64); err == nil {
+		t.Fatal("non-empty payload for empty segment accepted")
+	}
+	if err := b.OrSegmentLE(nil, 70, 64); err != nil {
+		t.Fatal("empty payload for empty segment rejected:", err)
+	}
+}
+
+func TestAppendSegmentNoAllocWithCapacity(t *testing.T) {
+	b := New(1024)
+	b.Fill()
+	dst := make([]byte, 0, SegmentWordBytes(0, 1024))
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = b.AppendSegmentLE(dst[:0], 0, 1024)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSegmentLE with spare capacity allocated %.1f/op", allocs)
+	}
+}

@@ -1,0 +1,156 @@
+// Package bufpool is the engine's size-classed payload slab: the
+// allocation substrate of the zero-copy data plane. Message payloads —
+// superstep update frames, dependency frames, collective blobs — are
+// acquired with Get, handed to the transport with ownership (comm's
+// SendBufs), surfaced to the receiver inside a comm.Message, and
+// returned with Message.Release. A payload that completes that cycle
+// costs zero garbage-collector work in steady state: the slab recycles
+// the backing array for the next superstep.
+//
+// Buffers are grouped in power-of-two size classes from 64 B to 16 MiB.
+// Get returns a slice whose capacity is exactly the class size (so Put
+// can re-class it without bookkeeping) and whose length is the
+// requested size. Requests beyond the largest class fall through to the
+// ordinary allocator and are not retained on Put — graphs big enough to
+// exceed 16 MiB per frame should be sent in blocks, not pooled whole.
+//
+// The pool never clears returned buffers: a recycled payload carries
+// the previous superstep's bytes until the new owner overwrites them.
+// Every producer in the engine writes its full frame before sending, so
+// stale bytes are unobservable; the slab cross-pollination race test in
+// internal/comm pins this under the race detector.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits is the smallest class: 1<<6 = 64 bytes.
+	minClassBits = 6
+	// maxClassBits is the largest class: 1<<24 = 16 MiB.
+	maxClassBits = 24
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// maxPerClass bounds how many idle buffers one class retains; the
+	// engine's working set is a few frames per (peer, kind) stream, so a
+	// deep free list only delays reclamation of a burst.
+	maxPerClass = 64
+)
+
+// Pool is a size-classed free list of byte buffers. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Pool struct {
+	classes [numClasses]classList
+
+	gets     atomic.Int64
+	hits     atomic.Int64
+	puts     atomic.Int64
+	discards atomic.Int64
+}
+
+type classList struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+// classFor returns the class index whose buffers hold n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// classSize is the capacity of class c's buffers.
+func classSize(c int) int { return 1 << (minClassBits + c) }
+
+// Get returns a buffer of length n whose capacity is the class size
+// (≥ n). The contents are unspecified — callers overwrite the full
+// length. Buffers beyond the largest class are plain allocations.
+func (p *Pool) Get(n int) []byte {
+	if n < 0 {
+		panic("bufpool: negative size")
+	}
+	p.gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if last := len(cl.bufs) - 1; last >= 0 {
+		buf := cl.bufs[last]
+		cl.bufs[last] = nil
+		cl.bufs = cl.bufs[:last]
+		cl.mu.Unlock()
+		p.hits.Add(1)
+		return buf[:n]
+	}
+	cl.mu.Unlock()
+	return make([]byte, n, classSize(c))
+}
+
+// Put returns buf to its size class. Only buffers whose capacity is an
+// exact class size are retained (everything Get hands out qualifies);
+// other buffers — and overflow beyond the per-class bound — are left to
+// the garbage collector. The caller must not use buf afterwards.
+func (p *Pool) Put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.puts.Add(1)
+	c := classFor(cap(buf))
+	if c < 0 || classSize(c) != cap(buf) {
+		p.discards.Add(1)
+		return
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if len(cl.bufs) >= maxPerClass {
+		cl.mu.Unlock()
+		p.discards.Add(1)
+		return
+	}
+	cl.bufs = append(cl.bufs, buf[:cap(buf)])
+	cl.mu.Unlock()
+}
+
+// Stats is a snapshot of the pool's traffic counters.
+type Stats struct {
+	// Gets counts Get calls; Hits the subset served from a free list.
+	Gets, Hits int64
+	// Puts counts Put calls; Discards the subset not retained
+	// (foreign capacity, oversized, or a full class).
+	Puts, Discards int64
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:     p.gets.Load(),
+		Hits:     p.hits.Load(),
+		Puts:     p.puts.Load(),
+		Discards: p.discards.Load(),
+	}
+}
+
+// Default is the process-wide pool the transports and the engine share.
+var Default Pool
+
+// Get returns a buffer of length n from the default pool.
+func Get(n int) []byte { return Default.Get(n) }
+
+// Put returns buf to the default pool. The caller must not use buf
+// afterwards.
+func Put(buf []byte) { Default.Put(buf) }
+
+// PoolStats returns the default pool's counters.
+func PoolStats() Stats { return Default.Stats() }

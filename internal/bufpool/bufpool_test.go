@@ -1,0 +1,123 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {64, 0},
+		{65, 1}, {128, 1},
+		{129, 2}, {256, 2},
+		{1 << 24, numClasses - 1},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetLenCap(t *testing.T) {
+	var p Pool
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096, 1 << 20} {
+		buf := p.Get(n)
+		if len(buf) != n {
+			t.Fatalf("Get(%d): len %d", n, len(buf))
+		}
+		c := classFor(n)
+		if cap(buf) != classSize(c) {
+			t.Fatalf("Get(%d): cap %d, want class size %d", n, cap(buf), classSize(c))
+		}
+	}
+	// Oversized requests are plain allocations.
+	huge := p.Get(1<<24 + 1)
+	if len(huge) != 1<<24+1 {
+		t.Fatalf("oversized Get: len %d", len(huge))
+	}
+}
+
+func TestRecycle(t *testing.T) {
+	var p Pool
+	a := p.Get(100)
+	a[0] = 0xAB
+	p.Put(a)
+	b := p.Get(90) // same class (65..128]
+	if cap(b) != cap(a) {
+		t.Fatalf("recycled buffer has cap %d, want %d", cap(b), cap(a))
+	}
+	s := p.Stats()
+	if s.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", s.Hits)
+	}
+	if s.Gets != 2 || s.Puts != 1 || s.Discards != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutForeignAndOversized(t *testing.T) {
+	var p Pool
+	p.Put(make([]byte, 100)) // cap 100 is not a class size
+	p.Put(make([]byte, 1<<24+1))
+	s := p.Stats()
+	if s.Discards != 2 {
+		t.Fatalf("discards = %d, want 2", s.Discards)
+	}
+	// Neither must be handed back out with a short capacity.
+	buf := p.Get(100)
+	if cap(buf) != 128 {
+		t.Fatalf("Get after foreign Put: cap %d", cap(buf))
+	}
+}
+
+func TestPerClassBound(t *testing.T) {
+	var p Pool
+	bufs := make([][]byte, 0, maxPerClass+8)
+	for i := 0; i < maxPerClass+8; i++ {
+		bufs = append(bufs, make([]byte, 64))
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if got := p.Stats().Discards; got != 8 {
+		t.Fatalf("discards = %d, want 8", got)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var p Pool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				buf := p.Get(64 + (g*31+i)%4000)
+				for j := range buf {
+					buf[j] = byte(g)
+				}
+				for j := range buf {
+					if buf[j] != byte(g) {
+						t.Errorf("goroutine %d saw foreign byte", g)
+						return
+					}
+				}
+				p.Put(buf)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	var p Pool
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get(4096)
+		p.Put(buf)
+	}
+}

@@ -1,6 +1,10 @@
 package comm
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"repro/internal/bufpool"
+)
 
 // Collectives used by the engine between iterations: a barrier, integer
 // all-reduce (for frontier sizes, active counts and termination votes),
@@ -22,18 +26,21 @@ func Barrier(e Endpoint, tag int32) error {
 
 // AllReduceInt64 combines x across all nodes with op (which must be
 // associative and commutative) and returns the result on every node.
+// Payloads cycle through the slab: each 8-byte frame is acquired from
+// bufpool, handed off via SendBufs, and Released after decoding, so the
+// per-superstep collectives allocate nothing in steady state.
 func AllReduceInt64(e Endpoint, x int64, tag int32, op func(a, b int64) int64) (int64, error) {
-	var buf [8]byte
 	if e.ID() != 0 {
-		binary.LittleEndian.PutUint64(buf[:], uint64(x))
-		if err := e.Send(0, KindControl, tag, append([]byte(nil), buf[:]...)); err != nil {
+		if err := sendInt64(e, 0, tag, x); err != nil {
 			return 0, err
 		}
 		m, err := e.Recv(0, KindControl, tag)
 		if err != nil {
 			return 0, err
 		}
-		return int64(binary.LittleEndian.Uint64(m.Payload)), nil
+		v := int64(binary.LittleEndian.Uint64(m.Payload))
+		m.Release()
+		return v, nil
 	}
 	acc := x
 	for from := 1; from < e.N(); from++ {
@@ -42,14 +49,21 @@ func AllReduceInt64(e Endpoint, x int64, tag int32, op func(a, b int64) int64) (
 			return 0, err
 		}
 		acc = op(acc, int64(binary.LittleEndian.Uint64(m.Payload)))
+		m.Release()
 	}
 	for to := 1; to < e.N(); to++ {
-		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
-		if err := e.Send(NodeID(to), KindControl, tag, append([]byte(nil), buf[:]...)); err != nil {
+		if err := sendInt64(e, NodeID(to), tag, acc); err != nil {
 			return 0, err
 		}
 	}
 	return acc, nil
+}
+
+// sendInt64 ships one 8-byte value in a slab-owned frame.
+func sendInt64(e Endpoint, to NodeID, tag int32, v int64) error {
+	buf := bufpool.Get(8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	return e.SendBufs(to, KindControl, tag, Buffers{buf})
 }
 
 // AllReduceBool ORs a boolean across all nodes (used for "any vertex still
@@ -65,7 +79,11 @@ func AllReduceBool(e Endpoint, x bool, tag int32) (bool, error) {
 
 // AllGatherBytes distributes each node's blob to every node; the result
 // slice is indexed by node ID. Blobs may have different lengths. The
-// caller's own blob is aliased, not copied.
+// caller's own blob is aliased, not copied — which is why this fan-out
+// uses the aliasing Send, never SendBufs: one buffer goes to N-1 peers,
+// so no single recipient may own it. The gathered payloads are retained
+// by the caller (never Released), so slab-backed TCP reads simply age
+// out to the garbage collector.
 func AllGatherBytes(e Endpoint, blob []byte, tag int32) ([][]byte, error) {
 	out := make([][]byte, e.N())
 	out[e.ID()] = blob

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // NodeID identifies a machine within a cluster, in [0, N).
@@ -59,11 +61,66 @@ func (k Kind) String() string {
 // same kind between the same pair of nodes (the engine uses step and
 // iteration numbers); a mismatch indicates a protocol bug and surfaces as
 // a *ProtocolError at the receiver.
+//
+// A received Message leases its payload: once the receiver has consumed
+// (or copied out) the bytes it needs, Release returns the backing array
+// to the payload slab (internal/bufpool) for the next superstep's
+// frames. Release is always safe — payloads the transport does not own
+// (aliased plain-Send deliveries on the memory transport) make it a
+// no-op — but after calling it the payload must not be touched again;
+// the sgvet bufown analyzer polices that invariant. Receivers that
+// retain the payload (collective results handed to algorithms) simply
+// never Release.
 type Message struct {
 	From    NodeID
 	Kind    Kind
 	Tag     int32
 	Payload []byte
+
+	// pooled marks a payload the transport owns outright (hand-off via
+	// SendBufs, or a slab-backed TCP read); only those return to the
+	// slab on Release.
+	pooled bool
+}
+
+// Release returns the payload to the slab when the transport owned it
+// and poisons the message against reuse. Idempotent; safe on the zero
+// Message.
+func (m *Message) Release() {
+	if m.pooled && m.Payload != nil {
+		bufpool.Put(m.Payload)
+	}
+	m.pooled = false
+	m.Payload = nil
+}
+
+// Buffers is a vectored message payload: the frame on the wire (and the
+// payload the receiver sees) is the concatenation of the elements.
+// Handing a Buffers to SendBufs passes ownership of every element to
+// the transport — the caller must not retain, reuse or mutate them
+// afterwards (bufown lints this); the transport recycles them through
+// internal/bufpool once the frame is delivered or abandoned. Elements
+// may be empty; a nil Buffers is an empty frame.
+type Buffers [][]byte
+
+// TotalLen returns the summed length of all elements.
+func (b Buffers) TotalLen() int {
+	n := 0
+	for _, buf := range b {
+		n += len(buf)
+	}
+	return n
+}
+
+// release returns every element to the slab — the transport-side
+// disposal for frames that were copied or dropped rather than handed
+// off. Elements with foreign capacities are left to the GC by the pool.
+func (b Buffers) release() {
+	for _, buf := range b {
+		if buf != nil {
+			bufpool.Put(buf)
+		}
+	}
 }
 
 // headerBytes is the accounted per-message overhead: from(4) kind(1)
@@ -73,13 +130,23 @@ const headerBytes = 13
 
 // Endpoint is one machine's connection to the cluster.
 //
-// Send may block if the destination's inbox is full (memory transport) or
-// the socket buffer is full (TCP); the engine's communication protocol is
-// deadlock-free because every send has a matching posted receive within
-// the same superstep. Recv blocks until a message with the given source
-// and kind arrives, and returns a *ProtocolError if its tag does not
-// match — tags are a protocol assertion, not a selection mechanism — or a
-// *ClosedError if the endpoint shut down while the receive was pending.
+// SendBufs is the data plane's primary send: a vectored frame whose
+// buffers the transport takes ownership of — written with writev (no
+// intermediate concatenation) on TCP, handed off by reference on the
+// memory transport — and recycles through the payload slab after
+// delivery. Send is the legacy convenience wrapper for single-buffer
+// callers whose payload the transport may alias but does not own (the
+// caller still must not mutate it after the call).
+//
+// Sends may block if the destination's inbox is full (memory transport)
+// or the socket buffer is full (TCP); the engine's communication
+// protocol is deadlock-free because every send has a matching posted
+// receive within the same superstep. Recv blocks until a message with
+// the given source and kind arrives, and returns a *ProtocolError if
+// its tag does not match — tags are a protocol assertion, not a
+// selection mechanism — or a *ClosedError if the endpoint shut down
+// while the receive was pending. Received messages are leases: see
+// Message.Release.
 //
 // Concurrent Recv calls are safe as long as no two goroutines receive the
 // same (from, kind) pair concurrently, which the engine guarantees by
@@ -90,9 +157,13 @@ type Endpoint interface {
 	ID() NodeID
 	// N returns the cluster size.
 	N() int
-	// Send delivers payload to node `to`. The payload is owned by the
-	// transport after the call and must not be reused by the caller.
+	// Send delivers payload to node `to`. The payload may be aliased by
+	// the transport after the call and must not be mutated or reused by
+	// the caller.
 	Send(to NodeID, kind Kind, tag int32, payload []byte) error
+	// SendBufs delivers the concatenation of bufs to node `to`,
+	// transferring ownership of every buffer to the transport.
+	SendBufs(to NodeID, kind Kind, tag int32, bufs Buffers) error
 	// Recv returns the next message from `from` of kind `kind`,
 	// blocking as needed.
 	Recv(from NodeID, kind Kind, tag int32) (Message, error)
@@ -191,13 +262,37 @@ func (d *demux) deliver(m Message) {
 	}
 }
 
-func (d *demux) recv(from NodeID, kind Kind, tag int32) (Message, error) {
+// recv is the one deadline-aware receive implementation every built-in
+// transport (and the fault wrapper above them) funnels through: the
+// leased-receive semantics — tag assertion, closed-inbox drain, timeout
+// classification, payload lease intact as delivered — are defined here
+// and nowhere else. A non-positive timeout blocks indefinitely.
+func (d *demux) recv(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
 	q := d.queue(from, kind)
+	// Fast path: a message is already queued (also the only path a
+	// zero-timeout caller should pay a timer for — it never does).
+	select {
+	case m := <-q:
+		return d.checkTag(m, from, kind, tag)
+	default:
+	}
+	if timeout <= 0 {
+		select {
+		case m := <-q:
+			return d.checkTag(m, from, kind, tag)
+		case <-d.done:
+			return d.drain(q, from, kind, tag)
+		}
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case m := <-q:
 		return d.checkTag(m, from, kind, tag)
 	case <-d.done:
 		return d.drain(q, from, kind, tag)
+	case <-t.C:
+		return Message{}, &TimeoutError{Node: d.self, From: from, Kind: kind, Tag: tag, Timeout: timeout}
 	}
 }
 
@@ -213,29 +308,22 @@ func (d *demux) drain(q chan Message, from NodeID, kind Kind, tag int32) (Messag
 	}
 }
 
-// recvTimeout is recv with a deadline: when no message arrives within
-// timeout it returns a *TimeoutError instead of blocking forever. A
-// non-positive timeout blocks indefinitely like recv.
-func (d *demux) recvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
-	if timeout <= 0 {
-		return d.recv(from, kind, tag)
-	}
-	q := d.queue(from, kind)
-	select {
-	case m := <-q:
-		return d.checkTag(m, from, kind, tag)
-	default:
-	}
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case m := <-q:
-		return d.checkTag(m, from, kind, tag)
-	case <-d.done:
-		return d.drain(q, from, kind, tag)
-	case <-t.C:
-		return Message{}, &TimeoutError{Node: d.self, From: from, Kind: kind, Tag: tag, Timeout: timeout}
-	}
+// recvInbox is the shared receive half of the built-in transports: both
+// memEndpoint and TCPEndpoint embed it, so Recv and RecvTimeout have
+// exactly one definition, delegating to the demux's deadline-aware
+// receive.
+type recvInbox struct {
+	inbox *demux
+}
+
+// Recv implements Endpoint.
+func (r *recvInbox) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
+	return r.inbox.recv(from, kind, tag, 0)
+}
+
+// RecvTimeout implements DeadlineRecver.
+func (r *recvInbox) RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
+	return r.inbox.recv(from, kind, tag, timeout)
 }
 
 func (d *demux) checkTag(m Message, from NodeID, kind Kind, tag int32) (Message, error) {

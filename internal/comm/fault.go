@@ -156,9 +156,13 @@ func (e *faultEndpoint) partitioned(peer NodeID) (cut, drop bool) {
 	return false, false
 }
 
-func (e *faultEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) error {
+// sendFault runs the per-send fault draws shared by Send and SendBufs:
+// crash check, delay spike, partition cut, transient error. swallow
+// means the frame is silently discarded (a dropping partition) — the
+// caller reports success but delivers nothing.
+func (e *faultEndpoint) sendFault(to NodeID) (swallow bool, err error) {
 	if e.crashed.Load() {
-		return e.crashErr()
+		return false, e.crashErr()
 	}
 	p := e.plan
 	op := e.sendOp.Add(1)
@@ -170,29 +174,56 @@ func (e *faultEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) er
 	if cut, drop := e.partitioned(to); cut {
 		if drop {
 			atomic.AddInt64(&p.counters.Drops, 1)
-			return nil // swallowed: the receiver sees nothing, ever
+			return true, nil // swallowed: the receiver sees nothing, ever
 		}
 		atomic.AddInt64(&p.counters.SendErrs, 1)
-		return &InjectedError{Node: e.inner.ID(), To: to, Op: op}
+		return false, &InjectedError{Node: e.inner.ID(), To: to, Op: op}
 	}
 	if p.SendErrProb > 0 && xrand.Uniform01(p.Seed, id, uint64(op), 0x5e2d) < p.SendErrProb {
 		atomic.AddInt64(&p.counters.SendErrs, 1)
-		return &InjectedError{Node: e.inner.ID(), To: to, Op: op}
+		return false, &InjectedError{Node: e.inner.ID(), To: to, Op: op}
+	}
+	return false, nil
+}
+
+func (e *faultEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) error {
+	swallow, err := e.sendFault(to)
+	if err != nil || swallow {
+		return err
 	}
 	return e.inner.Send(to, kind, tag, payload)
 }
 
-func (e *faultEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
+// SendBufs implements Endpoint. Ownership of bufs passes to the
+// transport even when the fault plan drops or fails the frame: the
+// buffers return to the slab rather than leaking, matching what a real
+// transport cut does to bytes already handed to the kernel.
+func (e *faultEndpoint) SendBufs(to NodeID, kind Kind, tag int32, bufs Buffers) error {
+	swallow, err := e.sendFault(to)
+	if err != nil || swallow {
+		bufs.release()
+		return err
+	}
+	return e.inner.SendBufs(to, kind, tag, bufs)
+}
+
+// recv is the single crash-checking receive path behind both Recv and
+// RecvTimeout; the deadline semantics themselves live in demux.recv.
+func (e *faultEndpoint) recv(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
 	if e.crashed.Load() {
 		return Message{}, e.crashErr()
+	}
+	if timeout > 0 {
+		return RecvTimeout(e.inner, from, kind, tag, timeout)
 	}
 	return e.inner.Recv(from, kind, tag)
 }
 
+func (e *faultEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
+	return e.recv(from, kind, tag, 0)
+}
+
 // RecvTimeout implements DeadlineRecver over the wrapped transport.
 func (e *faultEndpoint) RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
-	if e.crashed.Load() {
-		return Message{}, e.crashErr()
-	}
-	return RecvTimeout(e.inner, from, kind, tag, timeout)
+	return e.recv(from, kind, tag, timeout)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // MemCluster is an in-process cluster of N endpoints connected by
@@ -39,9 +41,9 @@ func NewMemClusterWithLink(n int, link *LinkModel) *MemCluster {
 	}
 	for i := range c.endpoints {
 		c.endpoints[i] = &memEndpoint{
-			id:    NodeID(i),
-			inbox: newDemux(NodeID(i), n),
-			peers: c,
+			recvInbox: recvInbox{inbox: newDemux(NodeID(i), n)},
+			id:        NodeID(i),
+			peers:     c,
 		}
 		c.endpoints[i].stats.initPeers(n)
 	}
@@ -125,8 +127,8 @@ func (lw *linkWorker) run(model *LinkModel) {
 }
 
 type memEndpoint struct {
+	recvInbox
 	id        NodeID
-	inbox     *demux
 	peers     *MemCluster
 	stats     Stats
 	closeOnce sync.Once
@@ -136,15 +138,45 @@ func (e *memEndpoint) ID() NodeID { return e.id }
 
 func (e *memEndpoint) N() int { return len(e.peers.endpoints) }
 
+// Send delivers an aliased payload: the receiver sees the caller's
+// slice (zero copy, as this transport always has) but the message is
+// not slab-owned, so a Release at the receiver is a no-op. This is what
+// keeps collectives that fan one blob out to every peer safe.
 func (e *memEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) error {
+	return e.send(to, Message{From: e.id, Kind: kind, Tag: tag, Payload: payload})
+}
+
+// SendBufs implements Endpoint: ownership of every buffer passes to the
+// transport. A single-buffer frame is handed to the receiver by
+// reference — the slab sees it again when the receiver Releases; a
+// multi-buffer frame is concatenated into one slab buffer and the
+// sources are recycled immediately, which keeps the receive side
+// contiguous without a garbage-collected allocation.
+func (e *memEndpoint) SendBufs(to NodeID, kind Kind, tag int32, bufs Buffers) error {
+	var payload []byte
+	if len(bufs) == 1 {
+		payload = bufs[0]
+	} else if total := bufs.TotalLen(); total > 0 {
+		payload = bufpool.Get(total)
+		off := 0
+		for _, b := range bufs {
+			off += copy(payload[off:], b)
+		}
+		bufs.release()
+	}
+	return e.send(to, Message{From: e.id, Kind: kind, Tag: tag, Payload: payload, pooled: true})
+}
+
+// send is the shared delivery path: instant hand-off, or the simulated
+// link when one is attached.
+func (e *memEndpoint) send(to NodeID, m Message) error {
 	if int(to) < 0 || int(to) >= e.N() {
 		return fmt.Errorf("comm: send to node %d of %d", to, e.N())
 	}
-	e.stats.countSend(to, kind, len(payload))
+	e.stats.countSend(to, m.Kind, len(m.Payload))
 	dst := e.peers.endpoints[to]
-	m := Message{From: e.id, Kind: kind, Tag: tag, Payload: payload}
 	if e.peers.link == nil {
-		dst.stats.countRecv(e.id, kind, len(payload))
+		dst.stats.countRecv(e.id, m.Kind, len(m.Payload))
 		dst.inbox.deliver(m)
 		return nil
 	}
@@ -161,15 +193,6 @@ func (e *memEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) erro
 func (e *memEndpoint) deliverSafe(m Message) {
 	e.stats.countRecv(m.From, m.Kind, len(m.Payload))
 	e.inbox.deliver(m)
-}
-
-func (e *memEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
-	return e.inbox.recv(from, kind, tag)
-}
-
-// RecvTimeout implements DeadlineRecver.
-func (e *memEndpoint) RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
-	return e.inbox.recvTimeout(from, kind, tag, timeout)
 }
 
 func (e *memEndpoint) Stats() *Stats { return &e.stats }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/xrand"
 )
 
@@ -20,11 +21,11 @@ import (
 // j < i and accepts connections from every j > i; the dialer announces its
 // ID in a 4-byte hello. Dials retry until the peer's listener is up.
 type TCPEndpoint struct {
+	recvInbox
 	id    NodeID
 	n     int
 	ln    net.Listener
 	conns []*tcpConn
-	inbox *demux
 	stats Stats
 
 	closeOnce sync.Once
@@ -32,8 +33,66 @@ type TCPEndpoint struct {
 }
 
 type tcpConn struct {
-	mu sync.Mutex // serializes writers
+	mu sync.Mutex // serializes writers; guards hdr and vec
 	c  net.Conn
+
+	// Per-connection write scratch: the frame header and the gather
+	// vector live on the conn so a steady-state vectored send allocates
+	// nothing. vec is rebuilt (append to [:0]) under mu for every frame;
+	// writev consumes wvec — a value copy whose address WriteTo takes, a
+	// struct field rather than a local so it does not escape to a fresh
+	// heap slice header per send — leaving vec's backing capacity intact
+	// for the next frame.
+	hdr  [headerBytes]byte
+	vec  net.Buffers
+	wvec net.Buffers
+}
+
+// maxFrameSize bounds a single frame's payload. The read loop treats a
+// larger length prefix as stream corruption (equivalent to losing the
+// peer) rather than trusting it with a giant allocation.
+const maxFrameSize = 1 << 28
+
+// putFrameHeader encodes the length-prefixed frame header: from(4)
+// kind(1) tag(4) len(4), little-endian. hdr must have headerBytes room.
+func putFrameHeader(hdr []byte, from NodeID, kind Kind, tag int32, payloadLen int) {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(from))
+	hdr[4] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(payloadLen))
+}
+
+// parseFrameHeader decodes what putFrameHeader wrote.
+func parseFrameHeader(hdr []byte) (from NodeID, kind Kind, tag int32, payloadLen int) {
+	from = NodeID(binary.LittleEndian.Uint32(hdr[0:]))
+	kind = Kind(hdr[4])
+	tag = int32(binary.LittleEndian.Uint32(hdr[5:]))
+	payloadLen = int(binary.LittleEndian.Uint32(hdr[9:]))
+	return
+}
+
+// writeFrame writes one frame — header plus the concatenation of bufs —
+// as a single gather write. On a *net.TCPConn the whole frame goes out
+// in one writev with no intermediate copy; elsewhere net.Buffers falls
+// back to sequential writes. Does not take ownership of bufs (the
+// caller decides whether they return to the slab).
+func (tc *tcpConn) writeFrame(from NodeID, kind Kind, tag int32, bufs Buffers) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	putFrameHeader(tc.hdr[:], from, kind, tag, bufs.TotalLen())
+	tc.vec = append(tc.vec[:0], tc.hdr[:])
+	for _, b := range bufs {
+		if len(b) > 0 {
+			tc.vec = append(tc.vec, b)
+		}
+	}
+	// WriteTo consumes its receiver: it advances the slice and nils out
+	// written elements (dropping the references to handed-off buffers).
+	// Consuming the wvec copy keeps tc.vec's backing array — and
+	// therefore zero-alloc reuse — intact.
+	tc.wvec = tc.vec
+	_, err := tc.wvec.WriteTo(tc.c)
+	return err
 }
 
 // DefaultDialBudget bounds how long an endpoint retries dialing a peer
@@ -71,11 +130,11 @@ func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string, opts ...TCPOptio
 		return nil, fmt.Errorf("comm: node id %d outside cluster of %d", id, n)
 	}
 	e := &TCPEndpoint{
-		id:    id,
-		n:     n,
-		ln:    ln,
-		conns: make([]*tcpConn, n),
-		inbox: newDemux(id, n),
+		recvInbox: recvInbox{inbox: newDemux(id, n)},
+		id:        id,
+		n:         n,
+		ln:        ln,
+		conns:     make([]*tcpConn, n),
 	}
 	e.stats.initPeers(n)
 
@@ -182,13 +241,18 @@ func (e *TCPEndpoint) readLoop(from NodeID) {
 			e.inbox.close()
 			return
 		}
-		m := Message{
-			From: NodeID(binary.LittleEndian.Uint32(hdr[0:])),
-			Kind: Kind(hdr[4]),
-			Tag:  int32(binary.LittleEndian.Uint32(hdr[5:])),
+		src, kind, tag, size := parseFrameHeader(hdr[:])
+		if size > maxFrameSize {
+			e.inbox.close()
+			return
 		}
-		size := binary.LittleEndian.Uint32(hdr[9:])
-		m.Payload = make([]byte, size)
+		m := Message{From: src, Kind: kind, Tag: tag}
+		if size > 0 {
+			// Payloads are read into slab buffers and owned by the
+			// receiver: Message.Release returns them for the next frame.
+			m.Payload = bufpool.Get(size)
+			m.pooled = true
+		}
 		if _, err := io.ReadFull(conn, m.Payload); err != nil {
 			e.inbox.close()
 			return
@@ -215,40 +279,37 @@ func (e *TCPEndpoint) ID() NodeID { return e.id }
 // N returns the cluster size.
 func (e *TCPEndpoint) N() int { return e.n }
 
-// Send implements Endpoint.
+// Send implements Endpoint: the legacy aliasing path. The frame goes
+// out through the same gather write as SendBufs, but the transport does
+// not take ownership — the caller's buffer is never recycled, so it is
+// safe to send one blob to many peers (as the collectives do).
 func (e *TCPEndpoint) Send(to NodeID, kind Kind, tag int32, payload []byte) error {
+	_, err := e.sendVec(to, kind, tag, Buffers{payload})
+	return err
+}
+
+// SendBufs implements Endpoint: ownership of every buffer passes to the
+// transport. The kernel copies the bytes during writev, so the buffers
+// return to the slab as soon as the write completes — success or not.
+func (e *TCPEndpoint) SendBufs(to NodeID, kind Kind, tag int32, bufs Buffers) error {
+	_, err := e.sendVec(to, kind, tag, bufs)
+	bufs.release()
+	return err
+}
+
+func (e *TCPEndpoint) sendVec(to NodeID, kind Kind, tag int32, bufs Buffers) (int, error) {
 	if int(to) < 0 || int(to) >= e.n || to == e.id {
-		return fmt.Errorf("comm: node %d cannot send to %d", e.id, to)
+		return 0, fmt.Errorf("comm: node %d cannot send to %d", e.id, to)
 	}
-	var hdr [headerBytes]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(e.id))
-	hdr[4] = byte(kind)
-	binary.LittleEndian.PutUint32(hdr[5:], uint32(tag))
-	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
-	conn := e.conns[to]
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
+	total := bufs.TotalLen()
 	// A failed write means the peer (or our own endpoint) is gone — the
 	// same transport cut a closed inbox reports — so it carries the
 	// peer-lost type, not a bare I/O error.
-	if _, err := conn.c.Write(hdr[:]); err != nil {
-		return &ClosedError{Node: e.id, From: to, Kind: kind, Op: "send", Cause: err}
+	if err := e.conns[to].writeFrame(e.id, kind, tag, bufs); err != nil {
+		return 0, &ClosedError{Node: e.id, From: to, Kind: kind, Op: "send", Cause: err}
 	}
-	if _, err := conn.c.Write(payload); err != nil {
-		return &ClosedError{Node: e.id, From: to, Kind: kind, Op: "send", Cause: err}
-	}
-	e.stats.countSend(to, kind, len(payload))
-	return nil
-}
-
-// Recv implements Endpoint.
-func (e *TCPEndpoint) Recv(from NodeID, kind Kind, tag int32) (Message, error) {
-	return e.inbox.recv(from, kind, tag)
-}
-
-// RecvTimeout implements DeadlineRecver.
-func (e *TCPEndpoint) RecvTimeout(from NodeID, kind Kind, tag int32, timeout time.Duration) (Message, error) {
-	return e.inbox.recvTimeout(from, kind, tag, timeout)
+	e.stats.countSend(to, kind, total)
+	return total, nil
 }
 
 // Stats implements Endpoint.

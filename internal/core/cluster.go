@@ -74,6 +74,10 @@ type RunStats struct {
 	// overlap are designed to hide (§5.3).
 	DependencyWait time.Duration
 	UpdateWait     time.Duration
+	// Supersteps counts edge-processing passes (dense + sparse), summed
+	// over machines. Dividing traffic or allocation counters by it
+	// yields the per-superstep rates the benchmark harness reports.
+	Supersteps int64
 	// Elapsed is the wall-clock duration of the Run.
 	Elapsed time.Duration
 }
@@ -96,6 +100,7 @@ type NodeRunStats struct {
 	DependencyMessages int64
 	DependencyWait     time.Duration
 	UpdateWait         time.Duration
+	Supersteps         int64
 }
 
 // TotalBytes returns the node's total sent traffic.
@@ -138,6 +143,7 @@ func (s *RunStats) Add(other RunStats) {
 	s.DependencyMessages += other.DependencyMessages
 	s.DependencyWait += other.DependencyWait
 	s.UpdateWait += other.UpdateWait
+	s.Supersteps += other.Supersteps
 	s.Elapsed += other.Elapsed
 }
 
@@ -210,7 +216,7 @@ func (c *Cluster) buildMemTransport() {
 // machine ep.ID() only, and Run executes the program once for that
 // machine. Every process of the cluster must load the same graph and
 // call the same programs in the same order; results materialize on the
-// node-0 process, and LastRunStats reports this machine's share.
+// node-0 process, and Stats reports this machine's share.
 // opts.Endpoints and opts.Link are ignored.
 func NewDistributedNode(g *graph.Graph, opts Options, ep comm.Endpoint) (*Cluster, error) {
 	if err := opts.validateAndDefault(); err != nil {
@@ -504,6 +510,7 @@ func (c *Cluster) runOnce(ctx context.Context, prog func(w *Worker) error) error
 			DependencyBytes:    d.SentBytes - before[i][comm.KindDependency].SentBytes,
 			DependencyMessages: d.SentMessages - before[i][comm.KindDependency].SentMessages,
 			ControlBytes:       ct.SentBytes - before[i][comm.KindControl].SentBytes,
+			Supersteps:         int64(w.densePass + w.sparsePass),
 		}
 		nodeStats = append(nodeStats, ns)
 		stats.EdgesTraversed += ns.EdgesTraversed
@@ -515,6 +522,7 @@ func (c *Cluster) runOnce(ctx context.Context, prog func(w *Worker) error) error
 		stats.DependencyBytes += ns.DependencyBytes
 		stats.DependencyMessages += ns.DependencyMessages
 		stats.ControlBytes += ns.ControlBytes
+		stats.Supersteps += ns.Supersteps
 	}
 	c.statsMu.Lock()
 	c.lastStats = stats
@@ -566,17 +574,6 @@ func (c *Cluster) Stats() StatsSnapshot {
 		Restarts: c.restarts.Load(),
 		Stalls:   c.stalls.Load(),
 	}
-}
-
-// LastRunStats returns aggregate statistics for the most recent Run.
-//
-// Deprecated: use Stats, which additionally exposes per-node shares,
-// per-phase histograms and configuration warnings. LastRunStats is
-// equivalent to Stats().Totals.
-func (c *Cluster) LastRunStats() RunStats {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.lastStats
 }
 
 // RegisterMetrics exposes the cluster's live transport counters in r:

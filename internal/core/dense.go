@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/bufpool"
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -52,6 +53,13 @@ type DenseParams[M any] struct {
 	Lanes int
 }
 
+// emitChunkBytes is the slab chunk size for update assembly: signal
+// contexts fill fixed-capacity chunks from internal/bufpool and flush
+// them into the step's buffer list when full, so a superstep's update
+// traffic is assembled with zero garbage-collected allocations and sent
+// vectored (no concatenation) through comm.SendBufs.
+const emitChunkBytes = 64 << 10
+
 // DenseCtx is the per-worker signal context. It carries the update buffer,
 // traversal counters, and — in SympleGraph mode — the dependency state of
 // the destination being processed (the engine-side realization of the
@@ -60,6 +68,13 @@ type DenseCtx[M any] struct {
 	codec Codec[M]
 	size  int
 	buf   []byte
+
+	// pooled selects the slab emit path: buf is a fixed-capacity chunk
+	// from bufpool, pushed to chunks when full. When false (legacy data
+	// plane) buf grows through the garbage collector instead.
+	pooled   bool
+	chunks   *[][]byte
+	chunksMu *sync.Mutex
 
 	edges   int64
 	skipped int64
@@ -79,10 +94,29 @@ func (ctx *DenseCtx[M]) Edge() { ctx.edges++ }
 
 // Emit sends msg for the current destination to its master's slot.
 func (ctx *DenseCtx[M]) Emit(msg M) {
+	rec := 4 + ctx.size
+	if ctx.pooled && cap(ctx.buf)-len(ctx.buf) < rec {
+		ctx.flushChunk()
+	}
 	off := len(ctx.buf)
-	ctx.buf = append(ctx.buf, make([]byte, 4+ctx.size)...)
+	ctx.buf = append(ctx.buf, make([]byte, rec)...)
 	binary.LittleEndian.PutUint32(ctx.buf[off:], uint32(ctx.curDst))
 	ctx.codec.Encode(ctx.buf[off+4:], msg)
+}
+
+// flushChunk retires the current emit chunk — into the step's buffer
+// list when it holds records, back to the slab when untouched — and
+// starts a fresh one. Chunks hold whole records only, so the eventual
+// vectored frame decodes identically to a concatenated payload.
+func (ctx *DenseCtx[M]) flushChunk() {
+	if len(ctx.buf) > 0 {
+		ctx.chunksMu.Lock()
+		*ctx.chunks = append(*ctx.chunks, ctx.buf)
+		ctx.chunksMu.Unlock()
+	} else if ctx.buf != nil {
+		bufpool.Put(ctx.buf)
+	}
+	ctx.buf = bufpool.Get(emitChunkBytes)[:0]
 }
 
 // EmitDep marks the loop-carried break: all following neighbors of the
@@ -140,6 +174,7 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 		return 0, fmt.Errorf("core: negative Lanes %d", lanes)
 	}
 	depOn := opts.Mode == ModeSympleGraph && p > 1
+	pooled := !opts.LegacyDataPlane
 	base := w.nextTags(int32(p*B + p)) // p*B dependency frames + p update rounds
 	rn := (w.id + 1) % p
 	ln := (w.id - 1 + p) % p
@@ -148,7 +183,7 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 	w.densePass++
 
 	var reduced int64
-	var localPayload []byte    // our own block's updates, applied in ring order below
+	var localChunks [][]byte   // our own block's updates, applied in ring order below
 	var depSkip *bitset.Bitmap // state for the step in flight; after the
 	var depData [][]float64    // loop, the final state of our own partition
 	for j := 0; j < p; j++ {
@@ -170,7 +205,7 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 		// Low-degree destinations first: no dependency input needed, so
 		// this computation overlaps the predecessor still working on the
 		// groups we are about to wait for.
-		processDensePositions(w, &params, block, block.LowPos, false, nil, nil, &bufs, &bufsMu)
+		processDensePositions(w, &params, block, block.LowPos, false, nil, nil, pooled, &bufs, &bufsMu)
 
 		bounds := groupBounds(tracked, B)
 		splits := splitTrackedByGroup(w.cluster.class, block, bounds)
@@ -184,33 +219,48 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 				if err := applyDepFrame(m.Payload, depSkip, depData, bounds[g], bounds[g+1]); err != nil {
 					return 0, err
 				}
+				m.Release()
 			}
-			processDensePositions(w, &params, block, splits[g], depOn, depSkip, depData, &bufs, &bufsMu)
+			processDensePositions(w, &params, block, splits[g], depOn, depSkip, depData, pooled, &bufs, &bufsMu)
 			if depOn && j < p-1 {
 				flushStart := w.spanStart()
-				frame := encodeDepFrame(depSkip, depData, bounds[g], bounds[g+1])
-				if err := w.ep.Send(comm.NodeID(ln), comm.KindDependency, base+int32(j*B+g), frame); err != nil {
+				frame := encodeDepFrame(depSkip, depData, bounds[g], bounds[g+1], pooled)
+				var err error
+				if pooled {
+					err = w.ep.SendBufs(comm.NodeID(ln), comm.KindDependency, base+int32(j*B+g), comm.Buffers{frame})
+				} else {
+					err = w.ep.Send(comm.NodeID(ln), comm.KindDependency, base+int32(j*B+g), frame)
+				}
+				if err != nil {
 					return 0, err
 				}
 				w.endSpan(obs.PhaseBufferFlush, pass, j, g, flushStart)
 			}
 		}
 
-		var total int
-		for _, b := range bufs {
-			total += len(b)
-		}
-		payload := make([]byte, 0, total)
-		for _, b := range bufs {
-			payload = append(payload, b...)
-		}
 		updateTag := base + int32(p*B+j)
 		if d != w.id {
-			if err := w.ep.Send(comm.NodeID(d), comm.KindUpdate, updateTag, payload); err != nil {
-				return 0, err
+			if pooled {
+				// Vectored hand-off: the chunks go out as one frame with
+				// no intermediate concatenation and return to the slab.
+				if err := w.ep.SendBufs(comm.NodeID(d), comm.KindUpdate, updateTag, comm.Buffers(bufs)); err != nil {
+					return 0, err
+				}
+			} else {
+				var total int
+				for _, b := range bufs {
+					total += len(b)
+				}
+				payload := make([]byte, 0, total)
+				for _, b := range bufs {
+					payload = append(payload, b...)
+				}
+				if err := w.ep.Send(comm.NodeID(d), comm.KindUpdate, updateTag, payload); err != nil {
+					return 0, err
+				}
 			}
 		} else {
-			localPayload = payload // our own block, applied in ring position below
+			localChunks = bufs // our own block, applied in ring position below
 		}
 		w.endSpan(obs.PhaseDenseStep, pass, j, -1, stepStart)
 	}
@@ -222,7 +272,16 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 	for j := 0; j < p; j++ {
 		src := ((w.id-1-j)%p + p) % p
 		if src == w.id {
-			reduced += applyDenseUpdates(w, &params, localPayload)
+			// Chunks hold whole records, so per-chunk application equals
+			// applying the concatenation.
+			for _, b := range localChunks {
+				reduced += applyDenseUpdates(w, &params, b)
+			}
+			if pooled {
+				for _, b := range localChunks {
+					bufpool.Put(b)
+				}
+			}
 			continue
 		}
 		m, err := w.recvTimed(&w.updWait, comm.NodeID(src), comm.KindUpdate, base+int32(p*B+j),
@@ -231,6 +290,7 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 			return 0, err
 		}
 		reduced += applyDenseUpdates(w, &params, m.Payload)
+		m.Release()
 	}
 	if depOn && params.Finalize != nil {
 		// depSkip/depData now hold the fully circulated state of our
@@ -253,18 +313,21 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 // the given positions, in parallel chunks, collecting update buffers.
 func processDensePositions[M any](w *Worker, params *DenseParams[M], block *partition.Block,
 	positions []int32, depOn bool, depSkip *bitset.Bitmap, depData [][]float64,
-	bufs *[][]byte, bufsMu *sync.Mutex) {
+	pooled bool, bufs *[][]byte, bufsMu *sync.Mutex) {
 	if len(positions) == 0 {
 		return
 	}
 	class := w.cluster.class
 	w.parallelRange(len(positions), func(start, end int) {
 		ctx := &DenseCtx[M]{
-			codec:   params.Codec,
-			size:    params.Codec.Size(),
-			depOn:   depOn,
-			depSkip: depSkip,
-			depData: depData,
+			codec:    params.Codec,
+			size:     params.Codec.Size(),
+			pooled:   pooled,
+			chunks:   bufs,
+			chunksMu: bufsMu,
+			depOn:    depOn,
+			depSkip:  depSkip,
+			depData:  depData,
 		}
 		for _, pos := range positions[start:end] {
 			dst := block.Dsts[pos]
@@ -291,6 +354,8 @@ func processDensePositions[M any](w *Worker, params *DenseParams[M], block *part
 			bufsMu.Lock()
 			*bufs = append(*bufs, ctx.buf)
 			bufsMu.Unlock()
+		} else if pooled && ctx.buf != nil {
+			bufpool.Put(ctx.buf)
 		}
 	})
 }
@@ -351,26 +416,30 @@ func splitTrackedByGroup(class *partition.DegreeClass, block *partition.Block, b
 
 // encodeDepFrame serializes the dependency state for tracked indices
 // [gLo, gHi): the skip bitmap words followed by each data lane's values —
-// the paper's DepMessage in struct-of-arrays form (§6).
-func encodeDepFrame(depSkip *bitset.Bitmap, depData [][]float64, gLo, gHi int) []byte {
+// the paper's DepMessage in struct-of-arrays form (§6). With pooled set
+// the frame lives in a slab buffer whose ownership passes to the
+// transport via SendBufs; otherwise it is a plain allocation for the
+// aliasing Send (legacy data plane).
+func encodeDepFrame(depSkip *bitset.Bitmap, depData [][]float64, gLo, gHi int, pooled bool) []byte {
 	if gLo >= gHi {
 		return nil
 	}
 	if gLo%64 != 0 {
 		panic("core: dependency frame start not word-aligned")
 	}
-	wLo, wHi := gLo/64, (gHi+63)/64
-	out := make([]byte, 0, (wHi-wLo)*8+len(depData)*(gHi-gLo)*8)
-	words := depSkip.Words()
-	var tmp [8]byte
-	for _, word := range words[wLo:wHi] {
-		binary.LittleEndian.PutUint64(tmp[:], word)
-		out = append(out, tmp[:]...)
+	n := bitset.SegmentWordBytes(gLo, gHi) + len(depData)*(gHi-gLo)*8
+	var out []byte
+	if pooled {
+		out = bufpool.Get(n)[:0]
+	} else {
+		out = make([]byte, 0, n)
 	}
+	out = depSkip.AppendSegmentLE(out, gLo, gHi)
 	for _, lane := range depData {
-		for _, v := range lane[gLo:gHi] {
-			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
-			out = append(out, tmp[:]...)
+		off := len(out)
+		out = out[:off+(gHi-gLo)*8]
+		for i, v := range lane[gLo:gHi] {
+			binary.LittleEndian.PutUint64(out[off+i*8:], math.Float64bits(v))
 		}
 	}
 	return out
@@ -378,7 +447,8 @@ func encodeDepFrame(depSkip *bitset.Bitmap, depData [][]float64, gLo, gHi int) [
 
 // applyDepFrame merges a received dependency frame: skip bits are OR-ed
 // (a break anywhere earlier in the ring holds), data lanes are
-// overwritten (the predecessor's value is the accumulated state).
+// overwritten (the predecessor's value is the accumulated state). The
+// caller Releases the payload afterwards.
 func applyDepFrame(payload []byte, depSkip *bitset.Bitmap, depData [][]float64, gLo, gHi int) error {
 	if gLo >= gHi {
 		if len(payload) != 0 {
@@ -386,17 +456,15 @@ func applyDepFrame(payload []byte, depSkip *bitset.Bitmap, depData [][]float64, 
 		}
 		return nil
 	}
-	wLo, wHi := gLo/64, (gHi+63)/64
-	want := (wHi-wLo)*8 + len(depData)*(gHi-gLo)*8
+	wb := bitset.SegmentWordBytes(gLo, gHi)
+	want := wb + len(depData)*(gHi-gLo)*8
 	if len(payload) != want {
 		return fmt.Errorf("core: dependency frame is %d bytes, want %d", len(payload), want)
 	}
-	words := depSkip.Words()
-	off := 0
-	for wi := wLo; wi < wHi; wi++ {
-		words[wi] |= binary.LittleEndian.Uint64(payload[off:])
-		off += 8
+	if err := depSkip.OrSegmentLE(payload[:wb], gLo, gHi); err != nil {
+		return fmt.Errorf("core: dependency frame: %w", err)
 	}
+	off := wb
 	for _, lane := range depData {
 		for i := gLo; i < gHi; i++ {
 			lane[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))

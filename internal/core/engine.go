@@ -49,9 +49,8 @@ type Engine interface {
 	Close() error
 
 	// Stats returns the full statistics snapshot for the most recent
-	// run; LastRunStats is the aggregate-totals shorthand.
+	// run; Stats().Totals holds the aggregate totals.
 	Stats() StatsSnapshot
-	LastRunStats() RunStats
 
 	// SetBaseContext installs the context governing the context-less
 	// entry points (nil restores context.Background); SetTracer swaps

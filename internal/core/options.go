@@ -96,6 +96,16 @@ type Options struct {
 	// steps, dependency/update waits, barriers, buffer flushes). nil
 	// disables tracing; the hot paths then pay one pointer test.
 	Tracer *obs.Tracer
+	// LegacyDataPlane selects the pre-zero-copy message assembly:
+	// garbage-collected per-chunk buffers concatenated into one payload
+	// per (step, destination) and sent through the aliasing Send, with
+	// dependency frames allocated per frame. The default (false) runs
+	// the slab-backed path — fixed-size chunks from internal/bufpool,
+	// vectored SendBufs with no concatenation, and Release after apply.
+	// Results are identical; only allocation and copy behavior differ.
+	// The benchmark harness uses this to reproduce the committed
+	// BENCH_0 baseline from the same tree.
+	LegacyDataPlane bool
 
 	// StallTimeout bounds every engine receive inside an edge-processing
 	// pass: a receive blocked longer returns a *StallError naming the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -36,8 +37,14 @@ type SparseCtx[M any] struct {
 	w     *Worker
 	codec Codec[M]
 	size  int
-	bufs  [][]byte // per destination machine
+	bufs  [][]byte // per destination machine (the current chunk when pooled)
 	edges int64
+
+	// pooled selects slab-backed chunked assembly (see emitChunkBytes);
+	// full chunks retire into the shared per-peer lists under chunksMu.
+	pooled   bool
+	chunks   [][][]byte
+	chunksMu *sync.Mutex
 }
 
 // Edge records one neighbor traversal.
@@ -47,8 +54,19 @@ func (ctx *SparseCtx[M]) Edge() { ctx.edges++ }
 func (ctx *SparseCtx[M]) EmitTo(dst graph.VertexID, msg M) {
 	owner := ctx.w.cluster.part.Owner(dst)
 	buf := ctx.bufs[owner]
+	rec := 4 + ctx.size
+	if ctx.pooled && cap(buf)-len(buf) < rec {
+		if len(buf) > 0 {
+			ctx.chunksMu.Lock()
+			ctx.chunks[owner] = append(ctx.chunks[owner], buf)
+			ctx.chunksMu.Unlock()
+		} else if buf != nil {
+			bufpool.Put(buf)
+		}
+		buf = bufpool.Get(emitChunkBytes)[:0]
+	}
 	off := len(buf)
-	buf = append(buf, make([]byte, 4+ctx.size)...)
+	buf = append(buf, make([]byte, rec)...)
 	binary.LittleEndian.PutUint32(buf[off:], uint32(dst))
 	ctx.codec.Encode(buf[off+4:], msg)
 	ctx.bufs[owner] = buf
@@ -65,14 +83,18 @@ func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error)
 	w.sparsePass++
 	pushStart := w.spanStart()
 
-	merged := make([][][]byte, 0) // per-chunk per-peer buffers
+	pooled := !w.cluster.opts.LegacyDataPlane
+	chunks := make([][][]byte, p) // per-peer buffer lists (whole records per buffer)
 	var mu sync.Mutex
 	w.parallelRange(len(params.Frontier), func(start, end int) {
 		ctx := &SparseCtx[M]{
-			w:     w,
-			codec: params.Codec,
-			size:  params.Codec.Size(),
-			bufs:  make([][]byte, p),
+			w:        w,
+			codec:    params.Codec,
+			size:     params.Codec.Size(),
+			bufs:     make([][]byte, p),
+			pooled:   pooled,
+			chunks:   chunks,
+			chunksMu: &mu,
 		}
 		for _, src := range params.Frontier[start:end] {
 			if !w.Owns(src) {
@@ -82,25 +104,47 @@ func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error)
 		}
 		w.addEdges(ctx.edges)
 		mu.Lock()
-		merged = append(merged, ctx.bufs)
+		for peer, b := range ctx.bufs {
+			if len(b) > 0 {
+				chunks[peer] = append(chunks[peer], b)
+			} else if pooled && b != nil {
+				bufpool.Put(b)
+			}
+		}
 		mu.Unlock()
 	})
-
-	perPeer := make([][]byte, p)
-	for _, bufs := range merged {
-		for peer, b := range bufs {
-			perPeer[peer] = append(perPeer[peer], b...)
-		}
-	}
 
 	var reduced int64
 	for peer := 0; peer < p; peer++ {
 		if peer == w.id {
-			reduced += applySparseUpdates(w, &params, perPeer[peer])
+			for _, b := range chunks[peer] {
+				reduced += applySparseUpdates(w, &params, b)
+			}
+			if pooled {
+				for _, b := range chunks[peer] {
+					bufpool.Put(b)
+				}
+			}
 			continue
 		}
-		if err := w.ep.Send(comm.NodeID(peer), comm.KindUpdate, base, perPeer[peer]); err != nil {
-			return 0, err
+		if pooled {
+			// Vectored hand-off: no concatenation, chunks return to the
+			// slab after the write.
+			if err := w.ep.SendBufs(comm.NodeID(peer), comm.KindUpdate, base, comm.Buffers(chunks[peer])); err != nil {
+				return 0, err
+			}
+		} else {
+			var total int
+			for _, b := range chunks[peer] {
+				total += len(b)
+			}
+			payload := make([]byte, 0, total)
+			for _, b := range chunks[peer] {
+				payload = append(payload, b...)
+			}
+			if err := w.ep.Send(comm.NodeID(peer), comm.KindUpdate, base, payload); err != nil {
+				return 0, err
+			}
 		}
 	}
 	w.endSpan(obs.PhaseSparsePush, pass, -1, -1, pushStart)
@@ -114,6 +158,7 @@ func ProcessEdgesSparse[M any](w *Worker, params SparseParams[M]) (int64, error)
 			return 0, err
 		}
 		reduced += applySparseUpdates(w, &params, m.Payload)
+		m.Release()
 	}
 	return w.AllReduceSum(reduced)
 }

@@ -120,10 +120,6 @@ func TestStatsNodeSharesSumToTotals(t *testing.T) {
 				if mode == ModeGemini && tot.DependencyBytes != 0 {
 					t.Fatalf("Gemini sent %d dependency bytes", tot.DependencyBytes)
 				}
-				// The deprecated accessor remains the totals view.
-				if c.LastRunStats() != tot {
-					t.Fatal("LastRunStats disagrees with Stats().Totals")
-				}
 			})
 		}
 	}

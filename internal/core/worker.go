@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/bufpool"
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -209,13 +210,7 @@ func encodeBitmapSegment(b *bitset.Bitmap, lo, hi int) []byte {
 	}
 	out := make([]byte, 1, 1+denseBytes)
 	out[0] = segDense
-	words := b.Words()
-	for _, word := range words[lo/64 : (hi+63)/64] {
-		var tmp [8]byte
-		binary.LittleEndian.PutUint64(tmp[:], word)
-		out = append(out, tmp[:]...)
-	}
-	return out
+	return b.AppendSegmentLE(out, lo, hi)
 }
 
 const (
@@ -242,13 +237,8 @@ func applyBitmapSegment(b *bitset.Bitmap, lo, hi int, payload []byte) error {
 			b.Set(v)
 		}
 	case segDense:
-		words := b.Words()
-		wLo, wHi := lo/64, (hi+63)/64
-		if len(body) != (wHi-wLo)*8 {
-			return fmt.Errorf("core: dense segment is %d bytes, want %d", len(body), (wHi-wLo)*8)
-		}
-		for wi := wLo; wi < wHi; wi++ {
-			words[wi] |= binary.LittleEndian.Uint64(body[(wi-wLo)*8:])
+		if err := b.OrSegmentLE(body, lo, hi); err != nil {
+			return fmt.Errorf("core: dense segment: %w", err)
 		}
 	default:
 		return fmt.Errorf("core: unknown segment form %d", payload[0])
@@ -266,11 +256,11 @@ func (w *Worker) GatherU32(arr []uint32) error {
 	tag := w.nextTags(1)
 	lo, hi := w.MasterRange()
 	if w.id != 0 {
-		blob := make([]byte, (hi-lo)*4)
+		blob := bufpool.Get((hi - lo) * 4)
 		for i := lo; i < hi; i++ {
 			binary.LittleEndian.PutUint32(blob[(i-lo)*4:], arr[i])
 		}
-		return w.ep.Send(0, comm.KindControl, tag, blob)
+		return w.ep.SendBufs(0, comm.KindControl, tag, comm.Buffers{blob})
 	}
 	for peer := 1; peer < w.N(); peer++ {
 		m, err := w.ep.Recv(comm.NodeID(peer), comm.KindControl, tag)
@@ -281,6 +271,7 @@ func (w *Worker) GatherU32(arr []uint32) error {
 		for off := 0; off+4 <= len(m.Payload); off += 4 {
 			arr[plo+off/4] = binary.LittleEndian.Uint32(m.Payload[off:])
 		}
+		m.Release()
 	}
 	return nil
 }

@@ -384,7 +384,7 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 		return Response{}, http.StatusInternalServerError, err
 	}
 
-	run := slot.eng.LastRunStats()
+	run := slot.eng.Stats().Totals
 	resp := Response{
 		Graph:    q.Graph,
 		Algo:     q.Algo,

@@ -1,0 +1,300 @@
+package sgvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufOwn polices the zero-copy data plane's ownership contract (the
+// aliasing bug class the SendBufs/Release API introduces):
+//
+//   - comm.SendBufs transfers ownership of the buffers to the transport;
+//     after the call the slab may recycle them concurrently, so reading
+//     or mutating a handed-off buffer races with the next superstep's
+//     payload.
+//   - Message.Release returns the payload to the slab; any later use of
+//     m.Payload — or of an alias taken from it — reads recycled memory.
+//
+// The check is intraprocedural and textual: within a function body, a
+// hand-off or Release poisons the variable for the remainder of its
+// innermost enclosing block (so uses in sibling branches are not
+// flagged), and reassignment un-poisons it. Aliases of the form
+// `p := m.Payload` are tracked one level deep. internal/comm and
+// internal/bufpool — the layers that implement the contract — are
+// exempt.
+var BufOwn = &Analyzer{
+	Name: "bufown",
+	Doc:  "payload or buffer used after Release()/SendBufs ownership hand-off",
+	Run:  runBufOwn,
+}
+
+func runBufOwn(p *Pass) {
+	path := p.Pkg.ImportPath
+	if strings.HasSuffix(path, "internal/comm") || strings.HasSuffix(path, "internal/bufpool") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeBufOwn(p, fd.Body)
+		}
+	}
+}
+
+// poisonEvent marks a variable unusable from Pos to the end of the
+// block the poisoning statement sits in.
+type poisonEvent struct {
+	pos      token.Pos // effect point (end of the poisoning call)
+	blockEnd token.Pos // scope: innermost enclosing block's end
+	kind     string    // "Release" or "SendBufs"
+}
+
+type bufOwnState struct {
+	p *Pass
+	// poisoned maps a variable to its hand-off/release events.
+	poisoned map[types.Object][]poisonEvent
+	// payloadAlias maps `p := m.Payload` aliases to the message var m.
+	payloadAlias map[types.Object]types.Object
+	// reassigns maps a variable to positions where it is re-bound
+	// (fresh value: the poison no longer applies).
+	reassigns map[types.Object][]token.Pos
+}
+
+func analyzeBufOwn(p *Pass, body *ast.BlockStmt) {
+	st := &bufOwnState{
+		p:            p,
+		poisoned:     map[types.Object][]poisonEvent{},
+		payloadAlias: map[types.Object]types.Object{},
+		reassigns:    map[types.Object][]token.Pos{},
+	}
+	// Pass 1: collect poison events, aliases and reassignments.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			st.collectCall(s, enclosingBlockEnd(stack, body))
+		case *ast.AssignStmt:
+			st.collectAssign(s)
+		}
+		return true
+	})
+	if len(st.poisoned) == 0 {
+		return
+	}
+	// Pass 2: flag uses inside a poison window.
+	check := func(m ast.Node) bool { st.checkUse(m); return true }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// A plain LHS identifier is a re-binding, not a use; but
+			// writing through an index or field (buf[0] = x) mutates the
+			// handed-off buffer and is checked.
+			for _, lhs := range s.Lhs {
+				if _, plain := lhs.(*ast.Ident); plain {
+					continue
+				}
+				ast.Inspect(lhs, check)
+			}
+			for _, rhs := range s.Rhs {
+				ast.Inspect(rhs, check)
+			}
+			return false
+		default:
+			st.checkUse(n)
+		}
+		return true
+	})
+}
+
+// enclosingBlockEnd returns the End of the innermost BlockStmt on the
+// stack (the stack top is the current node).
+func enclosingBlockEnd(stack []ast.Node, body *ast.BlockStmt) token.Pos {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			return b.End()
+		}
+	}
+	return body.End()
+}
+
+func (st *bufOwnState) collectCall(call *ast.CallExpr, blockEnd token.Pos) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	info := st.p.Pkg.Info
+	switch sel.Sel.Name {
+	case "Release":
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || !isCommNamed(info.Types[sel.X].Type, "Message") {
+			return
+		}
+		if obj := info.Uses[recv]; obj != nil {
+			st.poison(obj, call.End(), blockEnd, "Release")
+		}
+	case "SendBufs":
+		if len(call.Args) == 0 {
+			return
+		}
+		last := call.Args[len(call.Args)-1]
+		if tv, ok := info.Types[last]; !ok || !isCommNamed(tv.Type, "Buffers") {
+			return
+		}
+		for _, id := range buffersRoots(last) {
+			if obj := info.Uses[id]; obj != nil {
+				st.poison(obj, call.End(), blockEnd, "SendBufs")
+			}
+		}
+	}
+}
+
+func (st *bufOwnState) poison(obj types.Object, pos, blockEnd token.Pos, kind string) {
+	st.poisoned[obj] = append(st.poisoned[obj], poisonEvent{pos: pos, blockEnd: blockEnd, kind: kind})
+}
+
+// buffersRoots extracts the identifiers whose buffers a SendBufs
+// argument hands off: a plain ident, a comm.Buffers(x) conversion of
+// one, or the ident elements of a Buffers{...} literal. Indexing
+// expressions (bufs[i]) are deliberately not traced to the root slice —
+// only the indexed element is transferred.
+func buffersRoots(e ast.Expr) []*ast.Ident {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return []*ast.Ident{x}
+	case *ast.CallExpr: // conversion: comm.Buffers(chunks)
+		if len(x.Args) == 1 {
+			return buffersRoots(x.Args[0])
+		}
+	case *ast.CompositeLit: // comm.Buffers{a, b}
+		var out []*ast.Ident
+		for _, elt := range x.Elts {
+			if id, ok := elt.(*ast.Ident); ok {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func (st *bufOwnState) collectAssign(as *ast.AssignStmt) {
+	info := st.p.Pkg.Info
+	// Alias tracking: p := m.Payload.
+	if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if sel, ok := as.Rhs[0].(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
+			if recv, ok := sel.X.(*ast.Ident); ok && isCommNamed(info.Types[sel.X].Type, "Message") {
+				lhs, lok := as.Lhs[0].(*ast.Ident)
+				msg := info.Uses[recv]
+				if lok && msg != nil {
+					if obj := identObject(info, lhs); obj != nil {
+						st.payloadAlias[obj] = msg
+					}
+				}
+			}
+		}
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := identObject(info, id); obj != nil {
+				st.reassigns[obj] = append(st.reassigns[obj], as.End())
+			}
+		}
+	}
+}
+
+// identObject resolves an identifier whether it defines (:=) or uses
+// (=) the variable.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func (st *bufOwnState) checkUse(n ast.Node) {
+	info := st.p.Pkg.Info
+	switch s := n.(type) {
+	case *ast.SelectorExpr:
+		if s.Sel.Name != "Payload" {
+			return
+		}
+		recv, ok := s.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[recv]
+		if obj == nil {
+			return
+		}
+		if ev, bad := st.inPoisonWindow(obj, s.Pos()); bad {
+			st.p.Reportf(s.Pos(), "message payload used after %s: the slab may already have recycled it", ev.kind)
+		}
+	case *ast.Ident:
+		obj := info.Uses[s]
+		if obj == nil {
+			return
+		}
+		// A Release poisons only the payload (reached via .Payload or an
+		// alias), not the message variable itself — so the direct-ident
+		// check applies to SendBufs hand-offs alone.
+		if ev, bad := st.inPoisonWindow(obj, s.Pos()); bad && ev.kind == "SendBufs" {
+			st.p.Reportf(s.Pos(), "buffer used after SendBufs hand-off: ownership passed to the transport and the slab may recycle it concurrently")
+			return
+		}
+		// Alias of a released message's payload.
+		if msg, ok := st.payloadAlias[obj]; ok {
+			if ev, bad := st.inPoisonWindow(msg, s.Pos()); bad {
+				st.p.Reportf(s.Pos(), "payload alias used after %s: the slab may already have recycled it", ev.kind)
+			}
+		}
+	}
+}
+
+// inPoisonWindow reports whether pos falls after a poison event on obj,
+// within the event's block, with no intervening re-binding.
+func (st *bufOwnState) inPoisonWindow(obj types.Object, pos token.Pos) (poisonEvent, bool) {
+	for _, ev := range st.poisoned[obj] {
+		if pos <= ev.pos || pos >= ev.blockEnd {
+			continue
+		}
+		cleared := false
+		for _, r := range st.reassigns[obj] {
+			if r > ev.pos && r <= pos {
+				cleared = true
+				break
+			}
+		}
+		if !cleared {
+			return ev, true
+		}
+	}
+	return poisonEvent{}, false
+}
+
+// isCommNamed reports whether t is (a pointer to) the named type
+// internal/comm.<name>.
+func isCommNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/comm")
+}

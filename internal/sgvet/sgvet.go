@@ -1,6 +1,6 @@
 // Package sgvet is SympleGraph's project-invariant lint suite: a small
 // go/analysis-style framework (stdlib-only — the build environment pins
-// dependencies, so golang.org/x/tools is unavailable) plus the four
+// dependencies, so golang.org/x/tools is unavailable) plus the five
 // analyzers that machine-check invariants the engine's correctness
 // leans on:
 //
@@ -18,6 +18,9 @@
 //   - ctxblock — channel operations in serving paths without a
 //     ctx.Done()/default escape arm can wedge a handler forever and
 //     defeat graceful drain.
+//   - bufown — a Message.Payload read after Release(), or a buffer
+//     touched after SendBufs handed its ownership to the transport,
+//     races with the slab recycling it for the next superstep.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -84,7 +87,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock}
+	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

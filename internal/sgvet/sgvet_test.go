@@ -426,3 +426,65 @@ func TestByName(t *testing.T) {
 		t.Fatal("expected error for unknown analyzer")
 	}
 }
+
+func TestBufOwnFixture(t *testing.T) {
+	src := `package fixture
+
+import "repro/internal/comm"
+
+var ep comm.Endpoint
+
+func useAfterRelease() byte {
+	m, _ := ep.Recv(0, comm.KindUpdate, 1)
+	b := m.Payload[0]
+	m.Release()
+	return b + m.Payload[0] // want:bufown
+}
+
+func aliasAfterRelease() byte {
+	m, _ := ep.Recv(0, comm.KindUpdate, 1)
+	p := m.Payload
+	m.Release()
+	return p[0] // want:bufown
+}
+
+func bufAfterSendBufs(buf []byte) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers{buf})
+	buf[0] = 0 // want:bufown
+	return len(buf), err // want:bufown
+}
+
+func convAfterSendBufs(bufs [][]byte) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(bufs))
+	return len(bufs), err // want:bufown
+}
+
+func okUseBeforeRelease() byte {
+	m, _ := ep.Recv(0, comm.KindUpdate, 1)
+	b := m.Payload[0]
+	m.Release()
+	return b
+}
+
+func okSiblingBranch(send bool, bufs comm.Buffers) (int, error) {
+	if send {
+		return 0, ep.SendBufs(1, comm.KindUpdate, 1, bufs)
+	} else {
+		return len(bufs), nil
+	}
+}
+
+func okReassign() byte {
+	m, _ := ep.Recv(0, comm.KindUpdate, 1)
+	m.Release()
+	m, _ = ep.Recv(0, comm.KindUpdate, 2)
+	return m.Payload[0]
+}
+
+func okIndexedHandoff(chunks [][][]byte) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(chunks[0]))
+	return len(chunks), err
+}
+`
+	checkFixture(t, src, "", BufOwn)
+}
