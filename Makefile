@@ -3,9 +3,9 @@
 # layer, run the seeded chaos soak, the sgserve process smoke test, then
 # the full suite (which includes the CLI trace smoke test and the
 # sustained serving load test).
-.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos bench-baseline bench-check
+.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos fleet-chaos bench-baseline bench-check
 
-verify: build lint race chaos serve-smoke serve-dist-smoke test
+verify: build lint race chaos fleet-chaos serve-smoke serve-dist-smoke test
 
 build:
 	go build ./...
@@ -44,6 +44,13 @@ test:
 # fast (well under a minute).
 chaos:
 	go test -race -count=1 -run 'Chaos|Fault|Stall|Recovery|Checkpoint' ./internal/algorithms ./internal/core ./internal/comm
+
+# Fleet self-healing soak: kill sgworker daemons mid-query, restart
+# them on the same port, and assert the roster walks
+# healthy→suspect→dead→rejoining→healthy, the pool regains full width
+# without an sgserve restart, and degraded answers stay bit-identical.
+fleet-chaos:
+	go test -race -count=1 -run 'TestFleet' ./internal/server
 
 # The -trace acceptance path on its own, for quick iteration.
 smoke:

@@ -91,9 +91,11 @@ func main() {
 	var graphs graphFlags
 	var obsFlags cliutil.Obs
 	var resilience cliutil.Resilience
+	var fleet cliutil.Fleet
 	flag.Var(&graphs, "graph", "serve this graph as name=<path|rmat:scale,ef,seed> (repeatable)")
 	obsFlags.Register(flag.CommandLine)
 	resilience.Register(flag.CommandLine)
+	fleet.Register(flag.CommandLine)
 	var (
 		addr          = flag.String("addr", ":8090", "HTTP listen address (:0 picks a free port)")
 		nodes         = flag.Int("nodes", 4, "simulated cluster size per query engine (local provider)")
@@ -138,17 +140,24 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Graphs:         loaded,
-		Engine:         opts,
-		MaxInflight:    *maxInflight,
-		MaxQueue:       *maxQueue,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		CheckpointRoot: resilience.CheckpointDir,
-		Workers:        roster,
-		AdvertiseHost:  *advertiseHost,
-		Registry:       registry,
-		Tracer:         obsFlags.Tracer,
+		Graphs:          loaded,
+		Engine:          opts,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		CheckpointRoot:  resilience.CheckpointDir,
+		Workers:         roster,
+		AdvertiseHost:   *advertiseHost,
+		ProbeInterval:   fleet.ProbeInterval,
+		ProbeTimeout:    fleet.ProbeTimeout,
+		ProbeDeadAfter:  fleet.DeadAfter,
+		ProbeBackoffCap: fleet.BackoffCap,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		Registry: registry,
+		Tracer:   obsFlags.Tracer,
 	})
 	if err != nil {
 		fatalf("%v", err)

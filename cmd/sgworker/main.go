@@ -33,6 +33,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7101", "control listen address (:0 picks a free port)")
 		dataHost = flag.String("data-host", "127.0.0.1", "host data-plane listeners bind and advertise to peers")
+		slots    = flag.Int("slots", 0, "max concurrently active engine slots; further builds are rejected so the front-end schedules elsewhere (0 = unlimited)")
 		verbose  = flag.Bool("v", false, "log slot lifecycle events")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 	d, err := server.StartWorkerDaemon(server.WorkerConfig{
 		Addr:     *addr,
 		DataHost: *dataHost,
+		MaxSlots: *slots,
 		Logf:     logf,
 		Registry: registry,
 	})

@@ -141,6 +141,25 @@ func (s *GraphSpec) Load() (*graph.Graph, error) {
 	return graph.RMAT(scale, ef, graph.Graph500Params(), seed), nil
 }
 
+// Fleet bundles the worker-fleet health-probing flags a serving
+// front-end exposes: probe cadence and timeout, how many consecutive
+// misses declare a worker dead, and the backoff cap for re-probing
+// dead workers. Zero values defer to the server's defaults.
+type Fleet struct {
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	DeadAfter     int
+	BackoffCap    time.Duration
+}
+
+// Register installs the fleet flags on fs.
+func (f *Fleet) Register(fs *flag.FlagSet) {
+	fs.DurationVar(&f.ProbeInterval, "probe-interval", 500*time.Millisecond, "worker health-probe cadence")
+	fs.DurationVar(&f.ProbeTimeout, "probe-timeout", time.Second, "per-probe dial+ping budget")
+	fs.IntVar(&f.DeadAfter, "probe-dead-after", 3, "consecutive probe failures before a worker is declared dead")
+	fs.DurationVar(&f.BackoffCap, "probe-backoff-cap", 5*time.Second, "probe backoff cap while a worker stays dead")
+}
+
 // Resilience bundles the shared fault-tolerance flags: -stall-timeout,
 // -checkpoint-every and -max-restarts configure detection and recovery;
 // -chaos-seed (plus -chaos-crash-node/-chaos-crash-at) enables the

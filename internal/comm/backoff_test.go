@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsToCapWithJitter(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Key: 7}
+	for attempt := uint64(0); attempt < 8; attempt++ {
+		d := b.Delay(attempt)
+		// Full jitter keeps every delay in [grown/2, grown); the grown
+		// value is min(base<<attempt, cap).
+		grown := b.Base << attempt
+		if grown > b.Cap {
+			grown = b.Cap
+		}
+		if d < grown/2 || d >= grown {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, grown/2, grown)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerKey(t *testing.T) {
+	a := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Key: 1}
+	b := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Key: 1}
+	c := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Key: 2}
+	same, diff := true, true
+	for i := uint64(0); i < 16; i++ {
+		if a.Delay(i) != b.Delay(i) {
+			same = false
+		}
+		if a.Delay(i) != c.Delay(i) {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("same key produced different schedules")
+	}
+	if diff {
+		t.Fatal("different keys produced identical schedules (jitter not keyed)")
+	}
+}
+
+func TestBackoffZeroValueUsesDefaults(t *testing.T) {
+	var b Backoff
+	for i := uint64(0); i < 12; i++ {
+		d := b.Delay(i)
+		if d <= 0 || d > 200*time.Millisecond {
+			t.Fatalf("zero-value delay(%d) = %v", i, d)
+		}
+	}
+}
+
+func TestBackoffRetryStopsOnSuccessAndBudget(t *testing.T) {
+	b := Backoff{Base: time.Microsecond, Cap: 10 * time.Microsecond}
+
+	calls := 0
+	if err := b.Retry(time.Second, func(uint64) error {
+		calls++
+		if calls < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("retry made %d calls, want 3", calls)
+	}
+
+	// An exhausted budget surfaces the last error.
+	sentinel := errors.New("always down")
+	err := b.Retry(5*time.Millisecond, func(uint64) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("budget exhaustion returned %v, want the last op error", err)
+	}
+}

@@ -42,16 +42,25 @@ func (e *ProtocolError) Error() string {
 // ClosedError reports an operation that can never complete because the
 // transport closed: local teardown, run poisoning, or a lost TCP peer.
 // Op is "send" when a write to the dead peer failed; empty for the
-// common case, a receive whose messages will never arrive.
+// common case, a receive whose messages will never arrive. Addr is set
+// instead of the node triple when the loss happened on a control-plane
+// connection (CtrlConn), which has a peer address but no ring identity.
 type ClosedError struct {
 	Node  NodeID
 	From  NodeID
 	Kind  Kind
 	Op    string
+	Addr  string
 	Cause error
 }
 
 func (e *ClosedError) Error() string {
+	if e.Addr != "" {
+		if e.Op == "send" {
+			return fmt.Sprintf("comm: control connection to %s closed during send: %v", e.Addr, e.Cause)
+		}
+		return fmt.Sprintf("comm: control connection to %s closed: %v", e.Addr, e.Cause)
+	}
 	if e.Op == "send" {
 		return fmt.Sprintf("comm: endpoint %d lost peer %d sending kind %v: %v", e.Node, e.From, e.Kind, e.Cause)
 	}

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
-	"repro/internal/xrand"
 )
 
 // TCPEndpoint connects one node to a cluster over TCP with a full mesh of
@@ -197,34 +196,21 @@ func NewTCPEndpoint(id NodeID, ln net.Listener, addrs []string, opts ...TCPOptio
 	return e, nil
 }
 
-// dialWithRetry dials addr with exponential backoff plus deterministic
-// jitter until it succeeds or the budget elapses. Jitter is drawn from
-// xrand keyed on (dialKey, attempt) so simultaneous cluster-formation
-// dials from many nodes decorrelate without shared rand state; capping
-// the backoff at 200ms keeps formation snappy once the peer is up.
+// dialWithRetry dials addr until it succeeds or the budget elapses,
+// pacing attempts with the module's shared Backoff policy keyed on
+// dialKey so simultaneous cluster-formation dials from many nodes
+// decorrelate without shared rand state.
 func dialWithRetry(addr string, budget time.Duration, dialKey uint64) (net.Conn, error) {
-	deadline := time.Now().Add(budget)
-	delay := 5 * time.Millisecond
-	const maxDelay = 200 * time.Millisecond
-	for attempt := uint64(0); ; attempt++ {
-		c, err := net.Dial("tcp", addr)
-		if err == nil {
-			return c, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, err
-		}
-		// Full jitter in [delay/2, delay): backoff spreads retries over
-		// time, jitter spreads them across nodes.
-		sleep := delay/2 + time.Duration(xrand.Uniform01(dialKey, attempt)*float64(delay/2))
-		if remain := time.Until(deadline); sleep > remain {
-			sleep = remain
-		}
-		time.Sleep(sleep)
-		if delay < maxDelay {
-			delay *= 2
-		}
+	var c net.Conn
+	err := DefaultBackoff(dialKey).Retry(budget, func(uint64) error {
+		var err error
+		c, err = net.Dial("tcp", addr)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	return c, nil
 }
 
 func (e *TCPEndpoint) readLoop(from NodeID) {

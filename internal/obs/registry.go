@@ -80,6 +80,25 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// RegisterHistogram exposes one histogram's summary under name: count,
+// total/p50/p95/p99/max nanoseconds, freshly snapshotted per sample.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if h == nil {
+		return
+	}
+	r.Register(name, func() any {
+		s := h.Snapshot()
+		return map[string]int64{
+			"count":  s.Count,
+			"sum_ns": int64(s.Sum),
+			"p50_ns": int64(s.P50),
+			"p95_ns": int64(s.P95),
+			"p99_ns": int64(s.P99),
+			"max_ns": int64(s.Max),
+		}
+	})
+}
+
 // RegisterTracer exposes a tracer's per-(node, phase) aggregates under
 // prefix: count, total/p50/p95/max nanoseconds per histogram, and the
 // event-capture drop counter.

@@ -243,7 +243,7 @@ func (p *Pool) Lease(ctx context.Context, provider, graphName string, v graphVar
 
 	select {
 	case s := <-e.free:
-		return s, nil
+		return p.freshen(prov, ge, e, s)
 	default:
 	}
 	e.mu.Lock()
@@ -262,10 +262,38 @@ func (p *Pool) Lease(ctx context.Context, provider, graphName string, v graphVar
 	e.mu.Unlock()
 	select {
 	case s := <-e.free:
-		return s, nil
+		return p.freshen(prov, ge, e, s)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// isStale asks an engine whether the world it was built for has moved
+// on — for remote engines, whether the worker roster diverged from the
+// ring members (a member died, or a rejoined worker could widen the
+// ring). Engines without the hook are never stale.
+func isStale(e Engine) bool {
+	st, ok := e.(interface{ Stale() bool })
+	return ok && st.Stale()
+}
+
+// freshen rebuilds a stale free-list slot before handing it out, so a
+// lease taken after a worker rejoined runs at full width — and one
+// taken after a worker died does not pay a mid-query poisoning. Fresh
+// slots pass through untouched.
+func (p *Pool) freshen(prov EngineProvider, ge *graphEntry, e *poolEntry, s *slot) (*slot, error) {
+	if !isStale(s.eng) {
+		return s, nil
+	}
+	s.eng.Close()
+	fresh, err := p.build(prov, ge, s.variant, s.mode)
+	if err != nil {
+		e.mu.Lock()
+		e.built--
+		e.mu.Unlock()
+		return nil, err
+	}
+	return fresh, nil
 }
 
 func (p *Pool) build(prov EngineProvider, ge *graphEntry, v graphVariant, mode core.Mode) (*slot, error) {
@@ -302,29 +330,38 @@ func (p *Pool) Release(s *slot) {
 	finishErr := s.eng.FinishQuery()
 	s.eng.SetBaseContext(nil)
 	s.eng.SetTracer(p.cfg.Tracer)
+	rebuild := false
 	if finishErr != nil || s.eng.Poisoned() != nil {
 		if err := s.eng.Reset(); err != nil || finishErr != nil {
-			s.eng.Close()
-			prov := p.providers[s.provider]
-			ge := p.graphs[s.graph]
-			var fresh *slot
-			var berr error
-			if prov != nil && ge != nil {
-				fresh, berr = p.build(prov, ge, s.variant, s.mode)
-			} else {
-				berr = fmt.Errorf("slot %d has no provider/graph to rebuild from", s.id)
-			}
-			if berr != nil {
-				// Capacity shrinks by one slot; the next lease with
-				// spare room rebuilds it.
-				e := p.entry(s.provider, s.graph, s.variant, s.mode)
-				e.mu.Lock()
-				e.built--
-				e.mu.Unlock()
-				return
-			}
-			s = fresh
+			rebuild = true
 		}
+	} else if isStale(s.eng) {
+		// The slot is healthy but the roster moved under it (worker
+		// died or rejoined while this query ran): rebuild at current
+		// width instead of parking a stale ring on the free list.
+		rebuild = true
+	}
+	if rebuild {
+		s.eng.Close()
+		prov := p.providers[s.provider]
+		ge := p.graphs[s.graph]
+		var fresh *slot
+		var berr error
+		if prov != nil && ge != nil {
+			fresh, berr = p.build(prov, ge, s.variant, s.mode)
+		} else {
+			berr = fmt.Errorf("slot %d has no provider/graph to rebuild from", s.id)
+		}
+		if berr != nil {
+			// Capacity shrinks by one slot; the next lease with
+			// spare room rebuilds it.
+			e := p.entry(s.provider, s.graph, s.variant, s.mode)
+			e.mu.Lock()
+			e.built--
+			e.mu.Unlock()
+			return
+		}
+		s = fresh
 	}
 	e := p.entry(s.provider, s.graph, s.variant, s.mode)
 	select {
@@ -377,6 +414,18 @@ func (p *Pool) Slots() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.slots)
+}
+
+// Fleets collects the roster snapshot of every provider that tracks
+// worker health, keyed by provider name, for /statusz.
+func (p *Pool) Fleets() map[string]FleetStatus {
+	out := make(map[string]FleetStatus)
+	for n, prov := range p.providers {
+		if f, ok := prov.(interface{ Fleet() FleetStatus }); ok {
+			out[n] = f.Fleet()
+		}
+	}
+	return out
 }
 
 // ProviderSlots breaks Slots down by provider, for /statusz.

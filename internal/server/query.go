@@ -233,14 +233,18 @@ type TraceSpan struct {
 
 // Response is the full answer to one query.
 type Response struct {
-	Graph       string      `json:"graph"`
-	Algo        string      `json:"algo"`
-	Mode        string      `json:"mode"`
-	Result      Result      `json:"result"`
-	Engine      EngineStats `json:"engine"`
-	Cached      bool        `json:"cached"`
-	Coalesced   bool        `json:"coalesced,omitempty"`
-	Provider    string      `json:"provider,omitempty"`
+	Graph     string      `json:"graph"`
+	Algo      string      `json:"algo"`
+	Mode      string      `json:"mode"`
+	Result    Result      `json:"result"`
+	Engine    EngineStats `json:"engine"`
+	Cached    bool        `json:"cached"`
+	Coalesced bool        `json:"coalesced,omitempty"`
+	Provider  string      `json:"provider,omitempty"`
+	// Degraded marks an answer computed below the requested fleet
+	// width — fewer ring members than configured workers (or none,
+	// served in-process) because part of the fleet was unhealthy.
+	Degraded    bool        `json:"degraded,omitempty"`
 	QueueWaitMs float64     `json:"queue_wait_ms"`
 	EngineMs    float64     `json:"engine_ms"`
 	Trace       []TraceSpan `json:"trace,omitempty"`

@@ -5,9 +5,12 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -18,18 +21,25 @@ import (
 
 // The remote provider turns a worker roster into pool slots: each Build
 // forms one distributed cluster with this process as node 0 and one
-// sgworker process per surviving roster entry as nodes 1..p-1, connected
+// sgworker process per healthy roster member as nodes 1..p-1, connected
 // by the engine's TCP endpoints. The control protocol (comm.CtrlConn)
 // carries the per-slot negotiation:
 //
 //	front-end → worker   build {graph, variant, fp, node, nodes, opts}
-//	worker → front-end   graph-state {have}
-//	front-end → worker   graph + blob        (only when the worker lacks fp)
+//	worker → front-end   build-reject {reason}  (worker at slot capacity)
+//	worker → front-end   graph-state {have, offset}
+//	front-end → worker   graph {size, chunk} + chunked blob   (when the
+//	                     worker lacks fp; resumes from offset)
 //	worker → front-end   ready {data_addr}
 //	front-end → worker   start {addrs}       (the full data-plane address list)
 //	worker → front-end   up {error}          (mesh formed, engine built)
 //	…per query…          run {Request} / done {error}
 //	front-end → worker   close               (slot teardown)
+//
+// Graphs ship in fixed-size CRC-checked chunks (comm.SendBlobChunked);
+// the worker retains the acknowledged prefix across a disconnect, and
+// graph-state's offset lets the next transfer resume where the last one
+// died instead of starting over.
 //
 // Closures cannot cross process boundaries, so queries ship as the
 // canonical Request and every machine runs the same runAlgorithm
@@ -37,9 +47,12 @@ import (
 // node, differing only in which vertex partition each owns.
 
 // Remote engines run with recovery and checkpointing disabled: a node
-// cannot re-form a ring it does not own, so the failure model is
-// "poison, rebuild through the provider against the surviving roster"
-// rather than in-place restart.
+// cannot re-form a ring it does not own. The failure model is the
+// roster's probe/rejoin state machine (roster.go): a worker loss
+// poisons the slot, the rebuild re-forms the ring over the healthy
+// members, and a restarted worker is preloaded and folded back in on
+// the next rebuild — queries keep being served at reduced width in
+// between, flagged degraded.
 
 const (
 	defaultCtrlDialTimeout = 3 * time.Second
@@ -50,6 +63,9 @@ const (
 	// acknowledgements; a worker that cannot answer by then is treated
 	// as lost and the slot is rebuilt.
 	defaultFinishTimeout = 30 * time.Second
+	// maxBuildAttempts bounds how many times one Build re-forms the
+	// ring after a worker dies mid-handshake before going degraded.
+	maxBuildAttempts = 3
 )
 
 // wireOptions is the engine configuration shipped to workers — the
@@ -72,8 +88,29 @@ type buildMsg struct {
 	Opts    wireOptions `json:"opts"`
 }
 
+// rejectMsg is a worker's refusal to host another slot.
+type rejectMsg struct {
+	Reason string `json:"reason"`
+}
+
 type graphStateMsg struct {
 	Have bool `json:"have"`
+	// Offset is how many bytes of a previously interrupted transfer of
+	// this fingerprint the worker retained; the sender resumes there.
+	Offset int `json:"offset,omitempty"`
+}
+
+// graphMsg announces a chunked graph transfer.
+type graphMsg struct {
+	Size  int `json:"size"`  // total serialized bytes
+	Chunk int `json:"chunk"` // chunk size the sender will use
+}
+
+// preloadMsg asks a rejoining worker to warm one graph fingerprint
+// ahead of slot builds.
+type preloadMsg struct {
+	FP   string `json:"fp"`
+	Size int    `json:"size"`
 }
 
 type readyMsg struct {
@@ -111,14 +148,28 @@ type RemoteProviderConfig struct {
 	DialTimeout   time.Duration
 	BuildTimeout  time.Duration
 	FinishTimeout time.Duration
+	// ProbeInterval / ProbeTimeout / DeadAfter / BackoffCap tune the
+	// roster's health probing (see RosterConfig for defaults).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	DeadAfter     int
+	BackoffCap    time.Duration
+	// Logf receives fleet state transitions and degraded-build notices
+	// when non-nil.
+	Logf func(format string, args ...any)
+	// Registry receives server.fleet.* metrics when non-nil.
+	Registry *obs.Registry
 }
 
 // RemoteProvider builds engines over a roster of sgworker processes.
 type RemoteProvider struct {
-	cfg RemoteProviderConfig
+	cfg    RemoteProviderConfig
+	roster *rosterManager
 
 	mu    sync.Mutex
 	blobs map[*graph.Graph]graphBlob // serialized-variant cache
+
+	degradedBuilds atomic.Int64
 }
 
 type graphBlob struct {
@@ -126,7 +177,8 @@ type graphBlob struct {
 	fp   string
 }
 
-// NewRemoteProvider returns a provider that schedules onto cfg.Workers.
+// NewRemoteProvider returns a provider that schedules onto cfg.Workers,
+// tracking their health with a probing roster.
 func NewRemoteProvider(cfg RemoteProviderConfig) EngineProvider {
 	if cfg.AdvertiseHost == "" {
 		cfg.AdvertiseHost = "127.0.0.1"
@@ -140,12 +192,32 @@ func NewRemoteProvider(cfg RemoteProviderConfig) EngineProvider {
 	if cfg.FinishTimeout <= 0 {
 		cfg.FinishTimeout = defaultFinishTimeout
 	}
-	return &RemoteProvider{cfg: cfg, blobs: make(map[*graph.Graph]graphBlob)}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	p := &RemoteProvider{cfg: cfg, blobs: make(map[*graph.Graph]graphBlob)}
+	p.roster = newRosterManager(RosterConfig{
+		Workers:       cfg.Workers,
+		ProbeInterval: cfg.ProbeInterval,
+		ProbeTimeout:  cfg.ProbeTimeout,
+		DeadAfter:     cfg.DeadAfter,
+		BackoffCap:    cfg.BackoffCap,
+		OnRejoin:      p.preload,
+		Logf:          cfg.Logf,
+		Registry:      cfg.Registry,
+	})
+	if cfg.Registry != nil {
+		cfg.Registry.RegisterInt("server.fleet.degraded_builds", p.degradedBuilds.Load)
+	}
+	return p
 }
 
 func (p *RemoteProvider) Name() string { return "remote" }
 
-func (p *RemoteProvider) Close() {}
+func (p *RemoteProvider) Close() { p.roster.Close() }
+
+// Fleet exposes the roster snapshot for /statusz.
+func (p *RemoteProvider) Fleet() FleetStatus { return p.roster.Fleet() }
 
 // blobFor serializes g once and caches the bytes + fingerprint; every
 // slot build for the same variant reuses them, and workers that already
@@ -166,37 +238,153 @@ func (p *RemoteProvider) blobFor(g *graph.Graph) (graphBlob, error) {
 	return b, nil
 }
 
-// Build dials the roster, ships the graph to workers that lack it,
-// forms the data-plane ring, and returns the node-0 engine. Unreachable
-// workers are skipped — the slot is built over the survivors — so a
-// rebuild after a worker death re-forms the ring without it; only a
-// fully unreachable roster fails the build.
+// cachedBlobs snapshots the serialized graphs for preloading, sorted by
+// fingerprint so rejoin transfers are ordered deterministically.
+func (p *RemoteProvider) cachedBlobs() []graphBlob {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]graphBlob, 0, len(p.blobs))
+	for _, b := range p.blobs {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].fp < out[j].fp })
+	return out
+}
+
+// preload is the roster's rejoin hook: re-ship every cached graph to a
+// worker coming back from dead, so its re-admission never stalls a slot
+// build on a cold transfer. Interrupted transfers resume from the
+// worker's retained offset.
+func (p *RemoteProvider) preload(addr string) error {
+	blobs := p.cachedBlobs()
+	if len(blobs) == 0 {
+		return nil
+	}
+	cc, err := comm.DialCtrl(addr, p.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer cc.Close()
+	//sgvet:ignore commerr deadline-arm failure means the conn is already dead; the preload traffic below reports the real error
+	cc.SetDeadline(time.Now().Add(p.cfg.BuildTimeout))
+	for _, b := range blobs {
+		if err := p.shipBlob(cc, "preload", preloadMsg{FP: b.fp, Size: len(b.data)}, b); err != nil {
+			return fmt.Errorf("preloading %s: %w", addr, err)
+		}
+		var up upMsg
+		if err := cc.Expect("preloaded", &up); err != nil {
+			return fmt.Errorf("preloading %s: %w", addr, err)
+		}
+		if up.Error != "" {
+			return fmt.Errorf("preloading %s: %s", addr, up.Error)
+		}
+	}
+	return nil
+}
+
+// shipBlob runs the announce → graph-state → chunked-transfer exchange
+// shared by preloading and slot builds: the worker reports what it has
+// (including a retained partial offset) and the sender ships only the
+// missing suffix.
+func (p *RemoteProvider) shipBlob(cc *comm.CtrlConn, announce string, msg any, b graphBlob) error {
+	if err := cc.Send(announce, msg); err != nil {
+		return err
+	}
+	var gs graphStateMsg
+	if err := cc.Expect("graph-state", &gs); err != nil {
+		return err
+	}
+	if gs.Have {
+		return nil
+	}
+	if gs.Offset < 0 || gs.Offset > len(b.data) {
+		gs.Offset = 0
+	}
+	if err := cc.Send("graph", graphMsg{Size: len(b.data), Chunk: comm.DefaultChunkBytes}); err != nil {
+		return err
+	}
+	return cc.SendBlobChunked(b.data, gs.Offset, comm.DefaultChunkBytes)
+}
+
+// Build forms a ring over the roster's healthy workers. A worker that
+// fails mid-handshake is reported to the roster and the attempt retried
+// over the survivors; a worker at capacity is excluded without a health
+// penalty. When no worker is usable (or every attempt failed), the
+// build degrades to an in-process engine flagged degraded rather than
+// failing the query path.
 func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 	blob, err := p.blobFor(spec.Graph)
 	if err != nil {
 		return nil, err
 	}
 
-	var conns []*comm.CtrlConn
-	var dialErrs []error
-	for _, addr := range p.cfg.Workers {
-		cc, err := comm.DialCtrl(addr, p.cfg.DialTimeout)
-		if err != nil {
-			dialErrs = append(dialErrs, err)
+	exclude := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < maxBuildAttempts; attempt++ {
+		targets := make([]string, 0, len(p.cfg.Workers))
+		for _, addr := range p.roster.Usable() {
+			if !exclude[addr] {
+				targets = append(targets, addr)
+			}
+		}
+		if len(targets) == 0 {
+			break
+		}
+		eng, badAddr, rejected, err := p.buildAttempt(spec, blob, targets)
+		if err == nil {
+			return eng, nil
+		}
+		lastErr = err
+		if badAddr != "" {
+			if rejected {
+				exclude[badAddr] = true
+			} else {
+				p.roster.ObserveFailure(badAddr)
+			}
+		}
+	}
+	if lastErr != nil {
+		p.cfg.Logf("server: remote build failed (%v); serving degraded", lastErr)
+	}
+	return p.buildDegraded(spec)
+}
+
+// workerLink pairs one slot control connection with the roster address
+// it was dialed at (RemoteAddr may differ after resolution).
+type workerLink struct {
+	addr string
+	cc   *comm.CtrlConn
+}
+
+// buildAttempt forms one ring over targets. On failure it names the
+// worker that broke the handshake (empty when the failure was local)
+// and whether it was a capacity rejection rather than a fault.
+func (p *RemoteProvider) buildAttempt(spec BuildSpec, blob graphBlob, targets []string) (eng Engine, badAddr string, rejected bool, err error) {
+	var links []workerLink
+	for _, addr := range targets {
+		cc, derr := comm.DialCtrl(addr, p.cfg.DialTimeout)
+		if derr != nil {
+			// Report the dial failure immediately so the retry skips
+			// this worker, and keep forming the ring over the rest.
+			p.roster.ObserveFailure(addr)
 			continue
 		}
-		conns = append(conns, cc)
+		links = append(links, workerLink{addr: addr, cc: cc})
 	}
-	if len(conns) == 0 {
-		return nil, fmt.Errorf("no sgworker reachable (roster %v): %v", p.cfg.Workers, dialErrs)
+	if len(links) == 0 {
+		return nil, "", false, fmt.Errorf("no sgworker reachable (targets %v)", targets)
 	}
 	closeAll := func() {
-		for _, cc := range conns {
-			cc.Close()
+		for _, l := range links {
+			l.cc.Close()
 		}
 	}
+	fail := func(l workerLink, e error) (Engine, string, bool, error) {
+		closeAll()
+		return nil, l.addr, false, fmt.Errorf("worker %s: %w", l.addr, e)
+	}
 
-	n := len(conns) + 1 // node 0 is this process
+	n := len(links) + 1 // node 0 is this process
 	opts := p.cfg.Options
 	opts.NumNodes = n
 	opts.Mode = spec.Mode
@@ -219,39 +407,53 @@ func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 	}
 
 	deadline := time.Now().Add(p.cfg.BuildTimeout)
-	for _, cc := range conns {
+	for _, l := range links {
 		//sgvet:ignore commerr deadline-arm failure means the conn is already dead; the next Expect/Send on it reports the real error
-		cc.SetDeadline(deadline)
+		l.cc.SetDeadline(deadline)
 	}
 
 	// Phase 1: announce the build and ship the graph where needed.
 	addrs := make([]string, n)
-	for i, cc := range conns {
+	for i, l := range links {
 		node := i + 1
 		msg := buildMsg{Graph: spec.GraphName, Variant: spec.Variant.String(),
 			FP: blob.fp, Node: node, Nodes: n, Opts: wire}
-		if err := cc.Send("build", msg); err != nil {
-			closeAll()
-			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		if err := l.cc.Send("build", msg); err != nil {
+			return fail(l, err)
 		}
-		var gs graphStateMsg
-		if err := cc.Expect("graph-state", &gs); err != nil {
-			closeAll()
-			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		env, err := l.cc.Recv()
+		if err != nil {
+			return fail(l, err)
 		}
-		if !gs.Have {
-			if err := cc.Send("graph", nil); err == nil {
-				err = cc.SendBlob(blob.data)
+		switch env.Type {
+		case "build-reject":
+			var rej rejectMsg
+			//sgvet:ignore commerr a malformed reject body still rejects; the reason is advisory
+			json.Unmarshal(env.Body, &rej)
+			closeAll()
+			return nil, l.addr, true, fmt.Errorf("worker %s rejected build: %s", l.addr, rej.Reason)
+		case "graph-state":
+			var gs graphStateMsg
+			if err := json.Unmarshal(env.Body, &gs); err != nil {
+				return fail(l, err)
 			}
-			if err != nil {
-				closeAll()
-				return nil, fmt.Errorf("shipping graph to worker %s: %w", cc.RemoteAddr(), err)
+			if !gs.Have {
+				if gs.Offset < 0 || gs.Offset > len(blob.data) {
+					gs.Offset = 0
+				}
+				if err := l.cc.Send("graph", graphMsg{Size: len(blob.data), Chunk: comm.DefaultChunkBytes}); err != nil {
+					return fail(l, err)
+				}
+				if err := l.cc.SendBlobChunked(blob.data, gs.Offset, comm.DefaultChunkBytes); err != nil {
+					return fail(l, fmt.Errorf("shipping graph: %w", err))
+				}
 			}
+		default:
+			return fail(l, fmt.Errorf("unexpected control message %q answering build", env.Type))
 		}
 		var rd readyMsg
-		if err := cc.Expect("ready", &rd); err != nil {
-			closeAll()
-			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+		if err := l.cc.Expect("ready", &rd); err != nil {
+			return fail(l, err)
 		}
 		addrs[node] = rd.DataAddr
 	}
@@ -262,45 +464,104 @@ func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 	ln, err := net.Listen("tcp", net.JoinHostPort(p.cfg.AdvertiseHost, "0"))
 	if err != nil {
 		closeAll()
-		return nil, fmt.Errorf("node-0 data listener: %w", err)
+		return nil, "", false, fmt.Errorf("node-0 data listener: %w", err)
 	}
 	addrs[0] = ln.Addr().String()
-	for _, cc := range conns {
-		if err := cc.Send("start", startMsg{Addrs: addrs}); err != nil {
+	for _, l := range links {
+		if err := l.cc.Send("start", startMsg{Addrs: addrs}); err != nil {
 			ln.Close()
-			closeAll()
-			return nil, fmt.Errorf("worker %s: %w", cc.RemoteAddr(), err)
+			return fail(l, err)
 		}
 	}
 	ep, err := comm.NewTCPEndpoint(0, ln, addrs)
 	if err != nil {
 		closeAll()
-		return nil, fmt.Errorf("forming data plane: %w", err)
+		return nil, "", false, fmt.Errorf("forming data plane: %w", err)
 	}
-	for _, cc := range conns {
+	for _, l := range links {
 		var up upMsg
-		err := cc.Expect("up", &up)
+		err := l.cc.Expect("up", &up)
 		if err == nil && up.Error != "" {
 			err = fmt.Errorf("%s", up.Error)
 		}
 		if err != nil {
 			ep.Close()
-			closeAll()
-			return nil, fmt.Errorf("worker %s failed to come up: %w", cc.RemoteAddr(), err)
+			return fail(l, fmt.Errorf("failed to come up: %w", err))
 		}
 	}
-	for _, cc := range conns {
+	for _, l := range links {
 		//sgvet:ignore commerr clearing a deadline on a dead conn is harmless; later traffic reports the real error
-		cc.SetDeadline(time.Time{})
+		l.cc.SetDeadline(time.Time{})
 	}
 
-	eng, err := core.NewDistributedEngine(spec.Graph, opts, ep)
+	ceng, err := core.NewDistributedEngine(spec.Graph, opts, ep)
 	if err != nil {
 		ep.Close()
 		closeAll()
-		return nil, fmt.Errorf("building node-0 engine: %w", err)
+		return nil, "", false, fmt.Errorf("building node-0 engine: %w", err)
 	}
-	return &remoteEngine{Engine: eng, ep: ep, conns: conns, finishTimeout: p.cfg.FinishTimeout}, nil
+	members := make([]string, len(links))
+	for i, l := range links {
+		members[i] = l.addr
+	}
+	return &remoteEngine{
+		Engine:        ceng,
+		ep:            ep,
+		links:         links,
+		finishTimeout: p.cfg.FinishTimeout,
+		prov:          p,
+		members:       members,
+		degraded:      len(members) < len(p.cfg.Workers),
+	}, "", false, nil
+}
+
+// buildDegraded serves the slot from an in-process engine when no
+// worker ring can be formed: reduced capacity, but never a hard 500 for
+// want of a fleet. The slot reports degraded on every response and goes
+// stale as soon as a worker becomes usable again.
+func (p *RemoteProvider) buildDegraded(spec BuildSpec) (Engine, error) {
+	p.degradedBuilds.Add(1)
+	opts := p.cfg.Options
+	opts.Mode = spec.Mode
+	opts.Tracer = p.cfg.Tracer
+	opts.Endpoints = nil
+	opts.Link = nil
+	opts.Fault = nil
+	if opts.NumNodes <= 0 {
+		opts.NumNodes = 1
+	}
+	eng, err := core.NewEngine(spec.Graph, opts)
+	if err != nil {
+		return nil, fmt.Errorf("degraded in-process engine for %s/%v: %w", spec.GraphName, spec.Variant, err)
+	}
+	p.cfg.Logf("server: no usable worker; serving %s/%v degraded in-process", spec.GraphName, spec.Variant)
+	return &degradedEngine{Engine: eng, prov: p}, nil
+}
+
+// degradedEngine is the zero-worker fallback: the local simulated
+// cluster behind the remote provider's name, flagged on every response.
+type degradedEngine struct {
+	core.Engine
+	prov *RemoteProvider
+}
+
+func (e *degradedEngine) BindQuery(ctx context.Context, q Request, key string, tr *obs.Tracer) error {
+	e.SetBaseContext(ctx)
+	if tr != nil {
+		e.SetTracer(tr)
+	}
+	return nil
+}
+
+func (e *degradedEngine) FinishQuery() error { return nil }
+
+// Degraded marks responses served below the requested fleet width.
+func (e *degradedEngine) Degraded() bool { return true }
+
+// Stale turns true the moment any worker is usable again: the pool
+// rebuilds this slot into a real ring on its next lease or release.
+func (e *degradedEngine) Stale() bool {
+	return len(e.prov.roster.UsableWithCapacity()) > 0
 }
 
 // remoteEngine is node 0 of a worker ring: the embedded engine runs the
@@ -312,11 +573,45 @@ func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 type remoteEngine struct {
 	core.Engine
 	ep            *comm.TCPEndpoint
-	conns         []*comm.CtrlConn
+	links         []workerLink
 	finishTimeout time.Duration
+	prov          *RemoteProvider
+	members       []string
+	degraded      bool
 
 	inFlight bool
 	failed   error // sticky: a worker-side failure marks the slot for rebuild
+}
+
+// Degraded marks a ring formed below the configured fleet width.
+func (e *remoteEngine) Degraded() bool { return e.degraded }
+
+// Stale reports whether the roster has diverged from the ring this slot
+// was built over: a member died (shrink), or — when the ring is running
+// below the configured width — a non-member worker with free slot
+// capacity is healthy again (grow). Stale slots are rebuilt by the pool
+// on lease/release, never mid-query.
+func (e *remoteEngine) Stale() bool {
+	for _, m := range e.members {
+		if !e.prov.roster.IsUsable(m) {
+			return true
+		}
+	}
+	if len(e.members) < len(e.prov.cfg.Workers) {
+		for _, addr := range e.prov.roster.UsableWithCapacity() {
+			member := false
+			for _, m := range e.members {
+				if m == addr {
+					member = true
+					break
+				}
+			}
+			if !member {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // BindQuery announces the canonicalized request to every worker — each
@@ -329,9 +624,9 @@ func (e *remoteEngine) BindQuery(ctx context.Context, q Request, key string, tr 
 		e.Engine.SetTracer(tr)
 	}
 	e.inFlight = true
-	for _, cc := range e.conns {
-		if err := cc.Send("run", q); err != nil {
-			e.failed = fmt.Errorf("announcing query to worker %s: %w", cc.RemoteAddr(), err)
+	for _, l := range e.links {
+		if err := l.cc.Send("run", q); err != nil {
+			e.failed = fmt.Errorf("announcing query to worker %s: %w", l.addr, err)
 			return e.failed
 		}
 	}
@@ -348,19 +643,20 @@ func (e *remoteEngine) FinishQuery() error {
 	}
 	e.inFlight = false
 	deadline := time.Now().Add(e.finishTimeout)
-	for _, cc := range e.conns {
+	for _, l := range e.links {
 		//sgvet:ignore commerr deadline-arm failure means the conn is already dead; Expect below reports it
-		cc.SetDeadline(deadline)
+		l.cc.SetDeadline(deadline)
 		var d doneMsg
-		if err := cc.Expect("done", &d); err != nil {
-			e.failed = fmt.Errorf("worker %s lost mid-query: %w", cc.RemoteAddr(), err)
+		if err := l.cc.Expect("done", &d); err != nil {
+			e.failed = fmt.Errorf("worker %s lost mid-query: %w", l.addr, err)
+			e.prov.roster.ObserveFailure(l.addr)
 			continue
 		}
 		if d.Error != "" {
-			e.failed = fmt.Errorf("worker %s: %s", cc.RemoteAddr(), d.Error)
+			e.failed = fmt.Errorf("worker %s: %s", l.addr, d.Error)
 		}
 		//sgvet:ignore commerr clearing a deadline on a dead conn is harmless; the next query's traffic reports it
-		cc.SetDeadline(time.Time{})
+		l.cc.SetDeadline(time.Time{})
 	}
 	return e.failed
 }
@@ -375,12 +671,12 @@ func (e *remoteEngine) Reset() error {
 // worker free its engine promptly, then the control connections and the
 // data plane drop.
 func (e *remoteEngine) Close() error {
-	for _, cc := range e.conns {
+	for _, l := range e.links {
 		//sgvet:ignore commerr best-effort teardown: the close message is a courtesy, Close below drops the conn regardless
-		cc.SetDeadline(time.Now().Add(2 * time.Second))
+		l.cc.SetDeadline(time.Now().Add(2 * time.Second))
 		//sgvet:ignore commerr best-effort teardown: the close message is a courtesy, Close below drops the conn regardless
-		cc.Send("close", nil)
-		cc.Close()
+		l.cc.Send("close", nil)
+		l.cc.Close()
 	}
 	e.ep.Close()
 	return e.Engine.Close()

@@ -46,6 +46,15 @@ type Config struct {
 	// (default 127.0.0.1; set to this machine's reachable address when
 	// workers are remote).
 	AdvertiseHost string
+	// ProbeInterval / ProbeTimeout / ProbeDeadAfter / ProbeBackoffCap
+	// tune the fleet health prober (see RosterConfig for defaults).
+	ProbeInterval   time.Duration
+	ProbeTimeout    time.Duration
+	ProbeDeadAfter  int
+	ProbeBackoffCap time.Duration
+	// Logf receives fleet state transitions and degraded-serving
+	// notices when non-nil.
+	Logf func(format string, args ...any)
 	// Registry receives serving metrics when non-nil.
 	Registry *obs.Registry
 	// Tracer is the shared engine tracer (may be nil).
@@ -130,6 +139,12 @@ func New(cfg Config) (*Server, error) {
 			Options:       cfg.Engine,
 			Tracer:        cfg.Tracer,
 			AdvertiseHost: cfg.AdvertiseHost,
+			ProbeInterval: cfg.ProbeInterval,
+			ProbeTimeout:  cfg.ProbeTimeout,
+			DeadAfter:     cfg.ProbeDeadAfter,
+			BackoffCap:    cfg.ProbeBackoffCap,
+			Logf:          cfg.Logf,
+			Registry:      cfg.Registry,
 		}))
 		def = "remote"
 	}
@@ -384,12 +399,17 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 		return Response{}, http.StatusInternalServerError, err
 	}
 
+	degraded := false
+	if dg, ok := slot.eng.(interface{ Degraded() bool }); ok {
+		degraded = dg.Degraded()
+	}
 	run := slot.eng.Stats().Totals
 	resp := Response{
 		Graph:    q.Graph,
 		Algo:     q.Algo,
 		Mode:     q.Mode,
 		Provider: slot.provider,
+		Degraded: degraded,
 		Result:   result,
 		Engine: EngineStats{
 			EdgesTraversed:  run.EdgesTraversed,
@@ -405,10 +425,13 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 	}
 
 	// Cache the canonical answer without request-specific fields; the
-	// marshaled size feeds the byte budget.
+	// marshaled size feeds the byte budget. Degraded is a property of
+	// the serving moment, not the answer — a cache hit after the fleet
+	// recovers must not claim degradation.
 	cached := resp
 	cached.Trace = nil
 	cached.QueueWaitMs = 0
+	cached.Degraded = false
 	if !q.NoCache {
 		if b, err := json.Marshal(cached); err == nil {
 			s.cache.Put(key, cached, int64(len(b)))
@@ -472,6 +495,9 @@ type Status struct {
 	Pool      PoolCounters         `json:"pool"`
 	Admission AdmissionCounters    `json:"admission"`
 	Algos     map[string]AlgoStats `json:"algos"`
+	// Fleet reports worker health per provider that tracks a roster
+	// (the remote provider); absent for purely local serving.
+	Fleet map[string]FleetStatus `json:"fleet,omitempty"`
 }
 
 type GraphInfo struct {
@@ -568,6 +594,9 @@ func (s *Server) StatusSnapshot() Status {
 	}
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)
+	}
+	if fleets := s.pool.Fleets(); len(fleets) > 0 {
+		st.Fleet = fleets
 	}
 	for _, n := range s.pool.GraphNames() { // already sorted
 

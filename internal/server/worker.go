@@ -26,6 +26,10 @@ type WorkerConfig struct {
 	// (default 127.0.0.1; set to this machine's reachable address when
 	// the ring spans hosts).
 	DataHost string
+	// MaxSlots caps concurrently active engine slots; further builds
+	// are answered with build-reject so the front-end schedules
+	// elsewhere. 0 means unlimited.
+	MaxSlots int
 	// Logf receives one line per lifecycle event when non-nil.
 	Logf func(format string, args ...any)
 	// Registry receives worker.* metrics when non-nil.
@@ -33,11 +37,13 @@ type WorkerConfig struct {
 }
 
 // WorkerDaemon is the sgworker runtime: it accepts control connections
-// from a serving front-end, each negotiating one engine slot — graph
-// (shipped once per fingerprint and cached), data-plane endpoint,
-// distributed engine — and then answers run requests in lockstep with
-// node 0. One connection is one slot; the front-end's RemoteProvider
-// holds one per pooled remote engine.
+// from a serving front-end. A connection starts in a lightweight
+// request loop — health pings and graph preloads — and becomes one
+// engine slot when a build arrives: graph (shipped chunked once per
+// fingerprint and cached, with interrupted transfers resumed),
+// data-plane endpoint, distributed engine — then answers run requests
+// in lockstep with node 0. One connection is one slot; the front-end's
+// RemoteProvider holds one per pooled remote engine.
 type WorkerDaemon struct {
 	cfg WorkerConfig
 	ln  net.Listener
@@ -49,10 +55,15 @@ type WorkerDaemon struct {
 
 	graphMu sync.Mutex
 	graphs  map[string]*graph.Graph // fingerprint → deserialized graph
+	partial map[string][]byte       // fingerprint → acked prefix of an interrupted transfer
 
+	slotsActive atomic.Int64
 	slotsBuilt  atomic.Int64
+	buildsRej   atomic.Int64
 	runsStarted atomic.Int64
 	runsFailed  atomic.Int64
+	pings       atomic.Int64
+	preloads    atomic.Int64
 }
 
 // workerConn is one control connection and the slot state hanging off
@@ -93,15 +104,20 @@ func StartWorkerDaemon(cfg WorkerConfig) (*WorkerDaemon, error) {
 		return nil, fmt.Errorf("server: worker listen %s: %w", cfg.Addr, err)
 	}
 	d := &WorkerDaemon{
-		cfg:    cfg,
-		ln:     ln,
-		conns:  make(map[*workerConn]struct{}),
-		graphs: make(map[string]*graph.Graph),
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[*workerConn]struct{}),
+		graphs:  make(map[string]*graph.Graph),
+		partial: make(map[string][]byte),
 	}
 	if cfg.Registry != nil {
+		cfg.Registry.RegisterInt("worker.slots_active", d.slotsActive.Load)
 		cfg.Registry.RegisterInt("worker.slots_built", d.slotsBuilt.Load)
+		cfg.Registry.RegisterInt("worker.builds_rejected", d.buildsRej.Load)
 		cfg.Registry.RegisterInt("worker.runs_started", d.runsStarted.Load)
 		cfg.Registry.RegisterInt("worker.runs_failed", d.runsFailed.Load)
+		cfg.Registry.RegisterInt("worker.pings", d.pings.Load)
+		cfg.Registry.RegisterInt("worker.preloads", d.preloads.Load)
 		cfg.Registry.RegisterInt("worker.graphs_cached", func() int64 {
 			d.graphMu.Lock()
 			defer d.graphMu.Unlock()
@@ -122,6 +138,14 @@ func (d *WorkerDaemon) RunsStarted() int64 { return d.runsStarted.Load() }
 
 // SlotsBuilt counts engine slots successfully negotiated.
 func (d *WorkerDaemon) SlotsBuilt() int64 { return d.slotsBuilt.Load() }
+
+// GraphsCached counts distinct graph fingerprints held in memory; test
+// harnesses poll it to observe a preload landing.
+func (d *WorkerDaemon) GraphsCached() int {
+	d.graphMu.Lock()
+	defer d.graphMu.Unlock()
+	return len(d.graphs)
+}
 
 // Close stops accepting, severs every control connection and data
 // plane (aborting in-flight runs), and waits for slot goroutines.
@@ -159,7 +183,7 @@ func (d *WorkerDaemon) acceptLoop() {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.serveSlot(wc)
+			d.serveConn(wc)
 			d.mu.Lock()
 			delete(d.conns, wc)
 			d.mu.Unlock()
@@ -178,44 +202,177 @@ func (d *WorkerDaemon) graphFor(fp string) (*graph.Graph, bool) {
 func (d *WorkerDaemon) storeGraph(fp string, g *graph.Graph) {
 	d.graphMu.Lock()
 	d.graphs[fp] = g
+	delete(d.partial, fp)
 	d.graphMu.Unlock()
 }
 
-// serveSlot drives one slot's lifetime on one control connection:
-// build handshake, graph transfer when the fingerprint is new, mesh
-// formation, then the run/done loop until the front-end closes the
-// slot or either side fails.
-func (d *WorkerDaemon) serveSlot(wc *workerConn) {
+// takePartial claims the retained prefix of an interrupted transfer of
+// fp; the caller owns it until it either completes the transfer or
+// stashes the (possibly longer) prefix back.
+func (d *WorkerDaemon) takePartial(fp string) []byte {
+	d.graphMu.Lock()
+	defer d.graphMu.Unlock()
+	buf := d.partial[fp]
+	delete(d.partial, fp)
+	return buf
+}
+
+func (d *WorkerDaemon) stashPartial(fp string, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	d.graphMu.Lock()
+	d.partial[fp] = buf
+	d.graphMu.Unlock()
+}
+
+// pong snapshots the capacity advertisement probes fold into
+// scheduling.
+func (d *WorkerDaemon) pong() pongMsg {
+	return pongMsg{
+		SlotsActive:  int(d.slotsActive.Load()),
+		MaxSlots:     d.cfg.MaxSlots,
+		GraphsCached: d.GraphsCached(),
+	}
+}
+
+// tryAcquireSlot claims one slot of capacity; false when the worker is
+// at MaxSlots.
+func (d *WorkerDaemon) tryAcquireSlot() bool {
+	for {
+		cur := d.slotsActive.Load()
+		if d.cfg.MaxSlots > 0 && cur >= int64(d.cfg.MaxSlots) {
+			return false
+		}
+		if d.slotsActive.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// recvGraphChunked receives one chunked graph transfer announced by a
+// graph message, resuming from (and on failure re-stashing) the
+// retained prefix for fp, and verifies the fingerprint before caching.
+func (d *WorkerDaemon) recvGraphChunked(cc *comm.CtrlConn, fp string, buf []byte) (*graph.Graph, error) {
+	var gm graphMsg
+	if err := cc.Expect("graph", &gm); err != nil {
+		d.stashPartial(fp, buf)
+		return nil, err
+	}
+	if gm.Size <= 0 || len(buf) > gm.Size {
+		buf = nil
+	}
+	blob, err := cc.RecvBlobChunked(buf, gm.Size)
+	if err != nil {
+		// Keep the acknowledged prefix: the next transfer of this
+		// fingerprint resumes here instead of starting over.
+		d.stashPartial(fp, blob)
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != fp {
+		return nil, fmt.Errorf("graph blob fingerprint mismatch from %s", cc.RemoteAddr())
+	}
+	g, err := graph.ReadBinary(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("bad graph blob: %w", err)
+	}
+	d.storeGraph(fp, g)
+	return g, nil
+}
+
+// serveConn drives one control connection: health pings and graph
+// preloads until a build arrives, then the slot's whole lifetime.
+func (d *WorkerDaemon) serveConn(wc *workerConn) {
 	cc := wc.cc
 	defer cc.Close()
 
-	var bm buildMsg
-	if err := cc.Expect("build", &bm); err != nil {
-		return
+	for {
+		env, err := cc.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case "ping":
+			d.pings.Add(1)
+			if err := cc.Send("pong", d.pong()); err != nil {
+				return
+			}
+		case "preload":
+			var pm preloadMsg
+			if err := json.Unmarshal(env.Body, &pm); err != nil {
+				return
+			}
+			if err := d.handlePreload(cc, pm); err != nil {
+				d.cfg.Logf("sgworker: preload failed: %v", err)
+				return
+			}
+		case "build":
+			var bm buildMsg
+			if err := json.Unmarshal(env.Body, &bm); err != nil {
+				return
+			}
+			if !d.tryAcquireSlot() {
+				d.buildsRej.Add(1)
+				if err := cc.Send("build-reject", rejectMsg{
+					Reason: fmt.Sprintf("at capacity (%d/%d slots active)", d.slotsActive.Load(), d.cfg.MaxSlots),
+				}); err != nil {
+					return
+				}
+				continue
+			}
+			d.serveSlot(wc, bm)
+			d.slotsActive.Add(-1)
+			return
+		case "close":
+			return
+		default:
+			d.cfg.Logf("sgworker: unexpected control message %q", env.Type)
+			return
+		}
 	}
+}
+
+// handlePreload warms one graph fingerprint ahead of slot builds: a
+// rejoining worker receives every graph the front-end serves, chunked,
+// resuming interrupted transfers.
+func (d *WorkerDaemon) handlePreload(cc *comm.CtrlConn, pm preloadMsg) error {
+	d.preloads.Add(1)
+	_, have := d.graphFor(pm.FP)
+	buf := d.takePartial(pm.FP)
+	if err := cc.Send("graph-state", graphStateMsg{Have: have, Offset: len(buf)}); err != nil {
+		d.stashPartial(pm.FP, buf)
+		return err
+	}
+	if !have {
+		g, err := d.recvGraphChunked(cc, pm.FP, buf)
+		if err != nil {
+			return err
+		}
+		d.cfg.Logf("sgworker: preloaded graph fp %.12s (%d vertices)", pm.FP, g.NumVertices())
+	}
+	return cc.Send("preloaded", upMsg{})
+}
+
+// serveSlot drives one slot's lifetime after its build was accepted:
+// graph transfer when the fingerprint is new, mesh formation, then the
+// run/done loop until the front-end closes the slot or either side
+// fails.
+func (d *WorkerDaemon) serveSlot(wc *workerConn, bm buildMsg) {
+	cc := wc.cc
 	g, have := d.graphFor(bm.FP)
-	if err := cc.Send("graph-state", graphStateMsg{Have: have}); err != nil {
+	buf := d.takePartial(bm.FP)
+	if err := cc.Send("graph-state", graphStateMsg{Have: have, Offset: len(buf)}); err != nil {
+		d.stashPartial(bm.FP, buf)
 		return
 	}
 	if !have {
-		if err := cc.Expect("graph", nil); err != nil {
-			return
-		}
-		blob, err := cc.RecvBlob()
+		var err error
+		g, err = d.recvGraphChunked(cc, bm.FP, buf)
 		if err != nil {
+			d.cfg.Logf("sgworker: graph transfer failed: %v", err)
 			return
 		}
-		sum := sha256.Sum256(blob)
-		if hex.EncodeToString(sum[:]) != bm.FP {
-			d.cfg.Logf("sgworker: graph blob fingerprint mismatch from %s", cc.RemoteAddr())
-			return
-		}
-		g, err = graph.ReadBinary(bytes.NewReader(blob))
-		if err != nil {
-			d.cfg.Logf("sgworker: bad graph blob: %v", err)
-			return
-		}
-		d.storeGraph(bm.FP, g)
 		d.cfg.Logf("sgworker: cached graph %s/%s (%d vertices, fp %.12s)",
 			bm.Graph, bm.Variant, g.NumVertices(), bm.FP)
 	}

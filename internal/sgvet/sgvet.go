@@ -1,6 +1,6 @@
 // Package sgvet is SympleGraph's project-invariant lint suite: a small
 // go/analysis-style framework (stdlib-only — the build environment pins
-// dependencies, so golang.org/x/tools is unavailable) plus the five
+// dependencies, so golang.org/x/tools is unavailable) plus the six
 // analyzers that machine-check invariants the engine's correctness
 // leans on:
 //
@@ -21,6 +21,9 @@
 //   - bufown — a Message.Payload read after Release(), or a buffer
 //     touched after SendBufs handed its ownership to the transport,
 //     races with the slab recycling it for the next superstep.
+//   - fleetstate — fleet health compared via WorkerState.String() or
+//     raw state-name strings instead of the typed enum; a renamed or
+//     added state then fails silently at the branch, not the build.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -87,7 +90,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn}
+	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn, FleetState}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

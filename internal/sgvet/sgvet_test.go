@@ -488,3 +488,71 @@ func okIndexedHandoff(chunks [][][]byte) (int, error) {
 `
 	checkFixture(t, src, "", BufOwn)
 }
+
+func TestFleetStateFixture(t *testing.T) {
+	src := `package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+)
+
+func compareViaString(s server.WorkerState) bool {
+	return s.String() == "dead" // want:fleetstate
+}
+
+func compareViaStringFlipped(s server.WorkerState) bool {
+	return "healthy" != s.String() // want:fleetstate
+}
+
+func switchOnString(s server.WorkerState) int {
+	switch s.String() { // want:fleetstate
+	case "healthy":
+		return 0
+	default:
+		return 1
+	}
+}
+
+func rawStateField(w server.FleetWorker, state string) bool {
+	return state == "rejoining" // want:fleetstate
+}
+
+func rawStatusVar(healthStatus string) bool {
+	return "suspect" == healthStatus // want:fleetstate
+}
+
+func okTypedCompare(s server.WorkerState) bool {
+	return s == server.StateDead || s != server.StateHealthy
+}
+
+func okTypedSwitch(s server.WorkerState) int {
+	switch s {
+	case server.StateHealthy:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func okRenderForLogs(s server.WorkerState) string {
+	return fmt.Sprintf("worker is %s", s.String())
+}
+
+func okUnrelatedLiteral(graphName string) bool {
+	// "dead" as data, not as a health state: no state-ish identifier.
+	return graphName == "dead"
+}
+
+func okLiteralVsLiteral() bool {
+	return "dead" == "healthy"
+}
+
+func okIgnored(state string) bool {
+	//sgvet:ignore fleetstate parsing the wire form, enum not available here
+	return state == "dead"
+}
+`
+	checkFixture(t, src, "", FleetState)
+}

@@ -63,21 +63,28 @@ func TestServeDistSmoke(t *testing.T) {
 	}
 	tools := buildTools(t, "sgserve", "sgworker")
 
-	// Two worker daemons on ephemeral control ports.
+	// Two worker daemons on ephemeral control ports. Handles are kept so
+	// the restart phase below can kill and relaunch one.
 	var roster []string
+	var workerCmds []*exec.Cmd
 	for i := 0; i < 2; i++ {
-		_, line, errText, _ := startDaemon(t, tools["sgworker"], "-addr", "127.0.0.1:0")
+		wcmd, line, errText, _ := startDaemon(t, tools["sgworker"], "-addr", "127.0.0.1:0")
 		const prefix = "sgworker: control on "
 		if !strings.HasPrefix(line, prefix) {
 			t.Fatalf("sgworker startup line %q (stderr: %s)", line, <-errText)
 		}
 		roster = append(roster, strings.TrimPrefix(line, prefix))
+		workerCmds = append(workerCmds, wcmd)
 	}
 
-	// The front-end is node 0 of a 3-process ring.
+	// The front-end is node 0 of a 3-process ring. Probe knobs are
+	// tightened so the restart phase sees state transitions in hundreds
+	// of milliseconds rather than seconds.
 	cmd, line, errText, wait := startDaemon(t, tools["sgserve"],
 		"-graph", "g=rmat:10,8,1", "-addr", "127.0.0.1:0",
-		"-workers", strings.Join(roster, ","))
+		"-workers", strings.Join(roster, ","),
+		"-probe-interval", "100ms", "-probe-timeout", "500ms",
+		"-probe-dead-after", "2", "-probe-backoff-cap", "300ms")
 	idx := strings.Index(line, "http://")
 	if idx < 0 {
 		t.Fatalf("sgserve startup line %q has no URL (stderr: %s)", line, <-errText)
@@ -127,6 +134,96 @@ func TestServeDistSmoke(t *testing.T) {
 	_, def := query("graph=g&algo=bfs&no_cache=1")
 	if string(def["provider"]) != `"remote"` {
 		t.Fatalf("default provider %s, want remote", def["provider"])
+	}
+
+	// Restart phase: kill one sgworker process and watch the fleet
+	// section of /statusz track it through dead and, after a relaunch on
+	// the same port, back to healthy — all without restarting sgserve.
+	victim := roster[1]
+	workerState := func() (string, int) {
+		t.Helper()
+		resp, err := http.Get(base + "/statusz")
+		if err != nil {
+			t.Fatalf("GET /statusz: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		var st struct {
+			Fleet map[string]struct {
+				Healthy int `json:"healthy"`
+				Workers []struct {
+					Addr  string `json:"addr"`
+					State string `json:"state"`
+				} `json:"workers"`
+			} `json:"fleet"`
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("statusz: %v in %s", err, b)
+		}
+		fs, ok := st.Fleet["remote"]
+		if !ok {
+			t.Fatalf("statusz has no remote fleet section: %s", b)
+		}
+		for _, w := range fs.Workers {
+			if w.Addr == victim {
+				return w.State, fs.Healthy
+			}
+		}
+		t.Fatalf("victim %s missing from fleet: %s", victim, b)
+		return "", 0
+	}
+	waitState := func(want string, healthy int) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			state, h := workerState()
+			if state == want && h == healthy {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("victim never reached %s/healthy=%d (at %s/%d)", want, healthy, state, h)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	workerCmds[1].Process.Kill()
+	workerCmds[1].Wait()
+	waitState("dead", 1)
+
+	// Down a worker, queries still answer — flagged degraded, same bits.
+	q := "graph=g&algo=bfs&mode=symplegraph&no_cache=1"
+	_, local := query(q + "&provider=local")
+	_, deg := query(q + "&provider=remote")
+	if string(deg["degraded"]) != "true" {
+		t.Fatalf("survivor-roster response not degraded: %v", deg)
+	}
+	if string(deg["result"]) != string(local["result"]) {
+		t.Fatalf("degraded result %s != local %s", deg["result"], local["result"])
+	}
+
+	// Relaunch on the same control port; the roster re-admits it.
+	_, wline, werr, _ := startDaemon(t, tools["sgworker"], "-addr", victim)
+	if !strings.Contains(wline, victim) {
+		t.Fatalf("restarted sgworker line %q (stderr: %s)", wline, <-werr)
+	}
+	waitState("healthy", 2)
+
+	// Full width again: queries succeed and eventually drop the degraded
+	// flag, still bit-identical with the local provider.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, after := query(q + "&provider=remote")
+		if string(after["result"]) != string(local["result"]) {
+			t.Fatalf("post-rejoin result %s != local %s", after["result"], local["result"])
+		}
+		if string(after["degraded"]) != "true" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never regained full width after worker rejoin")
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 
 	// SIGTERM drains the front-end cleanly.
