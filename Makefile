@@ -3,9 +3,9 @@
 # layer, run the seeded chaos soak, the sgserve process smoke test, then
 # the full suite (which includes the CLI trace smoke test and the
 # sustained serving load test).
-.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos fleet-chaos bench-baseline bench-check
+.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos fleet-chaos mutate-chaos bench-baseline bench-check
 
-verify: build lint race chaos fleet-chaos serve-smoke serve-dist-smoke test
+verify: build lint race chaos fleet-chaos mutate-chaos serve-smoke serve-dist-smoke test
 
 build:
 	go build ./...
@@ -34,7 +34,7 @@ bench-check:
 	go run ./cmd/sgbench -bench-check
 
 race:
-	go test -race -count=1 ./internal/comm/... ./internal/core/... ./internal/server/...
+	go test -race -count=1 ./internal/comm/... ./internal/core/... ./internal/mutate/... ./internal/server/...
 
 test:
 	go test ./...
@@ -51,6 +51,14 @@ chaos:
 # without an sgserve restart, and degraded answers stay bit-identical.
 fleet-chaos:
 	go test -race -count=1 -run 'TestFleet' ./internal/server
+
+# Dynamic-graph chaos gate: kill a worker while mutation batches
+# commit, assert every epoch a worker serves is exactly the front-end's
+# version (remote answers bit-identical to local at every queried
+# epoch), new epochs reach survivors as verified deltas, and the
+# rejoined worker returns the ring to full width on the newest epoch.
+mutate-chaos:
+	go test -race -count=1 -run 'TestMutateChaos|TestQueryPinnedEpochSurvivesCommit' ./internal/server
 
 # The -trace acceptance path on its own, for quick iteration.
 smoke:

@@ -56,6 +56,8 @@ func main() {
 		loadFor    = flag.Duration("load-duration", 5*time.Second, "how long -load sustains traffic")
 		loadQPS    = flag.Int("load-clients", 8, "concurrent closed-loop clients for -load")
 		loadSpread = flag.Int("load-spread", 4, "distinct parameter values per algorithm for -load (small = cache-heavy)")
+		mutateMix  = flag.Int("mutate-mix", 0, "interleave this many seeded mutation batches with -load traffic (reports epoch lag and incremental-vs-scratch speedup)")
+		mutateOps  = flag.Int("mutate-ops", 32, "ops per -mutate-mix batch")
 	)
 	flag.Parse()
 
@@ -68,12 +70,14 @@ func main() {
 
 	if *loadURL != "" {
 		res, err := bench.RunLoad(bench.LoadConfig{
-			BaseURL:  strings.TrimSuffix(*loadURL, "/"),
-			Graphs:   strings.Split(*loadGraphs, ","),
-			Clients:  *loadQPS,
-			Duration: *loadFor,
-			Seed:     *seed,
-			Spread:   *loadSpread,
+			BaseURL:   strings.TrimSuffix(*loadURL, "/"),
+			Graphs:    strings.Split(*loadGraphs, ","),
+			Clients:   *loadQPS,
+			Duration:  *loadFor,
+			Seed:      *seed,
+			Spread:    *loadSpread,
+			MutateMix: *mutateMix,
+			MutateOps: *mutateOps,
 		})
 		if err != nil {
 			cliutil.Fatalf("sgbench", "load: %v", err)

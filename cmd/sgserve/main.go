@@ -108,6 +108,7 @@ func main() {
 		maxQueue      = flag.Int("max-queue", 0, "queries waiting for a slot before shedding with 429 (0 = 4×max-inflight)")
 		cacheEntries  = flag.Int("cache-entries", 256, "result cache capacity in entries (-1 disables)")
 		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "result cache capacity in marshaled bytes")
+		retention     = flag.Int("retention", 0, "graph epochs kept resolvable for ?epoch= pinned queries (0 = default)")
 		drainWait     = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for in-flight queries")
 	)
 	flag.Parse()
@@ -146,6 +147,7 @@ func main() {
 		MaxQueue:        *maxQueue,
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
+		Retention:       *retention,
 		CheckpointRoot:  resilience.CheckpointDir,
 		Workers:         roster,
 		AdvertiseHost:   *advertiseHost,

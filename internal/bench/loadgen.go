@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,15 @@ type LoadConfig struct {
 	Spread int
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// MutateMix interleaves this many deterministic (Seed-derived)
+	// mutation batches with the query load, spread evenly across
+	// Duration (0 = read-only). Each batch asks the server to verify
+	// the incremental recompute against scratch, and the run reports
+	// epoch lag (how far behind latest the answered queries ran) and
+	// the incremental-vs-scratch speedup.
+	MutateMix int
+	// MutateOps is the ops per mutation batch (default 32).
+	MutateOps int
 }
 
 // LoadResult tallies a load run.
@@ -46,6 +56,33 @@ type LoadResult struct {
 	TransportErrors int64
 	CacheHits       int64
 	Latency         obs.HistSnapshot
+
+	// Mutation-mix tallies (zero unless MutateMix was set).
+	Mutations      int64
+	MutationErrors int64
+	// EpochLagMean/Max measure, over successful queries, how many
+	// epochs behind the newest committed version the answer's pinned
+	// epoch was — the staleness cost of letting in-flight queries
+	// finish on the version they were admitted at.
+	EpochLagMean float64
+	EpochLagMax  int64
+	// IncMsTotal/ScratchMsTotal sum the server-reported incremental and
+	// from-scratch recompute times across verified batches.
+	IncMsTotal     float64
+	ScratchMsTotal float64
+	CachePromoted  int64
+	CacheDropped   int64
+	// FinalEpochs is each mutated graph's last committed epoch.
+	FinalEpochs map[string]uint64
+}
+
+// IncSpeedup is the scratch/incremental recompute time ratio (0 when
+// either side was not measured).
+func (r *LoadResult) IncSpeedup() float64 {
+	if r.IncMsTotal <= 0 || r.ScratchMsTotal <= 0 {
+		return 0
+	}
+	return r.ScratchMsTotal / r.IncMsTotal
 }
 
 // OK returns the number of 200 responses.
@@ -81,13 +118,17 @@ func (c LoadConfig) defaults() LoadConfig {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.MutateOps <= 0 {
+		c.MutateOps = 32
+	}
 	return c
 }
 
 // queryURL builds the i-th query of client id: a deterministic pick of
 // graph, algorithm and parameters, so two runs with the same seed issue
-// the identical mix.
-func (c LoadConfig) queryURL(id, i int) string {
+// the identical mix. The chosen graph is returned alongside, so the
+// caller can attribute the response's epoch to a version chain.
+func (c LoadConfig) queryURL(id, i int) (string, string) {
 	draw := func(salt uint64, n int) int {
 		return xrand.Intn(n, c.Seed, salt, uint64(id), uint64(i))
 	}
@@ -102,7 +143,86 @@ func (c LoadConfig) queryURL(id, i int) string {
 	case "pagerank":
 		u += "&iters=" + strconv.Itoa(5+5*draw(0xe5, c.Spread))
 	}
-	return u
+	return u, g
+}
+
+// mutationBatch builds the i-th deterministic mutation batch for graph
+// g: a seeded blend of edge additions and removals over the vertex
+// range, so two runs with the same seed commit identical histories.
+func (c LoadConfig) mutationBatch(g string, vertices, i int) []map[string]any {
+	if vertices < 2 {
+		vertices = 2
+	}
+	ops := make([]map[string]any, 0, c.MutateOps)
+	for j := 0; j < c.MutateOps; j++ {
+		draw := func(salt uint64, n int) int {
+			return xrand.Intn(n, c.Seed, salt, uint64(i), uint64(j))
+		}
+		op := "add_edge"
+		if draw(0xf7, 3) == 0 { // 1/3 removals
+			op = "remove_edge"
+		}
+		ops = append(ops, map[string]any{
+			"op":  op,
+			"src": draw(0x11a, vertices),
+			"dst": draw(0x22b, vertices),
+		})
+	}
+	return ops
+}
+
+// graphSizes asks /statusz for the vertex count of each served graph,
+// so mutation endpoints stay in range.
+func graphSizes(client *http.Client, baseURL string) (map[string]int, error) {
+	resp, err := client.Get(baseURL + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Graphs map[string]struct {
+			Vertices int `json:"vertices"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	sizes := make(map[string]int, len(doc.Graphs))
+	for name, g := range doc.Graphs {
+		sizes[name] = g.Vertices
+	}
+	return sizes, nil
+}
+
+// epochBoard tracks the newest committed epoch per graph, shared
+// between the mutator (writes) and query clients (lag reads).
+type epochBoard struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func (b *epochBoard) bump(g string, e uint64) {
+	b.mu.Lock()
+	if e > b.m[g] {
+		b.m[g] = e
+	}
+	b.mu.Unlock()
+}
+
+func (b *epochBoard) get(g string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m[g]
+}
+
+func (b *epochBoard) snapshot() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]uint64, len(b.m))
+	for g, e := range b.m {
+		out[g] = e
+	}
+	return out
 }
 
 // RunLoad sustains the configured load and tallies outcomes. A non-2xx
@@ -126,14 +246,76 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		hits    atomic.Int64
 		latency obs.Histogram
 		wg      sync.WaitGroup
+
+		board    = &epochBoard{m: make(map[string]uint64)}
+		muts     atomic.Int64
+		mutErrs  atomic.Int64
+		lagSum   atomic.Int64
+		lagCount atomic.Int64
+		lagMax   atomic.Int64
+		incMs    atomic.Int64 // microseconds, for atomic accumulation
+		scrMs    atomic.Int64
+		promoted atomic.Int64
+		dropped  atomic.Int64
 	)
+
+	if cfg.MutateMix > 0 {
+		sizes, err := graphSizes(client, cfg.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("bench: mutate-mix needs /statusz graph sizes: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			interval := cfg.Duration / time.Duration(cfg.MutateMix+1)
+			for i := 0; i < cfg.MutateMix && time.Now().Before(deadline); i++ {
+				time.Sleep(interval)
+				g := cfg.Graphs[xrand.Intn(len(cfg.Graphs), cfg.Seed, 0x3c9, uint64(i))]
+				body, _ := json.Marshal(map[string]any{
+					"graph":     g,
+					"mutations": cfg.mutationBatch(g, sizes[g], i),
+					"verify":    true,
+				})
+				resp, err := client.Post(cfg.BaseURL+"/mutate", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					mutErrs.Add(1)
+					continue
+				}
+				rbody, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					mutErrs.Add(1)
+					continue
+				}
+				var doc struct {
+					Epoch         uint64  `json:"epoch"`
+					IncMs         float64 `json:"inc_ms"`
+					ScratchMs     float64 `json:"scratch_ms"`
+					CachePromoted int64   `json:"cache_promoted"`
+					CacheDropped  int64   `json:"cache_dropped"`
+				}
+				if json.Unmarshal(rbody, &doc) != nil {
+					mutErrs.Add(1)
+					continue
+				}
+				muts.Add(1)
+				board.bump(g, doc.Epoch)
+				incMs.Add(int64(doc.IncMs * 1000))
+				scrMs.Add(int64(doc.ScratchMs * 1000))
+				promoted.Add(doc.CachePromoted)
+				dropped.Add(doc.CacheDropped)
+			}
+		}()
+	}
+
 	for id := 0; id < cfg.Clients; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
 				start := time.Now()
-				resp, err := client.Get(cfg.queryURL(id, i))
+				u, g := cfg.queryURL(id, i)
+				resp, err := client.Get(u)
 				if err != nil {
 					terrs.Add(1)
 					continue
@@ -151,23 +333,52 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				mu.Unlock()
 				if resp.StatusCode == http.StatusOK {
 					var doc struct {
-						Cached bool `json:"cached"`
+						Cached bool   `json:"cached"`
+						Epoch  uint64 `json:"epoch"`
 					}
-					if json.Unmarshal(body, &doc) == nil && doc.Cached {
-						hits.Add(1)
+					if json.Unmarshal(body, &doc) == nil {
+						if doc.Cached {
+							hits.Add(1)
+						}
+						if latest := board.get(g); latest > doc.Epoch && doc.Epoch > 0 {
+							lag := int64(latest - doc.Epoch)
+							lagSum.Add(lag)
+							for {
+								cur := lagMax.Load()
+								if lag <= cur || lagMax.CompareAndSwap(cur, lag) {
+									break
+								}
+							}
+						}
+						if doc.Epoch > 0 {
+							lagCount.Add(1)
+						}
 					}
 				}
 			}
 		}(id)
 	}
 	wg.Wait()
-	return &LoadResult{
+
+	res := &LoadResult{
 		Requests:        reqs.Load(),
 		Status:          status,
 		TransportErrors: terrs.Load(),
 		CacheHits:       hits.Load(),
 		Latency:         latency.Snapshot(),
-	}, nil
+		Mutations:       muts.Load(),
+		MutationErrors:  mutErrs.Load(),
+		EpochLagMax:     lagMax.Load(),
+		IncMsTotal:      float64(incMs.Load()) / 1000,
+		ScratchMsTotal:  float64(scrMs.Load()) / 1000,
+		CachePromoted:   promoted.Load(),
+		CacheDropped:    dropped.Load(),
+		FinalEpochs:     board.snapshot(),
+	}
+	if n := lagCount.Load(); n > 0 {
+		res.EpochLagMean = float64(lagSum.Load()) / float64(n)
+	}
+	return res, nil
 }
 
 // Print writes a one-screen load report.
@@ -179,4 +390,15 @@ func (r *LoadResult) Print(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  latency: p50=%v p95=%v p99=%v max=%v\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	if r.Mutations > 0 || r.MutationErrors > 0 {
+		fmt.Fprintf(w, "mutate-mix: batches=%d errors=%d epoch-lag mean=%.3f max=%d cache promoted=%d dropped=%d\n",
+			r.Mutations, r.MutationErrors, r.EpochLagMean, r.EpochLagMax, r.CachePromoted, r.CacheDropped)
+		if sp := r.IncSpeedup(); sp > 0 {
+			fmt.Fprintf(w, "  incremental recompute: %.1fms vs %.1fms scratch (%.1fx speedup)\n",
+				r.IncMsTotal, r.ScratchMsTotal, sp)
+		}
+		for g, e := range r.FinalEpochs {
+			fmt.Fprintf(w, "  final epoch: %s@%d\n", g, e)
+		}
+	}
 }

@@ -1,0 +1,131 @@
+package mutate
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// edgeKey packs a directed edge into one map key.
+func edgeKey(src, dst graph.VertexID) uint64 {
+	return uint64(src)<<32 | uint64(dst)
+}
+
+// Apply executes the batch against g and builds the successor graph.
+// g is untouched (snapshots are immutable); the result preserves g's
+// weightedness. Ops execute in order over a live edge set, so
+// "remove-vertex 3; add-edge 3→5" leaves 3→5 present while the
+// reverse order removes it.
+func Apply(g *graph.Graph, b Batch) (*graph.Graph, error) {
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
+	edges := make(map[uint64]float32, g.NumEdges())
+	for _, e := range g.Edges() {
+		edges[edgeKey(e.Src, e.Dst)] = e.Weight
+	}
+	n := g.NumVertices()
+	for _, m := range b.Ops {
+		switch m.Op {
+		case OpAddEdge:
+			w := m.Weight
+			if !g.Weighted() {
+				w = 1
+			}
+			edges[edgeKey(m.Src, m.Dst)] = w
+		case OpRemoveEdge:
+			delete(edges, edgeKey(m.Src, m.Dst))
+		case OpAddVertex:
+			n++
+		case OpRemoveVertex:
+			for k := range edges {
+				if graph.VertexID(k>>32) == m.Src || graph.VertexID(k&0xffffffff) == m.Src {
+					delete(edges, k)
+				}
+			}
+		}
+	}
+	out := make([]graph.Edge, 0, len(edges))
+	for k, w := range edges {
+		out = append(out, graph.Edge{
+			Src:    graph.VertexID(k >> 32),
+			Dst:    graph.VertexID(k & 0xffffffff),
+			Weight: w,
+		})
+	}
+	// FromEdges sorts by (src, dst), so map iteration order cannot leak
+	// into the CSR layout.
+	ng, err := graph.FromEdges(n, out, graph.BuildOptions{Weighted: g.Weighted()})
+	if err != nil {
+		return nil, fmt.Errorf("mutate: rebuild after batch: %w", err)
+	}
+	return ng, nil
+}
+
+// Diff computes a canonical batch transforming old into new:
+// AddVertex ops for the vertex-count growth, then removals, then
+// additions/weight updates, each in sorted (src, dst) order. It is the
+// inverse of Apply in the sense the fuzz target asserts:
+// Apply(old, Diff(old, new)) is edge- and vertex-identical to new.
+func Diff(oldG, newG *graph.Graph) (Batch, error) {
+	if newG.NumVertices() < oldG.NumVertices() {
+		return Batch{}, fmt.Errorf("mutate: diff target has fewer vertices (%d < %d); vertex slots are never reclaimed",
+			newG.NumVertices(), oldG.NumVertices())
+	}
+	if oldG.Weighted() != newG.Weighted() {
+		return Batch{}, fmt.Errorf("mutate: diff across weightedness (old=%v new=%v)", oldG.Weighted(), newG.Weighted())
+	}
+	var b Batch
+	for i := oldG.NumVertices(); i < newG.NumVertices(); i++ {
+		b.Ops = append(b.Ops, Mutation{Op: OpAddVertex})
+	}
+	// Both edge lists are sorted by (src, dst): one merge pass.
+	oldE, newE := oldG.Edges(), newG.Edges()
+	weighted := newG.Weighted()
+	var adds []Mutation
+	i, j := 0, 0
+	for i < len(oldE) || j < len(newE) {
+		switch {
+		case j == len(newE) || (i < len(oldE) && less(oldE[i], newE[j])):
+			b.Ops = append(b.Ops, Mutation{Op: OpRemoveEdge, Src: oldE[i].Src, Dst: oldE[i].Dst})
+			i++
+		case i == len(oldE) || less(newE[j], oldE[i]):
+			adds = append(adds, Mutation{Op: OpAddEdge, Src: newE[j].Src, Dst: newE[j].Dst, Weight: newE[j].Weight})
+			j++
+		default: // same (src, dst)
+			if weighted && oldE[i].Weight != newE[j].Weight {
+				adds = append(adds, Mutation{Op: OpAddEdge, Src: newE[j].Src, Dst: newE[j].Dst, Weight: newE[j].Weight})
+			}
+			i++
+			j++
+		}
+	}
+	b.Ops = append(b.Ops, adds...)
+	return b, nil
+}
+
+func less(a, b graph.Edge) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// Equal reports structural equality: same vertex count, same sorted
+// edge list, and (when both weighted) same weights. Used by the
+// apply∘diff fuzz target and the torn-snapshot chaos assertions.
+func Equal(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() || a.Weighted() != b.Weighted() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i].Src != be[i].Src || ae[i].Dst != be[i].Dst {
+			return false
+		}
+		if a.Weighted() && ae[i].Weight != be[i].Weight {
+			return false
+		}
+	}
+	return true
+}

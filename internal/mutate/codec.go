@@ -1,0 +1,75 @@
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Wire format for a batch ("SGM1"): the canonical encoding is what the
+// chained fingerprint hashes and what delta frames ship to workers, so
+// it must be deterministic — same ops in, same bytes out, no maps, no
+// padding.
+//
+//	magic   [4]byte "SGM1"
+//	count   uint32  (little-endian, ≤ MaxBatchOps)
+//	op * count:
+//	  kind   uint8
+//	  src    uint32
+//	  dst    uint32
+//	  weight float32 bits (uint32)
+var batchMagic = [4]byte{'S', 'G', 'M', '1'}
+
+const opRecordBytes = 1 + 4 + 4 + 4
+
+// Encode renders the batch into its canonical byte form.
+func (b Batch) Encode() []byte {
+	out := make([]byte, 0, 8+len(b.Ops)*opRecordBytes)
+	out = append(out, batchMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Ops)))
+	for _, m := range b.Ops {
+		out = append(out, byte(m.Op))
+		out = binary.LittleEndian.AppendUint32(out, uint32(m.Src))
+		out = binary.LittleEndian.AppendUint32(out, uint32(m.Dst))
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(m.Weight))
+	}
+	return out
+}
+
+// DecodeBatch parses a canonical batch encoding. It rejects trailing
+// garbage, unknown op kinds, and counts past MaxBatchOps, so a decoded
+// batch re-encodes to the identical bytes (round-trip property; the
+// fuzz target leans on this).
+func DecodeBatch(data []byte) (Batch, error) {
+	if len(data) < 8 {
+		return Batch{}, fmt.Errorf("mutate: batch too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != batchMagic {
+		return Batch{}, fmt.Errorf("mutate: bad batch magic %q", data[:4])
+	}
+	count := binary.LittleEndian.Uint32(data[4:8])
+	if count > MaxBatchOps {
+		return Batch{}, fmt.Errorf("mutate: batch count %d exceeds limit %d", count, MaxBatchOps)
+	}
+	want := 8 + int(count)*opRecordBytes
+	if len(data) != want {
+		return Batch{}, fmt.Errorf("mutate: batch length %d, want %d for %d ops", len(data), want, count)
+	}
+	ops := make([]Mutation, count)
+	for i := range ops {
+		rec := data[8+i*opRecordBytes:]
+		op := Op(rec[0])
+		if _, ok := opNames[op]; !ok {
+			return Batch{}, fmt.Errorf("mutate: op %d: unknown kind %d", i, rec[0])
+		}
+		ops[i] = Mutation{
+			Op:     op,
+			Src:    graph.VertexID(binary.LittleEndian.Uint32(rec[1:5])),
+			Dst:    graph.VertexID(binary.LittleEndian.Uint32(rec[5:9])),
+			Weight: math.Float32frombits(binary.LittleEndian.Uint32(rec[9:13])),
+		}
+	}
+	return Batch{Ops: ops}, nil
+}

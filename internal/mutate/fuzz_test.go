@@ -1,0 +1,100 @@
+package mutate
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzBatchCodec: any byte string the decoder accepts must re-encode
+// to the identical bytes (the canonical encoding is what the chained
+// fingerprint hashes, so two spellings of one batch would fork the
+// version chain).
+func FuzzBatchCodec(f *testing.F) {
+	f.Add(Batch{Ops: []Mutation{{Op: OpAddEdge, Src: 1, Dst: 2, Weight: 0.5}}}.Encode())
+	f.Add(Batch{Ops: []Mutation{
+		{Op: OpRemoveEdge, Src: 7, Dst: 7},
+		{Op: OpAddVertex},
+		{Op: OpRemoveVertex, Src: 0},
+	}}.Encode())
+	f.Add([]byte("SGM1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		enc := b.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", data, enc)
+		}
+		b2, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if len(b2.Ops) != len(b.Ops) {
+			t.Fatalf("op count changed across round-trip")
+		}
+	})
+}
+
+// FuzzDiffApply drives two graphs from fuzz bytes and asserts the
+// delta property the shipping path relies on:
+// Apply(old, Diff(old, new)) == new.
+func FuzzDiffApply(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5}, false)
+	f.Add([]byte{0xff, 0x00, 0x10}, []byte{}, true)
+	f.Add([]byte{}, []byte{1, 1, 1, 1, 1, 1}, false)
+	f.Fuzz(func(t *testing.T, oldBytes, newBytes []byte, weighted bool) {
+		build := func(data []byte, n int) *graph.Graph {
+			edges := make([]graph.Edge, 0, len(data)/2)
+			for i := 0; i+1 < len(data); i += 2 {
+				e := graph.Edge{
+					Src:    graph.VertexID(data[i]) % graph.VertexID(n),
+					Dst:    graph.VertexID(data[i+1]) % graph.VertexID(n),
+					Weight: 1,
+				}
+				if weighted {
+					e.Weight = float32(int(data[i])%7 + 1)
+				}
+				edges = append(edges, e)
+			}
+			g, err := graph.FromEdges(n, edges, graph.BuildOptions{Weighted: weighted, Dedupe: true})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			return g
+		}
+		oldN := 8 + len(oldBytes)%8
+		newN := oldN + len(newBytes)%4 // vertex slots only grow
+		oldG := build(oldBytes, oldN)
+		newG := build(newBytes, newN)
+		d, err := Diff(oldG, newG)
+		if err != nil {
+			t.Fatalf("diff: %v", err)
+		}
+		if len(d.Ops) == 0 {
+			if !Equal(oldG, newG) {
+				t.Fatal("empty diff between unequal graphs")
+			}
+			return
+		}
+		// The canonical delta must survive the wire.
+		rt, err := DecodeBatch(d.Encode())
+		if err != nil {
+			t.Fatalf("delta codec round-trip: %v", err)
+		}
+		got, err := Apply(oldG, rt)
+		if err != nil {
+			t.Fatalf("apply(diff): %v", err)
+		}
+		if !Equal(got, newG) {
+			t.Fatal("apply(diff(old, new)) != new")
+		}
+		// And the chained fingerprint is reproducible from the wire form.
+		if ChainFingerprint("fp", d.Encode()) != ChainFingerprint("fp", rt.Encode()) {
+			t.Fatal("fingerprint chain not stable across codec round-trip")
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package mutate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// symmetric random mutation: pick undirected edge toggles and apply
+// both arcs, keeping the graph symmetric for the k-core tracker.
+func randomSymBatch(rng *rand.Rand, n int, ops int) Batch {
+	var b Batch
+	for i := 0; i < ops; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		op := OpAddEdge
+		if rng.Intn(2) == 0 {
+			op = OpRemoveEdge
+		}
+		b.Ops = append(b.Ops, Mutation{Op: op, Src: u, Dst: v}, Mutation{Op: op, Src: v, Dst: u})
+	}
+	if len(b.Ops) == 0 {
+		b.Ops = append(b.Ops, Mutation{Op: OpAddVertex})
+	}
+	return b
+}
+
+func randomDirBatch(rng *rand.Rand, n int, ops int) Batch {
+	var b Batch
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			b.Ops = append(b.Ops, Mutation{Op: OpAddVertex})
+			n++
+		case 1:
+			b.Ops = append(b.Ops, Mutation{Op: OpRemoveVertex, Src: graph.VertexID(rng.Intn(n))})
+		case 2, 3, 4:
+			b.Ops = append(b.Ops, Mutation{Op: OpRemoveEdge,
+				Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n))})
+		default:
+			b.Ops = append(b.Ops, Mutation{Op: OpAddEdge,
+				Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n))})
+		}
+	}
+	return b
+}
+
+// TestIncCoreMatchesScratch is the tentpole property test: over seeded
+// mutation sequences, incremental k-core membership is bit-identical
+// to the from-scratch fixpoint at every epoch. Runs under -race via
+// the Makefile race target.
+func TestIncCoreMatchesScratch(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(k)))
+			n := 24 + rng.Intn(16)
+			var edges []graph.Edge
+			for i := 0; i < n*3; i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				edges = append(edges,
+					graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v)},
+					graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(u)})
+			}
+			g, err := graph.FromEdges(n, edges, graph.BuildOptions{Dedupe: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := NewCoreTracker(g, k)
+			for step := 0; step < 12; step++ {
+				batch := randomSymBatch(rng, g.NumVertices(), 4)
+				ng, err := Apply(g, batch)
+				if err != nil {
+					t.Fatalf("k=%d seed=%d step=%d: apply: %v", k, seed, step, err)
+				}
+				delta, err := Diff(g, ng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr.Update(ng, delta)
+				if _, ok := tr.VerifyScratch(ng); !ok {
+					t.Fatalf("k=%d seed=%d step=%d: incremental k-core diverged from scratch", k, seed, step)
+				}
+				g = ng
+			}
+		}
+	}
+}
+
+// TestIncBFSMatchesScratch: over seeded directed mutation sequences
+// (including vertex adds and isolations), incremental BFS depths are
+// bit-identical to a scratch traversal at every epoch.
+func TestIncBFSMatchesScratch(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24 + rng.Intn(16)
+		var edges []graph.Edge
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n))})
+		}
+		g, err := graph.FromEdges(n, edges, graph.BuildOptions{Dedupe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := graph.VertexID(rng.Intn(n))
+		tr := NewBFSTracker(g, root)
+		for step := 0; step < 16; step++ {
+			batch := randomDirBatch(rng, g.NumVertices(), 5)
+			ng, err := Apply(g, batch)
+			if err != nil {
+				t.Fatalf("seed=%d step=%d: apply: %v", seed, step, err)
+			}
+			delta, err := Diff(g, ng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Update(ng, delta)
+			if scratch, ok := tr.VerifyScratch(ng); !ok {
+				for v := range scratch.Depth {
+					if scratch.Depth[v] != tr.Depths()[v] {
+						t.Logf("v=%d scratch=%d inc=%d", v, scratch.Depth[v], tr.Depths()[v])
+					}
+				}
+				t.Fatalf("seed=%d step=%d root=%d: incremental BFS diverged from scratch", seed, step, root)
+			}
+			g = ng
+		}
+	}
+}
+
+// TestIncCoreTargeted pins the mutual-dependence cascade a naive
+// optimistic grow pass gets wrong: two non-members that only reach
+// degree k by counting each other, unlocked by one inserted edge.
+func TestIncCoreTargeted(t *testing.T) {
+	sym := func(pairs ...[2]graph.VertexID) []graph.Edge {
+		var out []graph.Edge
+		for _, p := range pairs {
+			out = append(out,
+				graph.Edge{Src: p[0], Dst: p[1]},
+				graph.Edge{Src: p[1], Dst: p[0]})
+		}
+		return out
+	}
+	// Vertices 0-2 form a triangle (2-core). 3 and 4 hang off it with
+	// degree 1 each plus the mutual edge 3–4 missing: after inserting
+	// 3–4, both 3 and 4 have degree 2 only by counting each other.
+	g := graph.MustFromEdges(5, sym(
+		[2]graph.VertexID{0, 1}, [2]graph.VertexID{1, 2}, [2]graph.VertexID{0, 2},
+		[2]graph.VertexID{0, 3}, [2]graph.VertexID{1, 4},
+	), graph.BuildOptions{Dedupe: true})
+	tr := NewCoreTracker(g, 2)
+	m := tr.Members()
+	if !m[0] || !m[1] || !m[2] || m[3] || m[4] {
+		t.Fatalf("initial membership wrong: %v", m)
+	}
+	batch := Batch{Ops: []Mutation{
+		{Op: OpAddEdge, Src: 3, Dst: 4}, {Op: OpAddEdge, Src: 4, Dst: 3},
+	}}
+	ng, err := Apply(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _ := Diff(g, ng)
+	tr.Update(ng, delta)
+	if _, ok := tr.VerifyScratch(ng); !ok {
+		t.Fatal("mutual-dependence grow case diverged from scratch")
+	}
+	if m := tr.Members(); !m[3] || !m[4] {
+		t.Fatalf("3 and 4 must join the 2-core together: %v", m)
+	}
+	// And the symmetric shrink: deleting 3–4 must evict both.
+	back := Batch{Ops: []Mutation{
+		{Op: OpRemoveEdge, Src: 3, Dst: 4}, {Op: OpRemoveEdge, Src: 4, Dst: 3},
+	}}
+	ng2, err := Apply(ng, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta2, _ := Diff(ng, ng2)
+	tr.Update(ng2, delta2)
+	if _, ok := tr.VerifyScratch(ng2); !ok {
+		t.Fatal("mutual-dependence shrink case diverged from scratch")
+	}
+	if m := tr.Members(); m[3] || m[4] {
+		t.Fatalf("3 and 4 must leave the 2-core together: %v", m)
+	}
+}
+
+// TestIncBFSTargeted pins the orphan-subtree case: deleting a tree arc
+// must relabel the whole detached subtree, including vertices that
+// become unreachable.
+func TestIncBFSTargeted(t *testing.T) {
+	// 0→1→2→3 chain plus shortcut 0→3 missing; delete 1→2 and 2,3
+	// become unreachable; then insert 0→3 and 3 comes back at depth 1.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+	}, graph.BuildOptions{})
+	tr := NewBFSTracker(g, 0)
+	cut := Batch{Ops: []Mutation{{Op: OpRemoveEdge, Src: 1, Dst: 2}}}
+	ng, err := Apply(g, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _ := Diff(g, ng)
+	tr.Update(ng, delta)
+	if _, ok := tr.VerifyScratch(ng); !ok {
+		t.Fatal("subtree detach diverged from scratch")
+	}
+	if d := tr.Depths(); d[2] != -1 || d[3] != -1 {
+		t.Fatalf("detached subtree must be unreached: %v", d)
+	}
+	patch := Batch{Ops: []Mutation{{Op: OpAddEdge, Src: 0, Dst: 3}}}
+	ng2, err := Apply(ng, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta2, _ := Diff(ng, ng2)
+	tr.Update(ng2, delta2)
+	if _, ok := tr.VerifyScratch(ng2); !ok {
+		t.Fatal("re-attach diverged from scratch")
+	}
+	if d := tr.Depths(); d[3] != 1 || d[2] != -1 {
+		t.Fatalf("after 0→3 insert: %v", d)
+	}
+}

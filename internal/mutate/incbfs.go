@@ -1,0 +1,192 @@
+package mutate
+
+import (
+	"repro/internal/graph"
+	"repro/internal/seq"
+)
+
+// BFSTracker maintains a BFS tree (depths + parents) from a fixed root
+// across epochs, re-seeding only the affected region instead of
+// re-traversing the whole graph.
+//
+// Why the affected region is exactly what it touches:
+//
+//   - Removing a non-tree arc changes nothing: the BFS tree realizes
+//     every shortest distance, and the tree survives, so no depth can
+//     grow; removals cannot shrink a distance either.
+//   - Removing a tree arc orphans its child; the vertices whose
+//     certificate (their tree path) broke are precisely the orphan's
+//     tree descendants. Those become dirty: depths reset, then
+//     re-seeded from their non-dirty in-neighbors.
+//   - Inserting an arc u→v can only *decrease* distances, starting at
+//     v with candidate depth(u)+1 and cascading monotonically.
+//
+// All candidates go through one bucket queue processed in increasing
+// depth. Dirty vertices accept their first (minimal) label; clean
+// vertices accept only improvements and then relax their out-edges so
+// a decrease cascades into their old subtree. Distances are unit, so
+// the bucket order makes every accepted label final — the result is
+// the true BFS depth array, bit-identical to a from-scratch
+// traversal (parents may differ between valid trees, as with the
+// direction-optimizing engine, so verification compares depths and
+// checks the parent invariant structurally).
+type BFSTracker struct {
+	root   graph.VertexID
+	depth  []int32
+	parent []uint32
+}
+
+// NewBFSTracker runs the initial scratch traversal.
+func NewBFSTracker(g *graph.Graph, root graph.VertexID) *BFSTracker {
+	r := seq.TopDownBFS(g, root)
+	return &BFSTracker{root: root, depth: r.Depth, parent: r.Parent}
+}
+
+// Root returns the tracked root.
+func (t *BFSTracker) Root() graph.VertexID { return t.root }
+
+// Depths exposes the live depth array; callers must not mutate it.
+func (t *BFSTracker) Depths() []int32 { return t.depth }
+
+type bfsSeed struct {
+	v, from graph.VertexID
+}
+
+// Update advances the tree to gNew given the canonical delta
+// (Diff(gOld, gNew)). It returns the number of vertices relabeled.
+func (t *BFSTracker) Update(gNew *graph.Graph, delta Batch) int {
+	n := gNew.NumVertices()
+	for len(t.depth) < n {
+		t.depth = append(t.depth, -1)
+		t.parent = append(t.parent, seq.NoParent)
+	}
+
+	// Orphans: reached vertices whose tree arc was removed.
+	var orphans []graph.VertexID
+	for _, m := range delta.Ops {
+		if m.Op == OpRemoveEdge && m.Dst < graph.VertexID(n) &&
+			t.depth[m.Dst] >= 0 && t.parent[m.Dst] == uint32(m.Src) {
+			orphans = append(orphans, m.Dst)
+		}
+	}
+
+	// Dirty = orphans plus all their tree descendants, found by one
+	// pass building child lists in CSR form from the parent array.
+	dirty := make([]bool, n)
+	if len(orphans) > 0 {
+		off := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			if t.depth[v] > 0 && t.parent[v] != seq.NoParent {
+				off[t.parent[v]+1]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			off[i+1] += off[i]
+		}
+		child := make([]int32, off[n])
+		cur := make([]int32, n)
+		copy(cur, off[:n])
+		for v := 0; v < n; v++ {
+			if t.depth[v] > 0 && t.parent[v] != seq.NoParent {
+				p := t.parent[v]
+				child[cur[p]] = int32(v)
+				cur[p]++
+			}
+		}
+		stack := append([]graph.VertexID(nil), orphans...)
+		for _, v := range orphans {
+			dirty[v] = true
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, c := range child[off[v]:off[v+1]] {
+				if !dirty[c] {
+					dirty[c] = true
+					stack = append(stack, graph.VertexID(c))
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if dirty[v] {
+				t.depth[v] = -1
+				t.parent[v] = seq.NoParent
+			}
+		}
+	}
+
+	// Bucket queue seeded by (a) dirty vertices' clean reached
+	// in-neighbors, (b) inserted arcs from clean reached sources.
+	var buckets [][]bfsSeed
+	push := func(d int32, v, from graph.VertexID) {
+		for int32(len(buckets)) <= d {
+			buckets = append(buckets, nil)
+		}
+		buckets[d] = append(buckets[d], bfsSeed{v: v, from: from})
+	}
+	for v := 0; v < n; v++ {
+		if !dirty[v] {
+			continue
+		}
+		for _, u := range gNew.InNeighbors(graph.VertexID(v)) {
+			if !dirty[u] && t.depth[u] >= 0 {
+				push(t.depth[u]+1, graph.VertexID(v), u)
+			}
+		}
+	}
+	for _, m := range delta.Ops {
+		if m.Op == OpAddEdge && !dirty[m.Src] && t.depth[m.Src] >= 0 {
+			push(t.depth[m.Src]+1, m.Dst, m.Src)
+		}
+	}
+
+	relabeled := 0
+	for d := int32(0); d < int32(len(buckets)); d++ {
+		for i := 0; i < len(buckets[d]); i++ {
+			s := buckets[d][i]
+			if t.depth[s.v] >= 0 && t.depth[s.v] <= d {
+				continue // already has a label at least this good
+			}
+			t.depth[s.v] = d
+			t.parent[s.v] = uint32(s.from)
+			relabeled++
+			for _, w := range gNew.OutNeighbors(s.v) {
+				if t.depth[w] < 0 || t.depth[w] > d+1 {
+					push(d+1, w, s.v)
+				}
+			}
+		}
+		buckets[d] = nil
+	}
+	return relabeled
+}
+
+// VerifyScratch re-runs BFS from scratch on g and reports whether the
+// tracked depths are bit-identical, returning the scratch result for
+// diagnostics.
+func (t *BFSTracker) VerifyScratch(g *graph.Graph) (*seq.BFSResult, bool) {
+	scratch := seq.TopDownBFS(g, t.root)
+	if len(scratch.Depth) != len(t.depth) {
+		return scratch, false
+	}
+	for i := range scratch.Depth {
+		if scratch.Depth[i] != t.depth[i] {
+			return scratch, false
+		}
+	}
+	// Parents may legitimately differ from scratch, but must form a
+	// valid shortest-path tree over the tracked depths.
+	for v := range t.parent {
+		p := t.parent[v]
+		if p == seq.NoParent {
+			if t.depth[v] > 0 {
+				return scratch, false
+			}
+			continue
+		}
+		if t.depth[p] < 0 || t.depth[v] != t.depth[p]+1 || !g.HasEdge(graph.VertexID(p), graph.VertexID(v)) {
+			return scratch, false
+		}
+	}
+	return scratch, true
+}

@@ -1,0 +1,212 @@
+package mutate
+
+import (
+	"repro/internal/graph"
+	"repro/internal/seq"
+)
+
+// CoreTracker maintains k-core membership (for one fixed k, BLADYG's
+// headline workload) across epochs, peeling only vertices whose
+// membership can actually change instead of re-running the fixpoint
+// from scratch. The graph must be symmetric (the serving layer feeds
+// it the undirected variant), matching seq.KCoreIterative's contract.
+//
+// Update runs three phases against the new graph g' and the canonical
+// delta (Diff output: edge removals and additions, plus vertex
+// growth — vertex removals have already been expanded into their
+// incident edge removals):
+//
+//  1. Shrink: cascade-peel inside the old membership C, seeded by
+//     member endpoints of removed edges, counting member neighbors in
+//     g'. Removals only ever shrink the core, and a member's count
+//     can only have dropped if it lost a member neighbor — directly
+//     (seed) or transitively (cascade) — so the surviving set C1
+//     satisfies min-degree ≥ k inside itself on g'. C1 ⊆ core(g')
+//     because the true core's restriction argument applies: peeling
+//     never removes a vertex of the maximal fixpoint.
+//
+//  2. Region: the vertices that can *join* are confined to the
+//     connected components (in g' restricted to non-members) that
+//     contain a non-member endpoint of an inserted edge. Any v in
+//     core(g') \ C1 has, on its component of core(g') \ C1, some
+//     vertex incident to an inserted edge — otherwise every vertex of
+//     that component had the same neighbor counts during the old
+//     peel, which removed it then and would remove it now,
+//     contradicting membership. That component is non-member-connected
+//     to the seed, so the flood fill reaches v.
+//
+//  3. Grow: peel the region with C1 frozen (counting neighbors in
+//     C1 ∪ region), which computes the maximal subset of the region
+//     whose union with C1 has min-degree ≥ k — exactly core(g') by
+//     maximality and phase 2's coverage.
+//
+// The result is the same fixpoint seq.KCoreIterative reaches, so the
+// membership bitmap is bit-identical to scratch (the verify path and
+// the property tests assert this).
+type CoreTracker struct {
+	k      int
+	member []bool
+}
+
+// NewCoreTracker initializes membership from scratch at the current
+// epoch.
+func NewCoreTracker(g *graph.Graph, k int) *CoreTracker {
+	member, _ := seq.KCoreIterative(g, k)
+	return &CoreTracker{k: k, member: member}
+}
+
+// K returns the tracked shell parameter.
+func (t *CoreTracker) K() int { return t.k }
+
+// Members exposes the current membership bitmap. The slice is live;
+// callers must not mutate it and must copy before using it across an
+// Update.
+func (t *CoreTracker) Members() []bool { return t.member }
+
+// Update advances membership to gNew given the canonical delta
+// (Diff(gOld, gNew)). It returns the number of vertices whose
+// membership changed.
+func (t *CoreTracker) Update(gNew *graph.Graph, delta Batch) int {
+	n := gNew.NumVertices()
+	for len(t.member) < n {
+		t.member = append(t.member, false)
+	}
+	if t.k <= 0 {
+		// Degenerate shell: every vertex (including brand-new isolated
+		// ones) is in the 0-core, matching the scratch fixpoint.
+		changed := 0
+		for i := range t.member {
+			if !t.member[i] {
+				t.member[i] = true
+				changed++
+			}
+		}
+		return changed
+	}
+	changed := 0
+	k := int32(t.k)
+
+	// Phase 1: shrink. Seed with member endpoints of removed edges and
+	// cascade within the old membership, recounting against gNew.
+	inQ := make([]bool, n)
+	var queue []graph.VertexID
+	enqueue := func(v graph.VertexID) {
+		if t.member[v] && !inQ[v] {
+			inQ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, m := range delta.Ops {
+		if m.Op == OpRemoveEdge {
+			enqueue(m.Src)
+			enqueue(m.Dst)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQ[v] = false
+		if !t.member[v] {
+			continue
+		}
+		cnt := int32(0)
+		for _, u := range gNew.InNeighbors(v) {
+			if t.member[u] {
+				cnt++
+				if cnt >= k {
+					break
+				}
+			}
+		}
+		if cnt >= k {
+			continue
+		}
+		t.member[v] = false
+		changed++
+		for _, u := range gNew.InNeighbors(v) {
+			enqueue(u)
+		}
+	}
+
+	// Phase 2: flood the non-member components containing non-member
+	// endpoints of inserted edges.
+	inRegion := make([]bool, n)
+	var region, stack []graph.VertexID
+	for _, m := range delta.Ops {
+		if m.Op != OpAddEdge {
+			continue
+		}
+		for _, v := range [2]graph.VertexID{m.Src, m.Dst} {
+			if !t.member[v] && !inRegion[v] {
+				inRegion[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		region = append(region, v)
+		for _, u := range gNew.InNeighbors(v) {
+			if !t.member[u] && !inRegion[u] {
+				inRegion[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+
+	// Phase 3: peel the region with phase-1 survivors frozen.
+	deg := make(map[graph.VertexID]int32, len(region))
+	var peel []graph.VertexID
+	for _, v := range region {
+		c := int32(0)
+		for _, u := range gNew.InNeighbors(v) {
+			if t.member[u] || inRegion[u] {
+				c++
+			}
+		}
+		deg[v] = c
+		if c < k {
+			peel = append(peel, v)
+		}
+	}
+	for len(peel) > 0 {
+		v := peel[len(peel)-1]
+		peel = peel[:len(peel)-1]
+		if !inRegion[v] {
+			continue
+		}
+		inRegion[v] = false
+		for _, u := range gNew.InNeighbors(v) {
+			if inRegion[u] {
+				deg[u]--
+				if deg[u] == k-1 {
+					peel = append(peel, u)
+				}
+			}
+		}
+	}
+	for _, v := range region {
+		if inRegion[v] {
+			t.member[v] = true
+			changed++
+		}
+	}
+	return changed
+}
+
+// VerifyScratch recomputes membership from scratch on g and reports
+// whether it is bit-identical to the tracked state, returning the
+// scratch bitmap for diagnostics.
+func (t *CoreTracker) VerifyScratch(g *graph.Graph) ([]bool, bool) {
+	scratch, _ := seq.KCoreIterative(g, t.k)
+	if len(scratch) != len(t.member) {
+		return scratch, false
+	}
+	for i := range scratch {
+		if scratch[i] != t.member[i] {
+			return scratch, false
+		}
+	}
+	return scratch, true
+}

@@ -1,0 +1,168 @@
+// Package mutate is the dynamic-graph subsystem: a batched mutation
+// log over the immutable CSR graphs in internal/graph, versioned
+// snapshots ("graph@epoch") whose content fingerprints chain parent →
+// child so a delta identifies the exact graph it produces, and
+// incremental recompute for k-core and BFS that touches only the
+// region a batch can actually affect.
+//
+// Design constraints inherited from the rest of the system:
+//
+//   - graph.Graph is immutable. A mutation batch therefore produces a
+//     brand-new snapshot; in-flight queries keep reading the snapshot
+//     they were admitted on and are never torn.
+//   - Vertex IDs are stable across epochs. RemoveVertex isolates the
+//     vertex (drops every incident edge) but keeps its ID slot, and
+//     AddVertex appends ID n — so per-vertex results (depths, core
+//     membership) stay positionally comparable between epochs.
+//   - Everything is deterministic: a batch has one canonical encoding
+//     (codec.go) and the chained fingerprint is a pure function of
+//     (parent fingerprint, canonical batch bytes).
+package mutate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+const (
+	// OpAddEdge inserts the directed edge Src→Dst (updating the weight
+	// if the edge already exists on a weighted graph; a no-op
+	// otherwise).
+	OpAddEdge Op = iota + 1
+	// OpRemoveEdge deletes the directed edge Src→Dst if present.
+	OpRemoveEdge
+	// OpAddVertex appends one vertex with ID n (the count at the time
+	// the op applies). Src/Dst are unused.
+	OpAddVertex
+	// OpRemoveVertex isolates vertex Src: every edge into or out of it
+	// is dropped, but the ID slot survives so later epochs stay
+	// positionally comparable. Dst is unused.
+	OpRemoveVertex
+)
+
+var opNames = map[Op]string{
+	OpAddEdge:      "add-edge",
+	OpRemoveEdge:   "remove-edge",
+	OpAddVertex:    "add-vertex",
+	OpRemoveVertex: "remove-vertex",
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, 2*len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+		// JSON clients spell ops snake_case (add_edge); accept both.
+		m[strings.ReplaceAll(name, "-", "_")] = op
+	}
+	return m
+}()
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpFromString resolves the wire/JSON spelling of an op.
+func OpFromString(s string) (Op, bool) {
+	op, ok := opByName[s]
+	return op, ok
+}
+
+// Mutation is one log entry. For vertex ops only Src is meaningful
+// (and for OpAddVertex not even that).
+type Mutation struct {
+	Op     Op
+	Src    graph.VertexID
+	Dst    graph.VertexID
+	Weight float32
+}
+
+func (m Mutation) String() string {
+	switch m.Op {
+	case OpAddVertex:
+		return "add-vertex"
+	case OpRemoveVertex:
+		return fmt.Sprintf("remove-vertex %d", m.Src)
+	default:
+		return fmt.Sprintf("%s %d->%d", m.Op, m.Src, m.Dst)
+	}
+}
+
+// Batch is an ordered mutation batch. Order matters: "remove-vertex 3;
+// add-edge 3->5" leaves 3→5 present, the reverse order does not.
+type Batch struct {
+	Ops []Mutation
+}
+
+// MaxBatchOps bounds a single batch. Batches are applied under the
+// per-graph commit lock; an unbounded batch would stall serving.
+const MaxBatchOps = 1 << 16
+
+// Len returns the number of ops.
+func (b Batch) Len() int { return len(b.Ops) }
+
+// Validate checks the batch against the graph it will apply to:
+// every referenced vertex must exist at the point its op executes
+// (AddVertex ops grow the valid range for later ops), self-loop
+// policy follows the base graph builder (allowed — FromEdges accepts
+// them), and weights must be finite. It does NOT require adds to be
+// novel or removes to hit an existing edge; those are canonicalized
+// to no-ops at apply time so callers can submit idempotent batches.
+func (b Batch) Validate(g *graph.Graph) error {
+	if len(b.Ops) == 0 {
+		return fmt.Errorf("mutate: empty batch")
+	}
+	if len(b.Ops) > MaxBatchOps {
+		return fmt.Errorf("mutate: batch of %d ops exceeds limit %d", len(b.Ops), MaxBatchOps)
+	}
+	n := graph.VertexID(g.NumVertices())
+	for i, m := range b.Ops {
+		switch m.Op {
+		case OpAddEdge, OpRemoveEdge:
+			if m.Src >= n || m.Dst >= n {
+				return fmt.Errorf("mutate: op %d (%s): vertex out of range (n=%d)", i, m, n)
+			}
+			if w := float64(m.Weight); w != w || w > 1e38 || w < -1e38 {
+				return fmt.Errorf("mutate: op %d (%s): non-finite weight", i, m)
+			}
+		case OpAddVertex:
+			n++
+		case OpRemoveVertex:
+			if m.Src >= n {
+				return fmt.Errorf("mutate: op %d (%s): vertex out of range (n=%d)", i, m, n)
+			}
+		default:
+			return fmt.Errorf("mutate: op %d: unknown op %d", i, uint8(m.Op))
+		}
+	}
+	return nil
+}
+
+// Region returns the 256-bucket signature of every vertex this batch
+// can affect directly: both endpoints of edge ops and the vertex of
+// remove-vertex ops. AddVertex contributes nothing — a brand-new
+// vertex is unreachable and isolated, so no previously computed
+// root-based result can mention it.
+//
+// This is the "mutated region" half of the cache-invalidation rule
+// (see Region.Intersects for the soundness argument).
+func (b Batch) Region() Region {
+	var r Region
+	for _, m := range b.Ops {
+		switch m.Op {
+		case OpAddEdge, OpRemoveEdge:
+			r.Add(m.Src)
+			r.Add(m.Dst)
+		case OpRemoveVertex:
+			r.Add(m.Src)
+		}
+	}
+	return r
+}

@@ -1,0 +1,260 @@
+package mutate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge, weighted bool) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{Weighted: weighted, Dedupe: true})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := Batch{Ops: []Mutation{
+		{Op: OpAddEdge, Src: 1, Dst: 2, Weight: 0.5},
+		{Op: OpRemoveEdge, Src: 2, Dst: 1},
+		{Op: OpAddVertex},
+		{Op: OpRemoveVertex, Src: 3},
+	}}
+	enc := b.Encode()
+	dec, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec.Ops) != len(b.Ops) {
+		t.Fatalf("op count %d != %d", len(dec.Ops), len(b.Ops))
+	}
+	for i := range dec.Ops {
+		if dec.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, dec.Ops[i], b.Ops[i])
+		}
+	}
+	if string(dec.Encode()) != string(enc) {
+		t.Fatal("re-encode differs from original encoding")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	b := Batch{Ops: []Mutation{{Op: OpAddEdge, Src: 0, Dst: 1}}}
+	enc := b.Encode()
+	cases := map[string][]byte{
+		"short":      enc[:5],
+		"bad magic":  append([]byte("XXXX"), enc[4:]...),
+		"trailing":   append(append([]byte{}, enc...), 0),
+		"unknown op": func() []byte { c := append([]byte{}, enc...); c[8] = 99; return c }(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{Src: 0, Dst: 1}}, false)
+	if err := (Batch{}).Validate(g); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := (Batch{Ops: []Mutation{{Op: OpAddEdge, Src: 0, Dst: 5}}}).Validate(g); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	// AddVertex extends the valid range for later ops.
+	ok := Batch{Ops: []Mutation{{Op: OpAddVertex}, {Op: OpAddEdge, Src: 0, Dst: 3}}}
+	if err := ok.Validate(g); err != nil {
+		t.Errorf("add-vertex then edge to the new slot rejected: %v", err)
+	}
+	bad := Batch{Ops: []Mutation{{Op: OpAddEdge, Src: 0, Dst: 3}, {Op: OpAddVertex}}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("edge to not-yet-added vertex accepted")
+	}
+}
+
+func TestApplyOrderSensitive(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+
+	// remove-vertex then add-edge: the new edge survives.
+	g1, err := Apply(g, Batch{Ops: []Mutation{
+		{Op: OpRemoveVertex, Src: 1},
+		{Op: OpAddEdge, Src: 1, Dst: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.HasEdge(1, 3) || g1.HasEdge(0, 1) || g1.HasEdge(1, 2) {
+		t.Fatalf("isolate-then-add wrong edges: %v", g1.Edges())
+	}
+
+	// add-edge then remove-vertex: nothing incident to 1 survives.
+	g2, err := Apply(g, Batch{Ops: []Mutation{
+		{Op: OpAddEdge, Src: 1, Dst: 3},
+		{Op: OpRemoveVertex, Src: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.HasEdge(1, 3) || g2.NumEdges() != 0 {
+		t.Fatalf("add-then-isolate wrong edges: %v", g2.Edges())
+	}
+	if g2.NumVertices() != 4 {
+		t.Fatalf("remove-vertex must keep the ID slot: n=%d", g2.NumVertices())
+	}
+}
+
+func TestApplyWeighted(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{{Src: 0, Dst: 1, Weight: 2}}, true)
+	g1, err := Apply(g, Batch{Ops: []Mutation{{Op: OpAddEdge, Src: 0, Dst: 1, Weight: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g1.OutWeights(0)[0]; w != 7 {
+		t.Fatalf("weight update: got %v want 7", w)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int, weighted bool) *graph.Graph {
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		e := graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: 1,
+		}
+		if weighted {
+			e.Weight = float32(rng.Intn(9) + 1)
+		}
+		edges = append(edges, e)
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{Weighted: weighted, Dedupe: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDiffApplyIdentity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		weighted := seed%2 == 0
+		oldG := randomGraph(rng, 20, 40, weighted)
+		newG := randomGraph(rand.New(rand.NewSource(seed+1000)), 20+rng.Intn(3), 40, weighted)
+		d, err := Diff(oldG, newG)
+		if err != nil {
+			t.Fatalf("seed %d: diff: %v", seed, err)
+		}
+		if len(d.Ops) == 0 {
+			continue
+		}
+		got, err := Apply(oldG, d)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if !Equal(got, newG) {
+			t.Fatalf("seed %d: apply(diff) != target", seed)
+		}
+	}
+}
+
+func TestStoreChainAndRetention(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{Src: 0, Dst: 1}}, false)
+	st, err := NewStore(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := st.Latest()
+	if root.Epoch() != 1 || root.Fingerprint() == "" {
+		t.Fatalf("root snapshot: epoch=%d fp=%q", root.Epoch(), root.Fingerprint())
+	}
+
+	var fps []string
+	for i := 0; i < 5; i++ {
+		sn, err := st.Commit(Batch{Ops: []Mutation{{Op: OpAddEdge, Src: graph.VertexID(i % 4), Dst: graph.VertexID((i + 1) % 4)}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, sn.Fingerprint())
+		if sn.ParentFingerprint() == "" {
+			t.Fatal("child snapshot missing parent fp")
+		}
+	}
+	lo, hi := st.Window()
+	if hi != 6 || hi-lo+1 != 3 {
+		t.Fatalf("window [%d,%d], want 3 epochs ending at 6", lo, hi)
+	}
+	if _, err := st.At(1); err == nil || !strings.Contains(err.Error(), "not retained") {
+		t.Fatalf("pruned epoch resolved: %v", err)
+	}
+	if sn, err := st.At(0); err != nil || sn.Epoch() != 6 {
+		t.Fatalf("At(0) = %v, %v; want latest epoch 6", sn, err)
+	}
+
+	// The chain is a pure function of (parent fp, delta bytes):
+	// replaying the same commits from the same root reproduces the
+	// same fingerprints without touching full adjacency bytes.
+	st2, _ := NewStore(g, 3)
+	for i := 0; i < 5; i++ {
+		sn, err := st2.Commit(Batch{Ops: []Mutation{{Op: OpAddEdge, Src: graph.VertexID(i % 4), Dst: graph.VertexID((i + 1) % 4)}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn.Fingerprint() != fps[i] {
+			t.Fatalf("epoch %d fp not reproducible", sn.Epoch())
+		}
+	}
+}
+
+func TestSnapshotBlobMemoized(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{Src: 0, Dst: 1}}, false)
+	st, _ := NewStore(g, 0)
+	sn := st.Latest()
+	b1, sha1, err := sn.Blob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, sha2, _ := sn.Blob()
+	if &b1[0] != &b2[0] || sha1 != sha2 {
+		t.Fatal("blob not memoized")
+	}
+	rt, err := graph.ReadBinary(strings.NewReader(string(b1)))
+	if err != nil || !Equal(rt, g) {
+		t.Fatalf("blob round-trip: %v", err)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	var a, b Region
+	a.Add(5)
+	b.Add(5 + regionBuckets) // same bucket
+	if !a.Intersects(b) {
+		t.Error("aliased buckets must intersect")
+	}
+	var c Region
+	c.Add(6)
+	if a.Intersects(c) {
+		t.Error("distinct buckets must not intersect")
+	}
+	if !FullRegion().Intersects(c) || FullRegion().Count() != regionBuckets {
+		t.Error("full region must intersect everything")
+	}
+	if c.Empty() || c.Count() != 1 {
+		t.Error("single-vertex region should be non-empty with one bucket")
+	}
+	batch := Batch{Ops: []Mutation{
+		{Op: OpAddEdge, Src: 1, Dst: 2},
+		{Op: OpAddVertex},
+	}}
+	r := batch.Region()
+	var want Region
+	want.Add(1)
+	want.Add(2)
+	if r != want {
+		t.Errorf("batch region %v want %v", r, want)
+	}
+}

@@ -1,0 +1,88 @@
+package mutate
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// regionBuckets is the signature width. 256 bits keeps the signature
+// four words — cheap to store per cache entry and to intersect on
+// every commit — while still discriminating well on the graphs we
+// serve (a query that touched 1% of a scale-14 graph sets ~150 of the
+// 256 buckets, so a 3-op batch collides with it only ~60% of the
+// time; small localized read-sets almost never collide).
+const regionBuckets = 256
+
+// Region is a fixed-width vertex-set signature: vertex v occupies
+// bucket v mod 256. It over-approximates set intersection — two
+// disjoint sets can collide in a bucket — which is the safe direction
+// for cache invalidation: a collision drops a cache entry that could
+// have been kept, never the reverse.
+//
+// The invalidation rule (server/mutate.go): a cached result survives a
+// commit iff its read-set signature does not intersect the batch's
+// mutated-region signature. Soundness for the root-based algorithms
+// (the only ones that record a partial read-set — everything global
+// records Full and is always dropped): the read-set is the set of
+// reached vertices. Removing an arc u→v only changes the answer if v
+// was reached (if v was unreached then u was too, else the arc would
+// have made v reached), and v is in the batch region. Adding an arc
+// u→v only changes the answer if u was reached, and u is in the batch
+// region. Isolating vertex v only changes the answer if v was reached.
+// In every case a change implies a bucket collision, so non-intersection
+// proves the cached answer is still exact on the new epoch.
+type Region [regionBuckets / 64]uint64
+
+// Add inserts vertex v's bucket.
+func (r *Region) Add(v graph.VertexID) {
+	b := uint32(v) % regionBuckets
+	r[b/64] |= 1 << (b % 64)
+}
+
+// Union folds o into r.
+func (r *Region) Union(o Region) {
+	for i := range r {
+		r[i] |= o[i]
+	}
+}
+
+// Intersects reports whether any bucket is set in both signatures.
+func (r Region) Intersects(o Region) bool {
+	for i := range r {
+		if r[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether no bucket is set.
+func (r Region) Empty() bool {
+	for _, w := range r {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set buckets (observability only).
+func (r Region) Count() int {
+	n := 0
+	for _, w := range r {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// FullRegion is the signature that intersects everything — the
+// read-set of a global algorithm (pagerank, cc, kcore, ...) whose
+// answer can depend on any vertex.
+func FullRegion() Region {
+	var r Region
+	for i := range r {
+		r[i] = ^uint64(0)
+	}
+	return r
+}

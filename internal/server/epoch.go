@@ -1,0 +1,389 @@
+// Graph versioning: this file is the snapshot accessor — the only
+// place in the serving layer allowed to reach into a graph entry's raw
+// graphs. Everything else resolves an epoch through Resolve/Latest and
+// works on the immutable epochState it gets back (the epochpin
+// analyzer enforces this).
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mutate"
+)
+
+// graphEntry is one served graph's version chain: the snapshot store,
+// the per-epoch derived state (variants, fingerprints, ship deltas),
+// and the incremental trackers the mutation path keeps warm.
+type graphEntry struct {
+	name  string
+	store *mutate.Store
+
+	// commitMu serializes mutation commits for this graph; queries
+	// never take it.
+	commitMu sync.Mutex
+
+	mu     sync.Mutex
+	states map[uint64]*epochState
+
+	// Incremental recompute trackers, advanced under commitMu on every
+	// commit. The k-core tracker follows the undirected variant at the
+	// serving default k; the BFS tracker follows the base graph from
+	// the root epoch's default root.
+	core    *mutate.CoreTracker
+	coreK   int
+	bfs     *mutate.BFSTracker
+	bfsRoot graph.VertexID
+
+	incNanos     atomic.Int64
+	scratchNanos atomic.Int64
+	verifies     atomic.Int64
+	verifyFails  atomic.Int64
+}
+
+// epochState is everything derived from one immutable snapshot:
+// canonicalization defaults, lazily built serving variants, their
+// fingerprints, and the per-variant ship payloads (blob or delta).
+type epochState struct {
+	snap *mutate.Snapshot
+	info graphInfo
+
+	mu       sync.Mutex
+	variants map[graphVariant]*graph.Graph
+	blobs    map[graphVariant]*variantBlob  // memoized full serializations
+	deltas   map[graphVariant]*variantDelta // memoized deltas vs parent epoch
+	parent   *epochState                    // nil when the parent epoch aged out
+}
+
+type variantBlob struct {
+	once sync.Once
+	data []byte
+	sha  string
+	err  error
+}
+
+// variantDelta is the canonical delta from the parent epoch's variant
+// graph to this epoch's, for delta shipping. nil bytes mean "no delta
+// path" (parent unavailable or the delta would not beat a full ship).
+type variantDelta struct {
+	bytes   []byte
+	chained bool // FP == ChainFingerprint(parent FP, bytes), verifiable by the receiver
+}
+
+func newGraphEntry(name string, g *graph.Graph, retention int) (*graphEntry, error) {
+	store, err := mutate.NewStore(g, retention)
+	if err != nil {
+		return nil, fmt.Errorf("server: versioning %s: %w", name, err)
+	}
+	e := &graphEntry{name: name, store: store, states: make(map[uint64]*epochState)}
+	root, _ := graph.LargestOutDegreeVertex(g)
+	e.bfsRoot = root
+	e.coreK = 8 // the kcore serving default; canonicalize uses the same fallback
+	e.stateFor(store.Latest())
+	return e, nil
+}
+
+// stateFor returns the cached epochState for a resolved snapshot,
+// creating and linking it to its parent (when retained) on first use.
+func (e *graphEntry) stateFor(snap *mutate.Snapshot) *epochState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.states[snap.Epoch()]; ok {
+		return st
+	}
+	g := snap.Graph()
+	root, _ := graph.LargestOutDegreeVertex(g)
+	st := &epochState{
+		snap: snap,
+		info: graphInfo{
+			vertices:    g.NumVertices(),
+			edges:       g.NumEdges(),
+			defaultRoot: int(root),
+			weighted:    g.Weighted(),
+			epoch:       snap.Epoch(),
+		},
+		variants: map[graphVariant]*graph.Graph{variantDirected: g},
+		blobs:    make(map[graphVariant]*variantBlob),
+		deltas:   make(map[graphVariant]*variantDelta),
+		parent:   e.states[snap.Epoch()-1],
+	}
+	e.states[snap.Epoch()] = st
+	// Prune states the store no longer resolves, and cut parent links
+	// that would pin pruned graphs.
+	lo, _ := e.store.Window()
+	for ep, old := range e.states {
+		if ep < lo {
+			delete(e.states, ep)
+		} else if old.parent != nil && old.parent.snap.Epoch() < lo {
+			old.parent = nil
+		}
+	}
+	return st
+}
+
+// Resolve maps a requested epoch (0 = latest) to its epochState. A
+// pruned or future epoch returns the store's window error.
+func (e *graphEntry) Resolve(epoch uint64) (*epochState, error) {
+	snap, err := e.store.At(epoch)
+	if err != nil {
+		return nil, err
+	}
+	return e.stateFor(snap), nil
+}
+
+// Latest returns the newest epoch's state.
+func (e *graphEntry) Latest() *epochState {
+	return e.stateFor(e.store.Latest())
+}
+
+// Epoch returns the snapshot's version number.
+func (st *epochState) Epoch() uint64 { return st.snap.Epoch() }
+
+// Info returns the canonicalization defaults for this epoch.
+func (st *epochState) Info() graphInfo { return st.info }
+
+// Fingerprint returns the base chained fingerprint of this epoch.
+func (st *epochState) Fingerprint() string { return st.snap.Fingerprint() }
+
+// Graph materializes (once) and returns the serving variant of this
+// epoch's snapshot.
+func (st *epochState) Graph(v graphVariant) *graph.Graph {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.graphLocked(v)
+}
+
+func (st *epochState) graphLocked(v graphVariant) *graph.Graph {
+	if g, ok := st.variants[v]; ok {
+		return g
+	}
+	base := st.variants[variantDirected]
+	g := base
+	switch v {
+	case variantUndirected:
+		g = graph.Symmetrize(base)
+	case variantWeighted:
+		if !base.Weighted() {
+			g = graph.RandomWeights(base, 7)
+		}
+	}
+	st.variants[v] = g
+	return g
+}
+
+// VariantFP names a variant of this epoch: the base chain fingerprint
+// for the directed variant, a derived fingerprint for the rest — O(1)
+// either way, never re-hashing adjacency.
+func (st *epochState) VariantFP(v graphVariant) string {
+	if v == variantDirected {
+		return st.snap.Fingerprint()
+	}
+	return mutate.DeriveFingerprint(st.snap.Fingerprint(), v.String())
+}
+
+// blob memoizes the full serialization of one variant for full-graph
+// shipping. The directed variant reuses the snapshot's own memoized
+// blob.
+func (st *epochState) blob(v graphVariant) ([]byte, string, error) {
+	if v == variantDirected {
+		return st.snap.Blob()
+	}
+	st.mu.Lock()
+	b, ok := st.blobs[v]
+	if !ok {
+		b = &variantBlob{}
+		st.blobs[v] = b
+	}
+	g := st.graphLocked(v)
+	st.mu.Unlock()
+	b.once.Do(func() {
+		b.data, b.sha, b.err = mutate.SerializeGraph(g)
+	})
+	return b.data, b.sha, b.err
+}
+
+// shipDelta returns the canonical delta (and the parent variant's
+// fingerprint) that turns the parent epoch's variant into this one,
+// for workers that already hold the parent. Returns ok=false when the
+// parent epoch aged out or a delta would not beat the full blob —
+// notably the synthesized-weights variant of an unweighted base, whose
+// weights are positional and churn wholesale on any topology change.
+func (st *epochState) shipDelta(v graphVariant) (bytes []byte, parentFP string, chained bool, ok bool) {
+	st.mu.Lock()
+	parent := st.parent
+	d, have := st.deltas[v]
+	st.mu.Unlock()
+	if parent == nil {
+		return nil, "", false, false
+	}
+	if !have {
+		d = st.computeDelta(v, parent)
+		st.mu.Lock()
+		st.deltas[v] = d
+		st.mu.Unlock()
+	}
+	if d.bytes == nil {
+		return nil, "", false, false
+	}
+	return d.bytes, parent.VariantFP(v), d.chained, true
+}
+
+func (st *epochState) computeDelta(v graphVariant, parent *epochState) *variantDelta {
+	if v == variantDirected {
+		// The committed batch is exactly the delta the base chain
+		// fingerprint hashed, so the receiver can verify
+		// ChainFingerprint(parentFP, bytes) == FP.
+		b := st.snap.Delta()
+		if len(b.Ops) == 0 {
+			return &variantDelta{}
+		}
+		return &variantDelta{bytes: b.Encode(), chained: true}
+	}
+	diff, err := mutate.Diff(parent.Graph(v), st.Graph(v))
+	if err != nil || len(diff.Ops) > mutate.MaxBatchOps {
+		return &variantDelta{}
+	}
+	// A delta near the graph's own edge count ships more bytes than
+	// the blob (13 B/op vs ~8 B/edge serialized); fall back to full.
+	if int64(len(diff.Ops)) > st.info.edges/2 {
+		return &variantDelta{}
+	}
+	return &variantDelta{bytes: diff.Encode(), chained: false}
+}
+
+// buildSpec assembles the provider handoff for one (epoch, variant)
+// slot build: the materialized graph, its fingerprint identity, the
+// lazily serialized blob, and the delta ship path when available.
+func (st *epochState) buildSpec(name string, v graphVariant, mode core.Mode, slotID int) BuildSpec {
+	spec := BuildSpec{
+		GraphName: name,
+		Variant:   v,
+		Graph:     st.Graph(v),
+		Mode:      mode,
+		SlotID:    slotID,
+		Epoch:     st.Epoch(),
+		FP:        st.VariantFP(v),
+		Blob:      func() ([]byte, string, error) { return st.blob(v) },
+	}
+	if bytes, parentFP, chained, ok := st.shipDelta(v); ok {
+		spec.ParentFP = parentFP
+		spec.DeltaBytes = bytes
+		spec.DeltaChained = chained
+	}
+	return spec
+}
+
+// commitResult reports one applied mutation batch.
+type commitResult struct {
+	snap         *mutate.Snapshot
+	state        *epochState
+	coreChanged  int
+	bfsRelabeled int
+	incDur       time.Duration
+	scratchDur   time.Duration
+	verified     bool
+}
+
+// commit validates and applies one batch, advances the incremental
+// trackers against the canonical diff, and (when verify is set)
+// asserts the trackers are bit-identical to a from-scratch recompute
+// on the new epoch. Caller-visible invariant: the store, the state
+// map, and the trackers move together — the commit mutex makes the
+// epoch bump atomic with respect to other commits, and queries pinned
+// to older epochs keep resolving their snapshots untouched.
+func (e *graphEntry) commit(b mutate.Batch, verify bool) (commitResult, error) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+
+	parent := e.Latest()
+	if err := b.Validate(parent.Graph(variantDirected)); err != nil {
+		return commitResult{}, err
+	}
+
+	// Initialize trackers lazily on the first commit, against the
+	// parent (pre-mutation) epoch, so their first Update exercises the
+	// incremental path.
+	if e.core == nil {
+		e.core = mutate.NewCoreTracker(parent.Graph(variantUndirected), e.coreK)
+	}
+	if e.bfs == nil {
+		e.bfs = mutate.NewBFSTracker(parent.Graph(variantDirected), e.bfsRoot)
+	}
+
+	snap, err := e.store.Commit(b)
+	if err != nil {
+		return commitResult{}, err
+	}
+	st := e.stateFor(snap)
+
+	res := commitResult{snap: snap, state: st}
+	incStart := time.Now()
+	baseDiff, err := mutate.Diff(parent.Graph(variantDirected), st.Graph(variantDirected))
+	if err == nil {
+		res.bfsRelabeled = e.bfs.Update(st.Graph(variantDirected), baseDiff)
+	}
+	undirDiff, err := mutate.Diff(parent.Graph(variantUndirected), st.Graph(variantUndirected))
+	if err == nil {
+		res.coreChanged = e.core.Update(st.Graph(variantUndirected), undirDiff)
+	}
+	res.incDur = time.Since(incStart)
+	e.incNanos.Add(res.incDur.Nanoseconds())
+
+	if verify {
+		scratchStart := time.Now()
+		_, coreOK := e.core.VerifyScratch(st.Graph(variantUndirected))
+		_, bfsOK := e.bfs.VerifyScratch(st.Graph(variantDirected))
+		res.scratchDur = time.Since(scratchStart)
+		e.scratchNanos.Add(res.scratchDur.Nanoseconds())
+		e.verifies.Add(1)
+		res.verified = true
+		if !coreOK || !bfsOK {
+			e.verifyFails.Add(1)
+			// Re-anchor the diverged tracker from scratch so later
+			// commits are not poisoned, then surface the bug loudly.
+			e.core = mutate.NewCoreTracker(st.Graph(variantUndirected), e.coreK)
+			e.bfs = mutate.NewBFSTracker(st.Graph(variantDirected), e.bfsRoot)
+			return res, fmt.Errorf("server: incremental recompute diverged from scratch at epoch %d (core_ok=%v bfs_ok=%v)",
+				snap.Epoch(), coreOK, bfsOK)
+		}
+	}
+	return res, nil
+}
+
+// EpochStatus is one graph's versioning state for /statusz.
+type EpochStatus struct {
+	Epoch       uint64  `json:"epoch"`
+	Fingerprint string  `json:"fingerprint"`
+	WindowLo    uint64  `json:"window_lo"`
+	WindowHi    uint64  `json:"window_hi"`
+	Commits     uint64  `json:"commits"`
+	OpsApplied  uint64  `json:"ops_applied"`
+	Evictions   uint64  `json:"evictions"`
+	IncMs       float64 `json:"inc_ms_total"`
+	ScratchMs   float64 `json:"scratch_ms_total"`
+	Verifies    int64   `json:"verifies"`
+	VerifyFails int64   `json:"verify_fails"`
+}
+
+// epochStatus snapshots the entry's versioning counters.
+func (e *graphEntry) epochStatus() EpochStatus {
+	lo, hi := e.store.Window()
+	commits, ops, evictions := e.store.Stats()
+	return EpochStatus{
+		Epoch:       hi,
+		Fingerprint: e.store.Latest().Fingerprint(),
+		WindowLo:    lo,
+		WindowHi:    hi,
+		Commits:     commits,
+		OpsApplied:  ops,
+		Evictions:   evictions,
+		IncMs:       float64(e.incNanos.Load()) / 1e6,
+		ScratchMs:   float64(e.scratchNanos.Load()) / 1e6,
+		Verifies:    e.verifies.Load(),
+		VerifyFails: e.verifyFails.Load(),
+	}
+}

@@ -33,18 +33,20 @@ func TestSustainedLoad(t *testing.T) {
 	defer ts.Close()
 
 	res, err := bench.RunLoad(bench.LoadConfig{
-		BaseURL:  ts.URL,
-		Graphs:   []string{"web", "social"},
-		Clients:  64,
-		Duration: 5 * time.Second,
-		Seed:     2026,
-		Spread:   3,
+		BaseURL:   ts.URL,
+		Graphs:    []string{"web", "social"},
+		Clients:   64,
+		Duration:  5 * time.Second,
+		Seed:      2026,
+		Spread:    3,
+		MutateMix: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("load: %d requests, status=%v, hits=%d, transport errors=%d",
-		res.Requests, res.Status, res.CacheHits, res.TransportErrors)
+	t.Logf("load: %d requests, status=%v, hits=%d, transport errors=%d, mutations=%d (errors=%d), epochs=%v",
+		res.Requests, res.Status, res.CacheHits, res.TransportErrors,
+		res.Mutations, res.MutationErrors, res.FinalEpochs)
 
 	if res.Requests == 0 || res.OK() == 0 {
 		t.Fatalf("no successful requests: %+v", res)
@@ -54,6 +56,18 @@ func TestSustainedLoad(t *testing.T) {
 	}
 	if n := res.ServerErrors(); n > 0 {
 		t.Fatalf("%d 5xx responses under load: %v", n, res.Status)
+	}
+
+	// The mutate mix must actually commit, every batch verified
+	// bit-identical to the from-scratch recompute, and the version bump
+	// must be visible to clients.
+	if res.Mutations == 0 || res.MutationErrors > 0 {
+		t.Fatalf("mutate mix: %d committed, %d errors", res.Mutations, res.MutationErrors)
+	}
+	for _, g := range []string{"web", "social"} {
+		if res.FinalEpochs[g] < 2 {
+			t.Fatalf("graph %s never advanced past epoch %d", g, res.FinalEpochs[g])
+		}
 	}
 
 	st := s.StatusSnapshot()

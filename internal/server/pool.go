@@ -12,8 +12,8 @@ import (
 )
 
 // graphVariant selects which derived form of a loaded graph an
-// algorithm runs on. Variants are built once per graph, on first use,
-// and shared by every pool slot.
+// algorithm runs on. Variants are built once per epoch, on first use,
+// and shared by every pool slot at that epoch.
 type graphVariant int
 
 const (
@@ -33,40 +33,14 @@ func (v graphVariant) String() string {
 	}
 }
 
-// graphInfo carries the graph-derived defaults canonicalization needs.
+// graphInfo carries the graph-derived defaults canonicalization needs,
+// per epoch.
 type graphInfo struct {
 	vertices    int
 	edges       int64
 	defaultRoot int
-}
-
-// graphEntry is one loaded graph with its lazily built variants.
-type graphEntry struct {
-	name string
-	base *graph.Graph
-	info graphInfo
-
-	mu       sync.Mutex
-	variants map[graphVariant]*graph.Graph
-}
-
-func (e *graphEntry) variant(v graphVariant) *graph.Graph {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if g, ok := e.variants[v]; ok {
-		return g
-	}
-	g := e.base
-	switch v {
-	case variantUndirected:
-		g = graph.Symmetrize(e.base)
-	case variantWeighted:
-		if !e.base.Weighted() {
-			g = graph.RandomWeights(e.base, 7)
-		}
-	}
-	e.variants[v] = g
-	return g
+	weighted    bool // the base graph carries real weights
+	epoch       uint64
 }
 
 // slot is one leased unit: a warm engine plus the coordinates it was
@@ -76,15 +50,27 @@ type slot struct {
 	eng      Engine
 	provider string
 	graph    string
+	epoch    uint64
 	variant  graphVariant
 	mode     core.Mode
 	id       int
 }
 
-// poolEntry is the free list for one (provider, graph, variant, mode)
-// tuple. Engines are built lazily — the first lease pays partition (and,
-// for remote providers, graph-shipping) cost, later leases reuse warm
-// slots — up to the pool's per-entry cap.
+// entryKey identifies one free list: slots are keyed by epoch, so a
+// commit naturally drains old-epoch entries while in-flight queries
+// finish on the version they started on.
+type entryKey struct {
+	provider string
+	graph    string
+	epoch    uint64
+	variant  graphVariant
+	mode     core.Mode
+}
+
+// poolEntry is the free list for one (provider, graph, epoch, variant,
+// mode) tuple. Engines are built lazily — the first lease pays
+// partition (and, for remote providers, graph-shipping) cost, later
+// leases reuse warm slots — up to the pool's per-entry cap.
 type poolEntry struct {
 	free  chan *slot
 	mu    sync.Mutex
@@ -93,7 +79,8 @@ type poolEntry struct {
 
 // PoolConfig configures the engine pool.
 type PoolConfig struct {
-	// Graphs maps serving names to loaded graphs.
+	// Graphs maps serving names to loaded graphs (each becomes the
+	// root epoch of a version chain).
 	Graphs map[string]*graph.Graph
 	// Providers lists the engine providers slots can be built on,
 	// keyed into the pool by Name(). At least one is required.
@@ -102,31 +89,35 @@ type PoolConfig struct {
 	// pick one; empty selects the first entry of Providers.
 	DefaultProvider string
 	// SlotsPerEntry caps concurrent engines per (provider, graph,
-	// variant, mode).
+	// epoch, variant, mode).
 	SlotsPerEntry int
+	// Retention is how many epochs each graph keeps resolvable
+	// (default mutate.DefaultRetention).
+	Retention int
 	// Tracer is the shared tracer slots record into when no
 	// per-request capture is active.
 	Tracer *obs.Tracer
 }
 
 // Pool owns the warm engines the server leases per request. Slots from
-// different providers coexist: the pool key is (provider, graph,
+// different providers coexist: the pool key is (provider, graph, epoch,
 // variant, mode), so an in-process cluster and a remote worker ring for
-// the same graph are separate free lists.
+// the same graph are separate free lists, and two epochs of one graph
+// never share an engine.
 type Pool struct {
 	cfg       PoolConfig
 	providers map[string]EngineProvider
 	defName   string
 	graphs    map[string]*graphEntry
 	mu        sync.Mutex
-	entries   map[string]*poolEntry
+	entries   map[entryKey]*poolEntry
 	slots     []*slot // every slot ever built, for stats aggregation
 	nextID    int
 }
 
 // NewPool validates the configuration and indexes the graphs and
 // providers. Engines are not built yet; the first query for each
-// (provider, graph, variant) pays that cost.
+// (provider, graph, epoch, variant) pays that cost.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	if len(cfg.Graphs) == 0 {
 		return nil, fmt.Errorf("server: pool needs at least one graph")
@@ -141,7 +132,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		cfg:       cfg,
 		providers: make(map[string]EngineProvider, len(cfg.Providers)),
 		graphs:    make(map[string]*graphEntry, len(cfg.Graphs)),
-		entries:   make(map[string]*poolEntry),
+		entries:   make(map[entryKey]*poolEntry),
 	}
 	for _, prov := range cfg.Providers {
 		if _, dup := p.providers[prov.Name()]; dup {
@@ -157,28 +148,28 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		return nil, fmt.Errorf("server: default provider %q not in provider list", p.defName)
 	}
 	for name, g := range cfg.Graphs {
-		root, _ := graph.LargestOutDegreeVertex(g)
-		p.graphs[name] = &graphEntry{
-			name: name,
-			base: g,
-			info: graphInfo{
-				vertices:    g.NumVertices(),
-				edges:       g.NumEdges(),
-				defaultRoot: int(root),
-			},
-			variants: map[graphVariant]*graph.Graph{variantDirected: g},
+		ge, err := newGraphEntry(name, g, cfg.Retention)
+		if err != nil {
+			return nil, err
 		}
+		p.graphs[name] = ge
 	}
 	return p, nil
 }
 
-// Info returns the graph-derived defaults for name.
+// Entry returns the version chain for a served graph.
+func (p *Pool) Entry(name string) (*graphEntry, bool) {
+	e, ok := p.graphs[name]
+	return e, ok
+}
+
+// Info returns the latest epoch's graph-derived defaults for name.
 func (p *Pool) Info(name string) (graphInfo, bool) {
 	e, ok := p.graphs[name]
 	if !ok {
 		return graphInfo{}, false
 	}
-	return e.info, true
+	return e.Latest().Info(), true
 }
 
 // GraphNames lists the served graphs in sorted order, so status
@@ -211,23 +202,28 @@ func (p *Pool) ProviderNames() []string {
 	return names
 }
 
-func (p *Pool) entry(provider, graphName string, v graphVariant, mode core.Mode) *poolEntry {
-	key := fmt.Sprintf("%s/%s/%v/%v", provider, graphName, v, mode)
+func (p *Pool) entry(k entryKey) *poolEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	e, ok := p.entries[key]
+	e, ok := p.entries[k]
 	if !ok {
 		e = &poolEntry{free: make(chan *slot, p.cfg.SlotsPerEntry)}
-		p.entries[key] = e
+		p.entries[k] = e
 	}
 	return e
 }
 
-// Lease hands out a warm engine for (provider, graphName, variant),
-// building one if the entry has spare capacity, otherwise blocking
-// until a slot is released or ctx is done. An empty provider selects
-// the pool's default.
-func (p *Pool) Lease(ctx context.Context, provider, graphName string, v graphVariant, mode core.Mode) (*slot, error) {
+func keyOf(s *slot) entryKey {
+	return entryKey{provider: s.provider, graph: s.graph, epoch: s.epoch, variant: s.variant, mode: s.mode}
+}
+
+// Lease hands out a warm engine for (provider, graphName, epoch,
+// variant), building one if the entry has spare capacity, otherwise
+// blocking until a slot is released or ctx is done. An empty provider
+// selects the pool's default. epoch 0 resolves to latest; it is pinned
+// to a concrete epoch here, before any blocking, so a commit mid-wait
+// cannot move the query to a different version than the one reported.
+func (p *Pool) Lease(ctx context.Context, provider, graphName string, epoch uint64, v graphVariant, mode core.Mode) (*slot, error) {
 	if provider == "" {
 		provider = p.defName
 	}
@@ -239,7 +235,13 @@ func (p *Pool) Lease(ctx context.Context, provider, graphName string, v graphVar
 	if !ok {
 		return nil, fmt.Errorf("unknown graph %q", graphName)
 	}
-	e := p.entry(provider, graphName, v, mode)
+	st, err := ge.Resolve(epoch)
+	if err != nil {
+		return nil, err
+	}
+	epoch = st.Epoch()
+	k := entryKey{provider: provider, graph: graphName, epoch: epoch, variant: v, mode: mode}
+	e := p.entry(k)
 
 	select {
 	case s := <-e.free:
@@ -250,7 +252,7 @@ func (p *Pool) Lease(ctx context.Context, provider, graphName string, v graphVar
 	if e.built < p.cfg.SlotsPerEntry {
 		e.built++
 		e.mu.Unlock()
-		s, err := p.build(prov, ge, v, mode)
+		s, err := p.build(prov, ge, epoch, v, mode)
 		if err != nil {
 			e.mu.Lock()
 			e.built--
@@ -286,7 +288,7 @@ func (p *Pool) freshen(prov EngineProvider, ge *graphEntry, e *poolEntry, s *slo
 		return s, nil
 	}
 	s.eng.Close()
-	fresh, err := p.build(prov, ge, s.variant, s.mode)
+	fresh, err := p.build(prov, ge, s.epoch, s.variant, s.mode)
 	if err != nil {
 		e.mu.Lock()
 		e.built--
@@ -296,23 +298,21 @@ func (p *Pool) freshen(prov EngineProvider, ge *graphEntry, e *poolEntry, s *slo
 	return fresh, nil
 }
 
-func (p *Pool) build(prov EngineProvider, ge *graphEntry, v graphVariant, mode core.Mode) (*slot, error) {
+func (p *Pool) build(prov EngineProvider, ge *graphEntry, epoch uint64, v graphVariant, mode core.Mode) (*slot, error) {
+	st, err := ge.Resolve(epoch)
+	if err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	id := p.nextID
 	p.nextID++
 	p.mu.Unlock()
 
-	eng, err := prov.Build(BuildSpec{
-		GraphName: ge.name,
-		Variant:   v,
-		Graph:     ge.variant(v),
-		Mode:      mode,
-		SlotID:    id,
-	})
+	eng, err := prov.Build(st.buildSpec(ge.name, v, mode, id))
 	if err != nil {
 		return nil, fmt.Errorf("provider %s: %w", prov.Name(), err)
 	}
-	s := &slot{eng: eng, provider: prov.Name(), graph: ge.name, variant: v, mode: mode, id: id}
+	s := &slot{eng: eng, provider: prov.Name(), graph: ge.name, epoch: st.Epoch(), variant: v, mode: mode, id: id}
 	p.mu.Lock()
 	p.slots = append(p.slots, s)
 	p.mu.Unlock()
@@ -326,10 +326,25 @@ func (p *Pool) build(prov EngineProvider, ge *graphEntry, v graphVariant, mode c
 // scratch through its provider otherwise — so the pool never recycles a
 // broken slot, and a dead remote worker triggers a rebuild that
 // re-evaluates the roster and re-forms the ring over the survivors.
+// A slot whose epoch has been superseded is closed instead of pooled:
+// the query that held it finished on the version it started on, and
+// the next lease builds at the epoch it asks for.
 func (p *Pool) Release(s *slot) {
 	finishErr := s.eng.FinishQuery()
 	s.eng.SetBaseContext(nil)
 	s.eng.SetTracer(p.cfg.Tracer)
+
+	if ge := p.graphs[s.graph]; ge != nil {
+		if _, hi := ge.store.Window(); s.epoch < hi {
+			s.eng.Close()
+			e := p.entry(keyOf(s))
+			e.mu.Lock()
+			e.built--
+			e.mu.Unlock()
+			return
+		}
+	}
+
 	rebuild := false
 	if finishErr != nil || s.eng.Poisoned() != nil {
 		if err := s.eng.Reset(); err != nil || finishErr != nil {
@@ -348,14 +363,14 @@ func (p *Pool) Release(s *slot) {
 		var fresh *slot
 		var berr error
 		if prov != nil && ge != nil {
-			fresh, berr = p.build(prov, ge, s.variant, s.mode)
+			fresh, berr = p.build(prov, ge, s.epoch, s.variant, s.mode)
 		} else {
 			berr = fmt.Errorf("slot %d has no provider/graph to rebuild from", s.id)
 		}
 		if berr != nil {
 			// Capacity shrinks by one slot; the next lease with
 			// spare room rebuilds it.
-			e := p.entry(s.provider, s.graph, s.variant, s.mode)
+			e := p.entry(keyOf(s))
 			e.mu.Lock()
 			e.built--
 			e.mu.Unlock()
@@ -363,7 +378,7 @@ func (p *Pool) Release(s *slot) {
 		}
 		s = fresh
 	}
-	e := p.entry(s.provider, s.graph, s.variant, s.mode)
+	e := p.entry(keyOf(s))
 	select {
 	case e.free <- s:
 	default:
@@ -372,6 +387,48 @@ func (p *Pool) Release(s *slot) {
 		// a release).
 		s.eng.Close()
 	}
+}
+
+// RetireEpochs drains and closes every idle slot of graphName built
+// for an epoch older than the latest, reclaiming engines (and remote
+// worker slots) the new version obsoletes. Leased slots are untouched:
+// their queries finish on the epoch they started on, and Release
+// closes them on the way back.
+func (p *Pool) RetireEpochs(graphName string) int {
+	ge, ok := p.graphs[graphName]
+	if !ok {
+		return 0
+	}
+	_, hi := ge.store.Window()
+	p.mu.Lock()
+	type victim struct {
+		key entryKey
+		e   *poolEntry
+	}
+	var victims []victim
+	for k, e := range p.entries {
+		if k.graph == graphName && k.epoch < hi {
+			victims = append(victims, victim{key: k, e: e})
+		}
+	}
+	p.mu.Unlock()
+	retired := 0
+	for _, v := range victims {
+		for {
+			select {
+			case s := <-v.e.free:
+				s.eng.Close()
+				v.e.mu.Lock()
+				v.e.built--
+				v.e.mu.Unlock()
+				retired++
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	return retired
 }
 
 // Close tears down every idle engine and then the providers. Leased

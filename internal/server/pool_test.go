@@ -62,11 +62,11 @@ func TestPoolConcurrentLeasesMatchSequential(t *testing.T) {
 	// rounds so the slots are recycled through Release in between.
 	ctx := context.Background()
 	for round := 0; round < 3; round++ {
-		s1, err := p.Lease(ctx, "", "g", variantDirected, mode)
+		s1, err := p.Lease(ctx, "", "g", 0, variantDirected, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s2, err := p.Lease(ctx, "local", "g", variantUndirected, mode)
+		s2, err := p.Lease(ctx, "local", "g", 0, variantUndirected, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,18 +116,18 @@ func TestPoolLeaseBlocksAtCapacity(t *testing.T) {
 	mode := core.ModeSympleGraph
 	ctx := context.Background()
 
-	s1, err := p.Lease(ctx, "", "g", variantDirected, mode)
+	s1, err := p.Lease(ctx, "", "g", 0, variantDirected, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := p.Lease(ctx, "", "g", variantDirected, mode)
+	s2, err := p.Lease(ctx, "", "g", 0, variantDirected, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	done := make(chan *slot)
 	go func() {
-		s3, err := p.Lease(ctx, "", "g", variantDirected, mode)
+		s3, err := p.Lease(ctx, "", "g", 0, variantDirected, mode)
 		if err != nil {
 			t.Errorf("blocked lease: %v", err)
 		}
@@ -147,20 +147,20 @@ func TestPoolLeaseBlocksAtCapacity(t *testing.T) {
 	p.Release(s3)
 
 	// At capacity with nothing released, a deadline unblocks the wait.
-	a, _ := p.Lease(ctx, "", "g", variantDirected, mode)
-	b, _ := p.Lease(ctx, "", "g", variantDirected, mode)
+	a, _ := p.Lease(ctx, "", "g", 0, variantDirected, mode)
+	b, _ := p.Lease(ctx, "", "g", 0, variantDirected, mode)
 	cctx, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := p.Lease(cctx, "", "g", variantDirected, mode); err != context.Canceled {
+	if _, err := p.Lease(cctx, "", "g", 0, variantDirected, mode); err != context.Canceled {
 		t.Fatalf("cancelled lease: %v", err)
 	}
 	p.Release(a)
 	p.Release(b)
 
-	if _, err := p.Lease(ctx, "", "missing", variantDirected, mode); err == nil {
+	if _, err := p.Lease(ctx, "", "missing", 0, variantDirected, mode); err == nil {
 		t.Fatal("unknown graph leased")
 	}
-	if _, err := p.Lease(ctx, "nosuch", "g", variantDirected, mode); err == nil {
+	if _, err := p.Lease(ctx, "nosuch", "g", 0, variantDirected, mode); err == nil {
 		t.Fatal("unknown provider leased")
 	}
 }

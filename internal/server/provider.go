@@ -34,6 +34,9 @@ type Engine interface {
 }
 
 // BuildSpec describes one engine the pool asks a provider to build.
+// It is assembled by the snapshot accessor, so the graph, epoch and
+// fingerprints are mutually consistent by construction; providers
+// reading spec.Graph are epoch-pinned for free.
 type BuildSpec struct {
 	// GraphName is the serving name; Graph the (variant-derived) graph
 	// the engine must load.
@@ -45,6 +48,22 @@ type BuildSpec struct {
 	// SlotID is the pool-unique slot number, for checkpoint roots and
 	// diagnostics.
 	SlotID int
+
+	// Epoch identifies the graph version; FP names this (epoch,
+	// variant) for worker-side caching.
+	Epoch uint64
+	FP    string
+	// Blob lazily serializes Graph (memoized per epoch/variant) for
+	// full-graph shipping; delta shipping never calls it.
+	Blob func() ([]byte, string, error)
+	// ParentFP/DeltaBytes, when set, offer the cheap ship path: a
+	// worker holding ParentFP applies the canonical delta instead of
+	// receiving the whole graph. DeltaChained marks deltas whose
+	// result fingerprint is ChainFingerprint(ParentFP, DeltaBytes),
+	// which the worker verifies before trusting the frame.
+	ParentFP     string
+	DeltaBytes   []byte
+	DeltaChained bool
 }
 
 // EngineProvider builds warm engines for the pool. The provider owns

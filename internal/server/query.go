@@ -20,6 +20,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 )
 
 // Request is one algorithm query. Fields irrelevant to the requested
@@ -35,6 +36,11 @@ type Request struct {
 	Iters   int    `json:"iters"`   // kmeans outer iterations / pagerank iterations
 	Rounds  int    `json:"rounds"`  // sampling
 	Seed    uint64 `json:"seed"`    // mis/kmeans/sampling
+	// Epoch pins the query to one graph version; 0 resolves to the
+	// latest at admission time and is rewritten to the concrete epoch,
+	// so the cache key and the leased engine always agree on the
+	// version, even when a mutation commits mid-flight.
+	Epoch uint64 `json:"epoch"`
 
 	// Per-request scheduling knobs; never part of the cache key.
 	// Provider stays out of the key deliberately: results are
@@ -102,6 +108,13 @@ func parseQueryValues(v url.Values) (Request, error) {
 		}
 		q.Seed = n
 	}
+	if s := v.Get("epoch"); s != "" && err == nil {
+		n, e := strconv.ParseUint(s, 10, 64)
+		if e != nil {
+			err = fmt.Errorf("bad epoch=%q", s)
+		}
+		q.Epoch = n
+	}
 	q.NoCache = v.Get("no_cache") == "1" || v.Get("no_cache") == "true"
 	q.Trace = v.Get("trace") == "1" || v.Get("trace") == "true"
 	q.Provider = v.Get("provider")
@@ -123,7 +136,7 @@ func canonicalize(q Request, info graphInfo) (Request, error) {
 		return q, err
 	}
 
-	c := Request{Graph: q.Graph, Algo: q.Algo, Mode: q.Mode,
+	c := Request{Graph: q.Graph, Algo: q.Algo, Mode: q.Mode, Epoch: q.Epoch,
 		DeadlineMs: q.DeadlineMs, NoCache: q.NoCache, Trace: q.Trace, Provider: q.Provider}
 	switch q.Algo {
 	case "bfs", "sssp":
@@ -179,8 +192,8 @@ func defaultSeed(s uint64) uint64 {
 // canonicalized request. Scheduling knobs are deliberately absent: a
 // traced query and an untraced one compute the same answer.
 func cacheKey(q Request) string {
-	return fmt.Sprintf("g=%s|algo=%s|mode=%s|root=%d|k=%d|centers=%d|iters=%d|rounds=%d|seed=%d",
-		q.Graph, q.Algo, q.Mode, q.Root, q.K, q.Centers, q.Iters, q.Rounds, q.Seed)
+	return fmt.Sprintf("g=%s|e=%d|algo=%s|mode=%s|root=%d|k=%d|centers=%d|iters=%d|rounds=%d|seed=%d",
+		q.Graph, q.Epoch, q.Algo, q.Mode, q.Root, q.K, q.Centers, q.Iters, q.Rounds, q.Seed)
 }
 
 // variantFor maps an algorithm to the graph variant it runs on:
@@ -233,9 +246,11 @@ type TraceSpan struct {
 
 // Response is the full answer to one query.
 type Response struct {
-	Graph     string      `json:"graph"`
-	Algo      string      `json:"algo"`
-	Mode      string      `json:"mode"`
+	Graph string `json:"graph"`
+	Algo  string `json:"algo"`
+	Mode  string `json:"mode"`
+	// Epoch is the graph version this answer was computed on.
+	Epoch     uint64      `json:"epoch,omitempty"`
 	Result    Result      `json:"result"`
 	Engine    EngineStats `json:"engine"`
 	Cached    bool        `json:"cached"`
@@ -256,34 +271,48 @@ type Response struct {
 // dispatch runs on every machine of a distributed engine — the
 // canonical request is the SPMD program selector, so front-end and
 // workers issue identical Execute sequences.
-func runAlgorithm(c core.Engine, q Request) (Result, error) {
+//
+// The returned Region is the answer's read-set signature, for
+// delta-keyed cache invalidation: traversals from a root read only the
+// vertices they reach (a mutation touching no reached vertex cannot
+// change the answer — an arc out of an unreached vertex never relaxes,
+// and an arc into one would have made it reached), so they report the
+// reached set; whole-graph algorithms report the full region.
+func runAlgorithm(c core.Engine, q Request) (Result, mutate.Region, error) {
 	var res Result
+	region := mutate.FullRegion()
 	switch q.Algo {
 	case "bfs":
 		out, err := algorithms.BFS(c, graph.VertexID(q.Root))
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
-		for _, d := range out.Depth {
+		var reads mutate.Region
+		for v, d := range out.Depth {
 			if d >= 0 {
 				res.Reached++
+				reads.Add(graph.VertexID(v))
 			}
 		}
+		region = reads
 		res.TopDownSteps, res.BottomUpSteps = out.TopDownSteps, out.BottomUpSteps
 	case "sssp":
 		dist, err := algorithms.SSSP(c, graph.VertexID(q.Root))
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
-		for _, d := range dist {
+		var reads mutate.Region
+		for v, d := range dist {
 			if d < algorithms.InfDist {
 				res.Reached++
+				reads.Add(graph.VertexID(v))
 			}
 		}
+		region = reads
 	case "kcore":
 		out, err := algorithms.KCore(c, q.K)
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
 		for _, in := range out.InCore {
 			if in {
@@ -294,7 +323,7 @@ func runAlgorithm(c core.Engine, q Request) (Result, error) {
 	case "mis":
 		out, err := algorithms.MIS(c, q.Seed)
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
 		for _, in := range out.InMIS {
 			if in {
@@ -305,21 +334,21 @@ func runAlgorithm(c core.Engine, q Request) (Result, error) {
 	case "kmeans":
 		out, err := algorithms.KMeans(c, q.Centers, q.Iters, q.Seed)
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
 		res.DistSums = out.DistSums
 		res.Rounds = out.Rounds
 	case "sampling":
 		out, err := algorithms.Sample(c, q.Seed, q.Rounds)
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
 		res.ExactPicks = out.ExactPicks
 		res.Rounds = q.Rounds
 	case "pagerank":
 		rank, err := algorithms.PageRank(c, q.Iters, 0.85)
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
 		for v, r := range rank {
 			if r > res.TopRank {
@@ -329,7 +358,7 @@ func runAlgorithm(c core.Engine, q Request) (Result, error) {
 	case "cc":
 		labels, err := algorithms.ConnectedComponents(c)
 		if err != nil {
-			return res, err
+			return res, region, err
 		}
 		comps := map[uint32]bool{}
 		for _, l := range labels {
@@ -337,9 +366,9 @@ func runAlgorithm(c core.Engine, q Request) (Result, error) {
 		}
 		res.Components = len(comps)
 	default:
-		return res, fmt.Errorf("unknown algo %q", q.Algo)
+		return res, region, fmt.Errorf("unknown algo %q", q.Algo)
 	}
-	return res, nil
+	return res, region, nil
 }
 
 func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

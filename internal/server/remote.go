@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -15,7 +14,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 )
 
@@ -25,11 +24,14 @@ import (
 // by the engine's TCP endpoints. The control protocol (comm.CtrlConn)
 // carries the per-slot negotiation:
 //
-//	front-end → worker   build {graph, variant, fp, node, nodes, opts}
+//	front-end → worker   build {graph, variant, fp, parent_fp, epoch, node, nodes, opts}
 //	worker → front-end   build-reject {reason}  (worker at slot capacity)
-//	worker → front-end   graph-state {have, offset}
-//	front-end → worker   graph {size, chunk} + chunked blob   (when the
-//	                     worker lacks fp; resumes from offset)
+//	worker → front-end   graph-state {have, have_parent, offset, epoch}
+//	front-end → worker   delta {size, sha, chained} + chunked batch  (when
+//	                     the worker holds parent_fp; it applies the
+//	                     canonical mutation batch locally)
+//	front-end → worker   graph {size, chunk, sha} + chunked blob  (when the
+//	                     worker lacks both fp and parent; resumes from offset)
 //	worker → front-end   ready {data_addr}
 //	front-end → worker   start {addrs}       (the full data-plane address list)
 //	worker → front-end   up {error}          (mesh formed, engine built)
@@ -80,12 +82,18 @@ type wireOptions struct {
 }
 
 type buildMsg struct {
-	Graph   string      `json:"graph"`
-	Variant string      `json:"variant"`
-	FP      string      `json:"fp"` // sha256 of the serialized graph
-	Node    int         `json:"node"`
-	Nodes   int         `json:"nodes"`
-	Opts    wireOptions `json:"opts"`
+	Graph   string `json:"graph"`
+	Variant string `json:"variant"`
+	// FP names the (epoch, variant) graph version; ParentFP the same
+	// variant at the parent epoch, offered so the worker can answer
+	// whether a delta ship suffices. Epoch is the version number, for
+	// worker-side bookkeeping and chaos assertions.
+	FP       string      `json:"fp"`
+	ParentFP string      `json:"parent_fp,omitempty"`
+	Epoch    uint64      `json:"epoch,omitempty"`
+	Node     int         `json:"node"`
+	Nodes    int         `json:"nodes"`
+	Opts     wireOptions `json:"opts"`
 }
 
 // rejectMsg is a worker's refusal to host another slot.
@@ -95,22 +103,39 @@ type rejectMsg struct {
 
 type graphStateMsg struct {
 	Have bool `json:"have"`
+	// HaveParent reports the worker holds the parent-epoch variant, so
+	// the sender may ship the canonical delta instead of the blob.
+	HaveParent bool `json:"have_parent,omitempty"`
 	// Offset is how many bytes of a previously interrupted transfer of
 	// this fingerprint the worker retained; the sender resumes there.
 	Offset int `json:"offset,omitempty"`
+	// Epoch is the newest epoch the worker has seen for this
+	// graph/variant, for observability.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// graphMsg announces a chunked graph transfer.
+// graphMsg announces a chunked full-graph transfer.
 type graphMsg struct {
-	Size  int `json:"size"`  // total serialized bytes
-	Chunk int `json:"chunk"` // chunk size the sender will use
+	Size  int    `json:"size"`  // total serialized bytes
+	Chunk int    `json:"chunk"` // chunk size the sender will use
+	SHA   string `json:"sha"`   // sha256 of the blob, verified on receipt
+}
+
+// deltaMsg announces a chunked delta transfer: the worker applies the
+// canonical batch to the parent-epoch graph it already holds instead
+// of receiving the whole adjacency. Chained deltas additionally prove
+// the result: FP == ChainFingerprint(ParentFP, bytes).
+type deltaMsg struct {
+	Size    int    `json:"size"`
+	SHA     string `json:"sha"` // sha256 of the delta bytes
+	Chained bool   `json:"chained,omitempty"`
 }
 
 // preloadMsg asks a rejoining worker to warm one graph fingerprint
 // ahead of slot builds.
 type preloadMsg struct {
-	FP   string `json:"fp"`
-	Size int    `json:"size"`
+	FP       string `json:"fp"`
+	ParentFP string `json:"parent_fp,omitempty"`
 }
 
 type readyMsg struct {
@@ -161,20 +186,55 @@ type RemoteProviderConfig struct {
 	Registry *obs.Registry
 }
 
+// maxCachedShips bounds the fp-keyed ship cache: old epochs' payloads
+// age out in insertion order once no build references them.
+const maxCachedShips = 32
+
 // RemoteProvider builds engines over a roster of sgworker processes.
 type RemoteProvider struct {
 	cfg    RemoteProviderConfig
 	roster *rosterManager
 
-	mu    sync.Mutex
-	blobs map[*graph.Graph]graphBlob // serialized-variant cache
+	mu        sync.Mutex
+	ships     map[string]*shipEntry // fp → ship payloads
+	shipOrder []string              // insertion order, for eviction
 
+	deltaShips     atomic.Int64
 	degradedBuilds atomic.Int64
 }
 
-type graphBlob struct {
-	data []byte
-	fp   string
+// shipEntry is everything needed to get one (epoch, variant) graph
+// onto a worker: the delta path (when the front-end could compute one)
+// and the lazily materialized full blob.
+type shipEntry struct {
+	fp       string
+	parentFP string
+	delta    []byte
+	deltaSHA string
+	chained  bool
+
+	blobFn  func() ([]byte, string, error)
+	mu      sync.Mutex
+	blob    []byte
+	blobSHA string
+}
+
+// fullBlob materializes (once) the full serialized graph.
+func (e *shipEntry) fullBlob() ([]byte, string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.blob != nil {
+		return e.blob, e.blobSHA, nil
+	}
+	if e.blobFn == nil {
+		return nil, "", fmt.Errorf("no blob source for fp %.12s", e.fp)
+	}
+	data, sha, err := e.blobFn()
+	if err != nil {
+		return nil, "", err
+	}
+	e.blob, e.blobSHA = data, sha
+	return data, sha, nil
 }
 
 // NewRemoteProvider returns a provider that schedules onto cfg.Workers,
@@ -195,7 +255,7 @@ func NewRemoteProvider(cfg RemoteProviderConfig) EngineProvider {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	p := &RemoteProvider{cfg: cfg, blobs: make(map[*graph.Graph]graphBlob)}
+	p := &RemoteProvider{cfg: cfg, ships: make(map[string]*shipEntry)}
 	p.roster = newRosterManager(RosterConfig{
 		Workers:       cfg.Workers,
 		ProbeInterval: cfg.ProbeInterval,
@@ -219,33 +279,61 @@ func (p *RemoteProvider) Close() { p.roster.Close() }
 // Fleet exposes the roster snapshot for /statusz.
 func (p *RemoteProvider) Fleet() FleetStatus { return p.roster.Fleet() }
 
-// blobFor serializes g once and caches the bytes + fingerprint; every
-// slot build for the same variant reuses them, and workers that already
-// hold the fingerprint skip the transfer entirely.
-func (p *RemoteProvider) blobFor(g *graph.Graph) (graphBlob, error) {
+// shipFor indexes the spec's ship payloads by fingerprint: every slot
+// build for the same (epoch, variant) reuses them, workers that
+// already hold the fingerprint skip the transfer entirely, and workers
+// holding the parent epoch receive only the delta. A spec without
+// version metadata (tests building the provider directly) falls back
+// to serializing the engine graph, fingerprinted by its blob hash.
+func (p *RemoteProvider) shipFor(spec BuildSpec) (*shipEntry, error) {
+	fp := spec.FP
+	blobFn := spec.Blob
+	if blobFn == nil {
+		g := spec.Graph
+		blobFn = func() ([]byte, string, error) { return mutate.SerializeGraph(g) }
+	}
+	if fp == "" {
+		data, sha, err := blobFn()
+		if err != nil {
+			return nil, err
+		}
+		fp = sha
+		blobFn = func() ([]byte, string, error) { return data, sha, nil }
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if b, ok := p.blobs[g]; ok {
-		return b, nil
+	e, ok := p.ships[fp]
+	if !ok {
+		e = &shipEntry{fp: fp, blobFn: blobFn}
+		if len(spec.DeltaBytes) > 0 && spec.ParentFP != "" {
+			sum := sha256.Sum256(spec.DeltaBytes)
+			e.parentFP = spec.ParentFP
+			e.delta = spec.DeltaBytes
+			e.deltaSHA = hex.EncodeToString(sum[:])
+			e.chained = spec.DeltaChained
+		}
+		p.ships[fp] = e
+		p.shipOrder = append(p.shipOrder, fp)
+		for len(p.shipOrder) > maxCachedShips {
+			delete(p.ships, p.shipOrder[0])
+			p.shipOrder = p.shipOrder[1:]
+		}
 	}
-	var buf bytes.Buffer
-	if err := graph.WriteBinary(&buf, g); err != nil {
-		return graphBlob{}, fmt.Errorf("serializing graph: %w", err)
-	}
-	sum := sha256.Sum256(buf.Bytes())
-	b := graphBlob{data: buf.Bytes(), fp: hex.EncodeToString(sum[:])}
-	p.blobs[g] = b
-	return b, nil
+	return e, nil
 }
 
-// cachedBlobs snapshots the serialized graphs for preloading, sorted by
+// DeltaShips counts graph transfers satisfied by a delta frame instead
+// of a full blob; test harnesses assert the cheap path was taken.
+func (p *RemoteProvider) DeltaShips() int64 { return p.deltaShips.Load() }
+
+// cachedShips snapshots the ship cache for preloading, sorted by
 // fingerprint so rejoin transfers are ordered deterministically.
-func (p *RemoteProvider) cachedBlobs() []graphBlob {
+func (p *RemoteProvider) cachedShips() []*shipEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]graphBlob, 0, len(p.blobs))
-	for _, b := range p.blobs {
-		out = append(out, b)
+	out := make([]*shipEntry, 0, len(p.ships))
+	for _, e := range p.ships {
+		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].fp < out[j].fp })
 	return out
@@ -253,11 +341,12 @@ func (p *RemoteProvider) cachedBlobs() []graphBlob {
 
 // preload is the roster's rejoin hook: re-ship every cached graph to a
 // worker coming back from dead, so its re-admission never stalls a slot
-// build on a cold transfer. Interrupted transfers resume from the
-// worker's retained offset.
+// build on a cold transfer. A worker that retained the parent epoch of
+// a cached ship gets only the delta; interrupted full transfers resume
+// from the worker's retained offset.
 func (p *RemoteProvider) preload(addr string) error {
-	blobs := p.cachedBlobs()
-	if len(blobs) == 0 {
+	ships := p.cachedShips()
+	if len(ships) == 0 {
 		return nil
 	}
 	cc, err := comm.DialCtrl(addr, p.cfg.DialTimeout)
@@ -267,8 +356,8 @@ func (p *RemoteProvider) preload(addr string) error {
 	defer cc.Close()
 	//sgvet:ignore commerr deadline-arm failure means the conn is already dead; the preload traffic below reports the real error
 	cc.SetDeadline(time.Now().Add(p.cfg.BuildTimeout))
-	for _, b := range blobs {
-		if err := p.shipBlob(cc, "preload", preloadMsg{FP: b.fp, Size: len(b.data)}, b); err != nil {
+	for _, e := range ships {
+		if err := p.shipGraph(cc, "preload", preloadMsg{FP: e.fp, ParentFP: e.parentFP}, e); err != nil {
 			return fmt.Errorf("preloading %s: %w", addr, err)
 		}
 		var up upMsg
@@ -282,11 +371,12 @@ func (p *RemoteProvider) preload(addr string) error {
 	return nil
 }
 
-// shipBlob runs the announce → graph-state → chunked-transfer exchange
+// shipGraph runs the announce → graph-state → chunked-transfer exchange
 // shared by preloading and slot builds: the worker reports what it has
-// (including a retained partial offset) and the sender ships only the
-// missing suffix.
-func (p *RemoteProvider) shipBlob(cc *comm.CtrlConn, announce string, msg any, b graphBlob) error {
+// (the fingerprint itself, the parent epoch, a retained partial offset)
+// and the sender picks the cheapest sufficient path — nothing, the
+// canonical delta, or the full blob's missing suffix.
+func (p *RemoteProvider) shipGraph(cc *comm.CtrlConn, announce string, msg any, e *shipEntry) error {
 	if err := cc.Send(announce, msg); err != nil {
 		return err
 	}
@@ -294,16 +384,37 @@ func (p *RemoteProvider) shipBlob(cc *comm.CtrlConn, announce string, msg any, b
 	if err := cc.Expect("graph-state", &gs); err != nil {
 		return err
 	}
+	return p.shipPayload(cc, gs, e)
+}
+
+// shipPayload is the transfer step after graph-state: nothing if the
+// worker has the fingerprint, the delta if it has the parent and one
+// exists, the full blob (resumed from the retained offset) otherwise.
+func (p *RemoteProvider) shipPayload(cc *comm.CtrlConn, gs graphStateMsg, e *shipEntry) error {
 	if gs.Have {
 		return nil
 	}
-	if gs.Offset < 0 || gs.Offset > len(b.data) {
-		gs.Offset = 0
+	if gs.HaveParent && len(e.delta) > 0 {
+		if err := cc.Send("delta", deltaMsg{Size: len(e.delta), SHA: e.deltaSHA, Chained: e.chained}); err != nil {
+			return err
+		}
+		if err := cc.SendBlobChunked(e.delta, 0, comm.DefaultChunkBytes); err != nil {
+			return err
+		}
+		p.deltaShips.Add(1)
+		return nil
 	}
-	if err := cc.Send("graph", graphMsg{Size: len(b.data), Chunk: comm.DefaultChunkBytes}); err != nil {
+	blob, sha, err := e.fullBlob()
+	if err != nil {
 		return err
 	}
-	return cc.SendBlobChunked(b.data, gs.Offset, comm.DefaultChunkBytes)
+	if gs.Offset < 0 || gs.Offset > len(blob) {
+		gs.Offset = 0
+	}
+	if err := cc.Send("graph", graphMsg{Size: len(blob), Chunk: comm.DefaultChunkBytes, SHA: sha}); err != nil {
+		return err
+	}
+	return cc.SendBlobChunked(blob, gs.Offset, comm.DefaultChunkBytes)
 }
 
 // Build forms a ring over the roster's healthy workers. A worker that
@@ -313,7 +424,7 @@ func (p *RemoteProvider) shipBlob(cc *comm.CtrlConn, announce string, msg any, b
 // build degrades to an in-process engine flagged degraded rather than
 // failing the query path.
 func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
-	blob, err := p.blobFor(spec.Graph)
+	ship, err := p.shipFor(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +441,7 @@ func (p *RemoteProvider) Build(spec BuildSpec) (Engine, error) {
 		if len(targets) == 0 {
 			break
 		}
-		eng, badAddr, rejected, err := p.buildAttempt(spec, blob, targets)
+		eng, badAddr, rejected, err := p.buildAttempt(spec, ship, targets)
 		if err == nil {
 			return eng, nil
 		}
@@ -359,7 +470,7 @@ type workerLink struct {
 // buildAttempt forms one ring over targets. On failure it names the
 // worker that broke the handshake (empty when the failure was local)
 // and whether it was a capacity rejection rather than a fault.
-func (p *RemoteProvider) buildAttempt(spec BuildSpec, blob graphBlob, targets []string) (eng Engine, badAddr string, rejected bool, err error) {
+func (p *RemoteProvider) buildAttempt(spec BuildSpec, ship *shipEntry, targets []string) (eng Engine, badAddr string, rejected bool, err error) {
 	var links []workerLink
 	for _, addr := range targets {
 		cc, derr := comm.DialCtrl(addr, p.cfg.DialTimeout)
@@ -417,7 +528,8 @@ func (p *RemoteProvider) buildAttempt(spec BuildSpec, blob graphBlob, targets []
 	for i, l := range links {
 		node := i + 1
 		msg := buildMsg{Graph: spec.GraphName, Variant: spec.Variant.String(),
-			FP: blob.fp, Node: node, Nodes: n, Opts: wire}
+			FP: ship.fp, ParentFP: spec.ParentFP, Epoch: spec.Epoch,
+			Node: node, Nodes: n, Opts: wire}
 		if err := l.cc.Send("build", msg); err != nil {
 			return fail(l, err)
 		}
@@ -437,16 +549,8 @@ func (p *RemoteProvider) buildAttempt(spec BuildSpec, blob graphBlob, targets []
 			if err := json.Unmarshal(env.Body, &gs); err != nil {
 				return fail(l, err)
 			}
-			if !gs.Have {
-				if gs.Offset < 0 || gs.Offset > len(blob.data) {
-					gs.Offset = 0
-				}
-				if err := l.cc.Send("graph", graphMsg{Size: len(blob.data), Chunk: comm.DefaultChunkBytes}); err != nil {
-					return fail(l, err)
-				}
-				if err := l.cc.SendBlobChunked(blob.data, gs.Offset, comm.DefaultChunkBytes); err != nil {
-					return fail(l, fmt.Errorf("shipping graph: %w", err))
-				}
+			if err := p.shipPayload(l.cc, gs, ship); err != nil {
+				return fail(l, fmt.Errorf("shipping graph: %w", err))
 			}
 		default:
 			return fail(l, fmt.Errorf("unexpected control message %q answering build", env.Type))

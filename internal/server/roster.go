@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +71,20 @@ func (s WorkerState) String() string {
 // tests read "healthy" rather than an opaque integer.
 func (s WorkerState) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the marshalled name, so Status round-trips
+// through JSON (statusz scrapers, test clients).
+func (s *WorkerState) UnmarshalJSON(data []byte) error {
+	name := strings.Trim(string(data), `"`)
+	for _, st := range []WorkerState{StateHealthy, StateSuspect, StateDead, StateRejoining} {
+		//sgvet:ignore fleetstate this IS the name→enum decoding table, the inverse of String()
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown worker state %q", name)
 }
 
 // pongMsg is a worker's answer to a control-plane ping: its current

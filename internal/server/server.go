@@ -13,6 +13,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// entries, 64 MiB; CacheEntries < 0 disables caching).
 	CacheEntries int
 	CacheBytes   int64
+	// Retention is how many graph epochs stay resolvable for pinned
+	// queries (default mutate.DefaultRetention).
+	Retention int
 	// CheckpointRoot, when set, persists superstep checkpoints per
 	// pool slot under this directory (local provider only; remote
 	// engines are rebuilt, not resumed).
@@ -101,6 +105,8 @@ type Server struct {
 	serverErr atomic.Int64
 	timeouts  atomic.Int64
 	coalesced atomic.Int64
+	mutations atomic.Int64
+	mutateErr atomic.Int64
 
 	deltaMu   sync.Mutex
 	deltaAt   time.Time
@@ -153,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 		Providers:       providers,
 		DefaultProvider: def,
 		SlotsPerEntry:   cfg.MaxInflight,
+		Retention:       cfg.Retention,
 		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
@@ -180,11 +187,13 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP mux:
 //
 //	GET|POST /query    run (or serve from cache) one algorithm query
+//	POST     /mutate   apply a mutation batch, bumping the graph epoch
 //	GET      /statusz  serving state: counters, histograms, cache, pool
 //	GET      /healthz  200 while accepting, 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/mutate", s.handleMutate)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -243,13 +252,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	info, ok := s.pool.Info(q.Graph)
+	ge, ok := s.pool.Entry(q.Graph)
 	if !ok {
 		s.clientErr.Add(1)
 		http.Error(w, fmt.Sprintf("unknown graph %q (serving %v)", q.Graph, s.pool.GraphNames()), http.StatusBadRequest)
 		return
 	}
-	q, err = canonicalize(q, info)
+	// Pin the version now: epoch 0 resolves to the latest snapshot,
+	// and the concrete epoch rides the canonical request from here on,
+	// so the cache key, the leased engine and the response all name
+	// the same immutable graph even if a mutation commits mid-flight.
+	st, err := ge.Resolve(q.Epoch)
+	if err != nil {
+		s.clientErr.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q.Epoch = st.Epoch()
+	q, err = canonicalize(q, st.Info())
 	if err != nil {
 		s.clientErr.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -370,7 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execute(ctx context.Context, q Request, key string) (Response, int, error) {
 	v := variantFor(q.Algo)
 	mode, _ := cliutil.ParseMode(q.Mode) // canonicalize validated it
-	slot, err := s.pool.Lease(ctx, q.Provider, q.Graph, v, mode)
+	slot, err := s.pool.Lease(ctx, q.Provider, q.Graph, q.Epoch, v, mode)
 	if err != nil {
 		if ctx.Err() != nil {
 			return Response{}, http.StatusGatewayTimeout, err
@@ -389,7 +409,7 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 
 	statsBefore := slot.eng.Stats().Restarts
 	engineStart := time.Now()
-	result, err := runAlgorithm(slot.eng, q)
+	result, region, err := runAlgorithm(slot.eng, q)
 	engineDur := time.Since(engineStart)
 	s.algos[q.Algo].engine.Observe(engineDur)
 	if err != nil {
@@ -403,11 +423,21 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 	if dg, ok := slot.eng.(interface{ Degraded() bool }); ok {
 		degraded = dg.Degraded()
 	}
+	// SSSP over synthesized weights reads more than it reaches: the
+	// seeded weights are positional, so any topology change reshuffles
+	// weights on unrelated edges. Its read-set is the whole graph.
+	if q.Algo == "sssp" {
+		if info, ok := s.pool.Info(q.Graph); ok && !info.weighted {
+			region = mutate.FullRegion()
+		}
+	}
+
 	run := slot.eng.Stats().Totals
 	resp := Response{
 		Graph:    q.Graph,
 		Algo:     q.Algo,
 		Mode:     q.Mode,
+		Epoch:    q.Epoch,
 		Provider: slot.provider,
 		Degraded: degraded,
 		Result:   result,
@@ -434,7 +464,7 @@ func (s *Server) execute(ctx context.Context, q Request, key string) (Response, 
 	cached.Degraded = false
 	if !q.NoCache {
 		if b, err := json.Marshal(cached); err == nil {
-			s.cache.Put(key, cached, int64(len(b)))
+			s.cache.Put(key, cached, int64(len(b)), q, region)
 		}
 	}
 	return resp, http.StatusOK, nil
@@ -495,9 +525,24 @@ type Status struct {
 	Pool      PoolCounters         `json:"pool"`
 	Admission AdmissionCounters    `json:"admission"`
 	Algos     map[string]AlgoStats `json:"algos"`
+	// Epochs reports each graph's version chain: current epoch and
+	// fingerprint, retained window, commit counters, and the
+	// incremental-vs-scratch recompute time split.
+	Epochs map[string]EpochStatus `json:"epochs"`
+	// Mutations counts /mutate commits (and rejected batches).
+	Mutations MutationCounters `json:"mutations"`
 	// Fleet reports worker health per provider that tracks a roster
 	// (the remote provider); absent for purely local serving.
 	Fleet map[string]FleetStatus `json:"fleet,omitempty"`
+}
+
+type MutationCounters struct {
+	Applied int64 `json:"applied"`
+	Errors  int64 `json:"errors"`
+	// CachePromoted/CacheDropped count cache entries carried across
+	// epochs versus invalidated by mutation regions.
+	CachePromoted int64 `json:"cache_promoted"`
+	CacheDropped  int64 `json:"cache_dropped"`
 }
 
 type GraphInfo struct {
@@ -590,7 +635,14 @@ func (s *Server) StatusSnapshot() Status {
 			MaxInflight: s.cfg.MaxInflight,
 			MaxQueue:    s.cfg.MaxQueue,
 		},
-		Algos: make(map[string]AlgoStats),
+		Algos:  make(map[string]AlgoStats),
+		Epochs: make(map[string]EpochStatus),
+		Mutations: MutationCounters{
+			Applied:       s.mutations.Load(),
+			Errors:        s.mutateErr.Load(),
+			CachePromoted: s.cache.promoted.Load(),
+			CacheDropped:  s.cache.dropped.Load(),
+		},
 	}
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(lookups)
@@ -599,9 +651,11 @@ func (s *Server) StatusSnapshot() Status {
 		st.Fleet = fleets
 	}
 	for _, n := range s.pool.GraphNames() { // already sorted
-
 		info, _ := s.pool.Info(n)
 		st.Graphs[n] = GraphInfo{Vertices: info.vertices, Edges: info.edges}
+		if ge, ok := s.pool.Entry(n); ok {
+			st.Epochs[n] = ge.epochStatus()
+		}
 	}
 	for name, pa := range s.algos {
 		if pa.queue.Snapshot().Count == 0 && pa.engine.Snapshot().Count == 0 {
@@ -685,6 +739,8 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterInt("server.requests.timeouts", s.timeouts.Load)
 	reg.RegisterInt("server.requests.rejected", s.adm.rejected.Load)
 	reg.RegisterInt("server.requests.coalesced", s.coalesced.Load)
+	reg.RegisterInt("server.mutations.applied", s.mutations.Load)
+	reg.RegisterInt("server.mutations.errors", s.mutateErr.Load)
 	reg.RegisterInt("server.pool.clusters", func() int64 { return int64(s.pool.Slots()) })
 	reg.RegisterInt("server.pool.restarts", s.pool.Restarts)
 	s.cache.RegisterMetrics(reg)

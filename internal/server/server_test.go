@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 )
 
 func testGraph(scale int, seed int64) *graph.Graph {
@@ -75,13 +76,13 @@ func TestCanonicalize(t *testing.T) {
 
 func TestResultCacheLRUAndBudgets(t *testing.T) {
 	rc := newResultCache(2, 1<<20)
-	rc.Put("a", Response{Algo: "a"}, 100)
-	rc.Put("b", Response{Algo: "b"}, 100)
+	rc.Put("a", Response{Algo: "a"}, 100, Request{}, mutate.FullRegion())
+	rc.Put("b", Response{Algo: "b"}, 100, Request{}, mutate.FullRegion())
 	if _, ok := rc.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
 	// "b" is now least recent; inserting "c" evicts it.
-	rc.Put("c", Response{Algo: "c"}, 100)
+	rc.Put("c", Response{Algo: "c"}, 100, Request{}, mutate.FullRegion())
 	if _, ok := rc.Get("b"); ok {
 		t.Fatal("b not evicted")
 	}
@@ -95,16 +96,16 @@ func TestResultCacheLRUAndBudgets(t *testing.T) {
 	// Byte budget: one huge entry forces the others out (but the
 	// newest entry itself always stays).
 	rc2 := newResultCache(10, 250)
-	rc2.Put("x", Response{}, 100)
-	rc2.Put("y", Response{}, 100)
-	rc2.Put("z", Response{}, 200)
+	rc2.Put("x", Response{}, 100, Request{}, mutate.FullRegion())
+	rc2.Put("y", Response{}, 100, Request{}, mutate.FullRegion())
+	rc2.Put("z", Response{}, 200, Request{}, mutate.FullRegion())
 	if rc2.Len() != 1 || rc2.Bytes() != 200 {
 		t.Fatalf("len=%d bytes=%d after byte-budget eviction", rc2.Len(), rc2.Bytes())
 	}
 
 	// Disabled cache never stores.
 	off := newResultCache(-1, 0)
-	off.Put("k", Response{}, 10)
+	off.Put("k", Response{}, 10, Request{}, mutate.FullRegion())
 	if _, ok := off.Get("k"); ok {
 		t.Fatal("disabled cache stored an entry")
 	}

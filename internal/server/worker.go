@@ -15,6 +15,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 )
 
@@ -56,14 +57,16 @@ type WorkerDaemon struct {
 	graphMu sync.Mutex
 	graphs  map[string]*graph.Graph // fingerprint → deserialized graph
 	partial map[string][]byte       // fingerprint → acked prefix of an interrupted transfer
+	epochs  map[string]uint64       // "graph/variant" → newest epoch seen
 
-	slotsActive atomic.Int64
-	slotsBuilt  atomic.Int64
-	buildsRej   atomic.Int64
-	runsStarted atomic.Int64
-	runsFailed  atomic.Int64
-	pings       atomic.Int64
-	preloads    atomic.Int64
+	slotsActive   atomic.Int64
+	slotsBuilt    atomic.Int64
+	buildsRej     atomic.Int64
+	runsStarted   atomic.Int64
+	runsFailed    atomic.Int64
+	pings         atomic.Int64
+	preloads      atomic.Int64
+	deltasApplied atomic.Int64
 }
 
 // workerConn is one control connection and the slot state hanging off
@@ -109,6 +112,7 @@ func StartWorkerDaemon(cfg WorkerConfig) (*WorkerDaemon, error) {
 		conns:   make(map[*workerConn]struct{}),
 		graphs:  make(map[string]*graph.Graph),
 		partial: make(map[string][]byte),
+		epochs:  make(map[string]uint64),
 	}
 	if cfg.Registry != nil {
 		cfg.Registry.RegisterInt("worker.slots_active", d.slotsActive.Load)
@@ -118,6 +122,7 @@ func StartWorkerDaemon(cfg WorkerConfig) (*WorkerDaemon, error) {
 		cfg.Registry.RegisterInt("worker.runs_failed", d.runsFailed.Load)
 		cfg.Registry.RegisterInt("worker.pings", d.pings.Load)
 		cfg.Registry.RegisterInt("worker.preloads", d.preloads.Load)
+		cfg.Registry.RegisterInt("worker.deltas_applied", d.deltasApplied.Load)
 		cfg.Registry.RegisterInt("worker.graphs_cached", func() int64 {
 			d.graphMu.Lock()
 			defer d.graphMu.Unlock()
@@ -138,6 +143,10 @@ func (d *WorkerDaemon) RunsStarted() int64 { return d.runsStarted.Load() }
 
 // SlotsBuilt counts engine slots successfully negotiated.
 func (d *WorkerDaemon) SlotsBuilt() int64 { return d.slotsBuilt.Load() }
+
+// DeltasApplied counts graph versions materialized from a delta frame
+// instead of a full blob; test harnesses assert the cheap path ran.
+func (d *WorkerDaemon) DeltasApplied() int64 { return d.deltasApplied.Load() }
 
 // GraphsCached counts distinct graph fingerprints held in memory; test
 // harnesses poll it to observe a preload landing.
@@ -250,15 +259,53 @@ func (d *WorkerDaemon) tryAcquireSlot() bool {
 	}
 }
 
-// recvGraphChunked receives one chunked graph transfer announced by a
-// graph message, resuming from (and on failure re-stashing) the
-// retained prefix for fp, and verifies the fingerprint before caching.
-func (d *WorkerDaemon) recvGraphChunked(cc *comm.CtrlConn, fp string, buf []byte) (*graph.Graph, error) {
-	var gm graphMsg
-	if err := cc.Expect("graph", &gm); err != nil {
+// noteEpoch records the newest epoch seen for a graph/variant and
+// returns what was recorded before — the graph-state reply reports the
+// prior high-water mark.
+func (d *WorkerDaemon) noteEpoch(graphName, variant string, epoch uint64) uint64 {
+	key := graphName + "/" + variant
+	d.graphMu.Lock()
+	defer d.graphMu.Unlock()
+	prev := d.epochs[key]
+	if epoch > prev {
+		d.epochs[key] = epoch
+	}
+	return prev
+}
+
+// recvGraphPayload receives one graph version announced by a build or
+// preload the worker lacks: either a delta frame (the canonical
+// mutation batch, applied to the cached parent-epoch graph) or a
+// chunked full blob, caching the result under fp.
+func (d *WorkerDaemon) recvGraphPayload(cc *comm.CtrlConn, fp, parentFP string, buf []byte) (*graph.Graph, error) {
+	env, err := cc.Recv()
+	if err != nil {
 		d.stashPartial(fp, buf)
 		return nil, err
 	}
+	switch env.Type {
+	case "graph":
+		var gm graphMsg
+		if err := json.Unmarshal(env.Body, &gm); err != nil {
+			d.stashPartial(fp, buf)
+			return nil, err
+		}
+		return d.recvGraphChunked(cc, fp, gm, buf)
+	case "delta":
+		var dm deltaMsg
+		if err := json.Unmarshal(env.Body, &dm); err != nil {
+			return nil, err
+		}
+		return d.recvDelta(cc, fp, parentFP, dm)
+	default:
+		return nil, fmt.Errorf("unexpected control message %q announcing graph payload", env.Type)
+	}
+}
+
+// recvGraphChunked receives one chunked full-graph transfer, resuming
+// from (and on failure re-stashing) the retained prefix for fp, and
+// verifies the content hash before caching.
+func (d *WorkerDaemon) recvGraphChunked(cc *comm.CtrlConn, fp string, gm graphMsg, buf []byte) (*graph.Graph, error) {
 	if gm.Size <= 0 || len(buf) > gm.Size {
 		buf = nil
 	}
@@ -270,13 +317,55 @@ func (d *WorkerDaemon) recvGraphChunked(cc *comm.CtrlConn, fp string, buf []byte
 		return nil, err
 	}
 	sum := sha256.Sum256(blob)
-	if hex.EncodeToString(sum[:]) != fp {
-		return nil, fmt.Errorf("graph blob fingerprint mismatch from %s", cc.RemoteAddr())
+	if hex.EncodeToString(sum[:]) != gm.SHA {
+		return nil, fmt.Errorf("graph blob hash mismatch from %s", cc.RemoteAddr())
 	}
 	g, err := graph.ReadBinary(bytes.NewReader(blob))
 	if err != nil {
 		return nil, fmt.Errorf("bad graph blob: %w", err)
 	}
+	d.storeGraph(fp, g)
+	return g, nil
+}
+
+// recvDelta materializes fp by applying a shipped mutation batch to the
+// cached parent-epoch graph. Integrity is the delta hash; chained
+// deltas additionally prove lineage: the sender's fingerprint must
+// equal ChainFingerprint(parentFP, bytes), so a torn or misdirected
+// batch cannot silently produce a wrong graph.
+func (d *WorkerDaemon) recvDelta(cc *comm.CtrlConn, fp, parentFP string, dm deltaMsg) (*graph.Graph, error) {
+	parent, ok := d.graphFor(parentFP)
+	if !ok {
+		return nil, fmt.Errorf("delta announced but parent fp %.12s not cached", parentFP)
+	}
+	blob, err := cc.RecvBlobChunked(nil, dm.Size)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != dm.SHA {
+		return nil, fmt.Errorf("delta hash mismatch from %s", cc.RemoteAddr())
+	}
+	if dm.Chained {
+		if got := mutate.ChainFingerprint(parentFP, blob); got != fp {
+			return nil, fmt.Errorf("delta chain mismatch: parent %.12s + batch → %.12s, want %.12s", parentFP, got, fp)
+		}
+	}
+	batch, err := mutate.DecodeBatch(blob)
+	if err != nil {
+		return nil, fmt.Errorf("bad delta: %w", err)
+	}
+	// An empty delta is a legitimate ship: the new fingerprint names a
+	// graph structurally identical to its parent (e.g. a symmetrized
+	// variant that already contained every added arc's reverse). Graphs
+	// are immutable, so the new fp can alias the parent outright.
+	g := parent
+	if len(batch.Ops) > 0 {
+		if g, err = mutate.Apply(parent, batch); err != nil {
+			return nil, fmt.Errorf("applying delta: %w", err)
+		}
+	}
+	d.deltasApplied.Add(1)
 	d.storeGraph(fp, g)
 	return g, nil
 }
@@ -339,13 +428,17 @@ func (d *WorkerDaemon) serveConn(wc *workerConn) {
 func (d *WorkerDaemon) handlePreload(cc *comm.CtrlConn, pm preloadMsg) error {
 	d.preloads.Add(1)
 	_, have := d.graphFor(pm.FP)
+	var haveParent bool
+	if !have && pm.ParentFP != "" {
+		_, haveParent = d.graphFor(pm.ParentFP)
+	}
 	buf := d.takePartial(pm.FP)
-	if err := cc.Send("graph-state", graphStateMsg{Have: have, Offset: len(buf)}); err != nil {
+	if err := cc.Send("graph-state", graphStateMsg{Have: have, HaveParent: haveParent, Offset: len(buf)}); err != nil {
 		d.stashPartial(pm.FP, buf)
 		return err
 	}
 	if !have {
-		g, err := d.recvGraphChunked(cc, pm.FP, buf)
+		g, err := d.recvGraphPayload(cc, pm.FP, pm.ParentFP, buf)
 		if err != nil {
 			return err
 		}
@@ -361,20 +454,25 @@ func (d *WorkerDaemon) handlePreload(cc *comm.CtrlConn, pm preloadMsg) error {
 func (d *WorkerDaemon) serveSlot(wc *workerConn, bm buildMsg) {
 	cc := wc.cc
 	g, have := d.graphFor(bm.FP)
+	var haveParent bool
+	if !have && bm.ParentFP != "" {
+		_, haveParent = d.graphFor(bm.ParentFP)
+	}
 	buf := d.takePartial(bm.FP)
-	if err := cc.Send("graph-state", graphStateMsg{Have: have, Offset: len(buf)}); err != nil {
+	prevEpoch := d.noteEpoch(bm.Graph, bm.Variant, bm.Epoch)
+	if err := cc.Send("graph-state", graphStateMsg{Have: have, HaveParent: haveParent, Offset: len(buf), Epoch: prevEpoch}); err != nil {
 		d.stashPartial(bm.FP, buf)
 		return
 	}
 	if !have {
 		var err error
-		g, err = d.recvGraphChunked(cc, bm.FP, buf)
+		g, err = d.recvGraphPayload(cc, bm.FP, bm.ParentFP, buf)
 		if err != nil {
 			d.cfg.Logf("sgworker: graph transfer failed: %v", err)
 			return
 		}
-		d.cfg.Logf("sgworker: cached graph %s/%s (%d vertices, fp %.12s)",
-			bm.Graph, bm.Variant, g.NumVertices(), bm.FP)
+		d.cfg.Logf("sgworker: cached graph %s/%s@%d (%d vertices, fp %.12s)",
+			bm.Graph, bm.Variant, bm.Epoch, g.NumVertices(), bm.FP)
 	}
 
 	dataLn, err := net.Listen("tcp", net.JoinHostPort(d.cfg.DataHost, "0"))
@@ -444,7 +542,7 @@ func (d *WorkerDaemon) serveSlot(wc *workerConn, bm buildMsg) {
 				return
 			}
 			d.runsStarted.Add(1)
-			_, runErr := runAlgorithm(eng, q)
+			_, _, runErr := runAlgorithm(eng, q)
 			var dm doneMsg
 			if runErr != nil {
 				d.runsFailed.Add(1)

@@ -1,0 +1,112 @@
+package sgvet
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// EpochPin polices the graph-versioning contract (PR 8): front-end
+// serving code must obtain graphs through the epoch snapshot accessor
+// (epoch.go's graphEntry.Resolve / epochState.Graph), never by reading
+// a raw *graph.Graph out of a struct field. A stashed field reference
+// is a time bomb under mutation: it silently keeps serving whatever
+// version was current when the field was written, so a query admitted
+// at epoch N can observe epoch N+1's adjacency mid-flight — exactly
+// the torn read the version chain exists to prevent.
+//
+// Flagged: any struct-field selector in internal/server whose type is
+// (or contains, as map/slice/array element) *graph.Graph.
+//
+// Exempt:
+//
+//   - epoch.go — the accessor implementation itself.
+//   - *Config types — construction-time input read once at startup to
+//     seed the root epoch, before any mutation can exist.
+//   - BuildSpec.Graph — the spec is produced by the accessor for one
+//     pinned (epoch, variant); providers consuming it are downstream
+//     of pinning, not around it.
+//   - WorkerDaemon — the worker's cache is keyed by content
+//     fingerprint, which names a version precisely; there is no
+//     "latest" to accidentally track.
+//   - _test.go files (suite-wide rule).
+var EpochPin = &Analyzer{
+	Name: "epochpin",
+	Doc:  "raw *graph.Graph field access in internal/server outside the epoch snapshot accessor",
+	Run:  runEpochPin,
+}
+
+func runEpochPin(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.ImportPath, "internal/server") {
+		return
+	}
+	for i, f := range p.Pkg.Files {
+		if filepath.Base(p.Pkg.Filenames[i]) == "epoch.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sn := p.Pkg.Info.Selections[sel]
+			if sn == nil || sn.Kind() != types.FieldVal {
+				return true
+			}
+			if !carriesGraphPtr(sn.Type()) {
+				return true
+			}
+			owner := fieldOwner(sn.Recv())
+			switch {
+			case owner == "":
+				// Conservative: an owner we cannot name is not flagged.
+			case strings.HasSuffix(owner, "Config"):
+			case owner == "BuildSpec" && sel.Sel.Name == "Graph":
+			case owner == "WorkerDaemon":
+			default:
+				p.Reportf(sel.Sel.Pos(),
+					"raw *graph.Graph read from %s.%s bypasses epoch pinning: resolve a version with graphEntry.Resolve and read epochState.Graph instead",
+					owner, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// carriesGraphPtr reports whether t is *graph.Graph or a container
+// whose elements are.
+func carriesGraphPtr(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return isGraphNamed(u.Elem())
+	case *types.Map:
+		return carriesGraphPtr(u.Elem())
+	case *types.Slice:
+		return carriesGraphPtr(u.Elem())
+	case *types.Array:
+		return carriesGraphPtr(u.Elem())
+	}
+	return false
+}
+
+func isGraphNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Graph" &&
+		obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
+}
+
+// fieldOwner names the struct type a field was selected from.
+func fieldOwner(recv types.Type) string {
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}

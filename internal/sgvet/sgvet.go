@@ -1,6 +1,6 @@
 // Package sgvet is SympleGraph's project-invariant lint suite: a small
 // go/analysis-style framework (stdlib-only — the build environment pins
-// dependencies, so golang.org/x/tools is unavailable) plus the six
+// dependencies, so golang.org/x/tools is unavailable) plus the seven
 // analyzers that machine-check invariants the engine's correctness
 // leans on:
 //
@@ -24,6 +24,9 @@
 //   - fleetstate — fleet health compared via WorkerState.String() or
 //     raw state-name strings instead of the typed enum; a renamed or
 //     added state then fails silently at the branch, not the build.
+//   - epochpin — a raw *graph.Graph struct-field read in the serving
+//     front-end bypasses the epoch snapshot accessor and can observe a
+//     mutation mid-query; versions must come from graphEntry.Resolve.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -90,7 +93,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn, FleetState}
+	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn, FleetState, EpochPin}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

@@ -556,3 +556,70 @@ func okIgnored(state string) bool {
 `
 	checkFixture(t, src, "", FleetState)
 }
+
+func TestEpochPinFixture(t *testing.T) {
+	src := `package fixture
+
+import "repro/internal/graph"
+
+type holder struct {
+	g    *graph.Graph
+	many map[string]*graph.Graph
+	list []*graph.Graph
+}
+
+type holderConfig struct {
+	Graphs map[string]*graph.Graph
+}
+
+type BuildSpec struct {
+	Graph *graph.Graph
+	Name  string
+}
+
+type WorkerDaemon struct {
+	graphs map[string]*graph.Graph
+}
+
+func badDirect(h *holder) *graph.Graph {
+	return h.g // want:epochpin
+}
+
+func badMap(h holder) *graph.Graph {
+	return h.many["g"] // want:epochpin
+}
+
+func badSlice(h *holder) *graph.Graph {
+	return h.list[0] // want:epochpin
+}
+
+func okConfig(c holderConfig) int { return len(c.Graphs) }
+
+func okSpec(s BuildSpec) *graph.Graph { return s.Graph }
+
+func okWorkerCache(d *WorkerDaemon) int { return len(d.graphs) }
+
+func okLocal() *graph.Graph {
+	var g *graph.Graph
+	return g
+}
+
+func okIgnored(h *holder) *graph.Graph {
+	//sgvet:ignore epochpin fixture proves the directive works
+	return h.g
+}
+`
+	checkFixture(t, src, "internal/server", EpochPin)
+}
+
+func TestEpochPinScopedToServer(t *testing.T) {
+	src := `package fixture
+
+import "repro/internal/graph"
+
+type holder struct{ g *graph.Graph }
+
+func outsideServer(h *holder) *graph.Graph { return h.g }
+`
+	checkFixture(t, src, "", EpochPin)
+}
