@@ -6,11 +6,13 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // The committed perf baseline (BENCH_<n>.json). Each harness run sweeps
@@ -47,6 +49,18 @@ type BaselineCell struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// MessagesPerSuperstep is Messages / Supersteps.
 	MessagesPerSuperstep float64 `json:"messages_per_superstep"`
+	// FramesPerSuperstep is the wire-frame count per superstep. The
+	// data plane sends one frame per Send/SendBufs call, so this equals
+	// MessagesPerSuperstep; it is recorded under its own name because
+	// frame batching is what the binned scan optimizes.
+	FramesPerSuperstep float64 `json:"frames_per_superstep"`
+	// BytesPerFrame is BytesMoved / Messages — how much payload each
+	// frame carries. Binning should push this up as frame counts drop.
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	// DenseStepSeconds is the summed PhaseDenseStep span time across
+	// nodes, measured on one extra traced run (not the timed repeats,
+	// so EngineSeconds stays comparable to untraced baselines).
+	DenseStepSeconds float64 `json:"dense_step_seconds"`
 }
 
 // Key identifies the cell within a report.
@@ -61,8 +75,11 @@ type BaselineReport struct {
 	Seed   uint64 `json:"seed"`
 	// LegacyDataPlane records which core assembly path produced the
 	// numbers (true = pre-zero-copy copying path).
-	LegacyDataPlane bool           `json:"legacy_data_plane"`
-	Cells           []BaselineCell `json:"cells"`
+	LegacyDataPlane bool `json:"legacy_data_plane"`
+	// LegacyScan records which edge-scan path produced the numbers
+	// (true = pre-binning per-buffer-group framing).
+	LegacyScan bool           `json:"legacy_scan"`
+	Cells      []BaselineCell `json:"cells"`
 }
 
 // BaselineConfig are the harness knobs. The zero value selects the
@@ -80,6 +97,8 @@ type BaselineConfig struct {
 	Repeats int
 	// LegacyDataPlane selects the pre-zero-copy core assembly path.
 	LegacyDataPlane bool
+	// LegacyScan selects the pre-binning edge-scan loops.
+	LegacyScan bool
 }
 
 func (c BaselineConfig) defaults() BaselineConfig {
@@ -118,13 +137,14 @@ func RunBaseline(cfg BaselineConfig) (*BaselineReport, error) {
 		Scale:           cfg.Scale,
 		Seed:            cfg.Seed,
 		LegacyDataPlane: cfg.LegacyDataPlane,
+		LegacyScan:      cfg.LegacyScan,
 	}
 	for _, v := range baselineModes {
 		for _, nodes := range cfg.NodeCounts {
 			for _, algo := range BaselineAlgos {
 				var best BaselineCell
 				for r := 0; r < cfg.Repeats; r++ {
-					cell, err := runBaselineCell(algo, v, nodes, cfg, base, sym, weighted)
+					cell, err := runBaselineCell(algo, v, nodes, cfg, base, sym, weighted, nil)
 					if err != nil {
 						return nil, fmt.Errorf("bench: baseline %s: %w", cell.Key(), err)
 					}
@@ -132,6 +152,14 @@ func RunBaseline(cfg BaselineConfig) (*BaselineReport, error) {
 						best = cell
 					}
 				}
+				// One extra traced run for the phase-time column; the
+				// tracer's span overhead stays out of the timed repeats.
+				tr := obs.NewTracer()
+				traced, err := runBaselineCell(algo, v, nodes, cfg, base, sym, weighted, tr)
+				if err != nil {
+					return nil, fmt.Errorf("bench: baseline %s (traced): %w", traced.Key(), err)
+				}
+				best.DenseStepSeconds = traced.DenseStepSeconds
 				rep.Cells = append(rep.Cells, best)
 			}
 		}
@@ -140,7 +168,7 @@ func RunBaseline(cfg BaselineConfig) (*BaselineReport, error) {
 }
 
 func runBaselineCell(algo string, v Variant, nodes int, cfg BaselineConfig,
-	base, sym, weighted *graph.Graph) (BaselineCell, error) {
+	base, sym, weighted *graph.Graph, tr *obs.Tracer) (BaselineCell, error) {
 	cell := BaselineCell{Algo: algo, Mode: v.Mode.String(), Nodes: nodes}
 	g := base
 	switch algo {
@@ -156,6 +184,8 @@ func runBaselineCell(algo string, v Variant, nodes int, cfg BaselineConfig,
 		NumBuffers:      v.NumBuffers,
 		Link:            &comm.LinkModel{}, // instant: measure compute, not simulated wire
 		LegacyDataPlane: cfg.LegacyDataPlane,
+		LegacyScan:      cfg.LegacyScan,
+		Tracer:          tr,
 	})
 	if err != nil {
 		return cell, err
@@ -221,6 +251,19 @@ func runBaselineCell(algo string, v Variant, nodes int, cfg BaselineConfig,
 	if s.Supersteps > 0 {
 		cell.AllocsPerOp = float64(allocs) / float64(s.Supersteps)
 		cell.MessagesPerSuperstep = float64(cell.Messages) / float64(s.Supersteps)
+		cell.FramesPerSuperstep = cell.MessagesPerSuperstep
+	}
+	if cell.Messages > 0 {
+		cell.BytesPerFrame = float64(cell.BytesMoved) / float64(cell.Messages)
+	}
+	if tr != nil {
+		var dense time.Duration
+		for _, ps := range c.Stats().Phases {
+			if ps.Phase == obs.PhaseDenseStep {
+				dense += ps.Hist.Sum
+			}
+		}
+		cell.DenseStepSeconds = dense.Seconds()
 	}
 	return cell, nil
 }

@@ -172,6 +172,14 @@ func NewCluster(g *graph.Graph, opts Options) (*Cluster, error) {
 	}
 	for m := 0; m < opts.NumNodes; m++ {
 		c.layouts[m] = partition.BuildLayout(g, pt, class, m)
+		if opts.binnedScan() {
+			// The binned sparse scan reads the partition-blocked CSR.
+			// Derivation is deterministic from (graph, partition), so a
+			// rebuilt engine over any epoch snapshot blocks identically.
+			if err := c.layouts[m].AttachBlocked(g, 0); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if opts.Endpoints != nil {
 		c.endpoints = opts.Endpoints
@@ -247,6 +255,11 @@ func NewDistributedNode(g *graph.Graph, opts Options, ep comm.Endpoint) (*Cluste
 	// Only the local machine's layout and endpoint exist in this
 	// process — the memory footprint a real cluster member would have.
 	c.layouts[id] = partition.BuildLayout(g, pt, class, id)
+	if opts.binnedScan() {
+		if err := c.layouts[id].AttachBlocked(g, 0); err != nil {
+			return nil, err
+		}
+	}
 	if opts.Fault != nil {
 		ep = opts.Fault.WrapOne(ep)
 	}

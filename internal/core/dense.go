@@ -174,6 +174,9 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 		return 0, fmt.Errorf("core: negative Lanes %d", lanes)
 	}
 	depOn := opts.Mode == ModeSympleGraph && p > 1
+	if opts.binnedScan() {
+		return processEdgesDenseBinned(w, &params, depOn)
+	}
 	pooled := !opts.LegacyDataPlane
 	base := w.nextTags(int32(p*B + p)) // p*B dependency frames + p update rounds
 	rn := (w.id + 1) % p
@@ -290,6 +293,151 @@ func ProcessEdgesDense[M any](w *Worker, params DenseParams[M]) (int64, error) {
 			return 0, err
 		}
 		reduced += applyDenseUpdates(w, &params, m.Payload)
+		m.Release()
+	}
+	if depOn && params.Finalize != nil {
+		// depSkip/depData now hold the fully circulated state of our
+		// own partition (processed in the final step).
+		lane := make([]float64, lanes)
+		for idx, dst := range w.cluster.class.Highs[w.id] {
+			if params.ActiveDst != nil && !params.ActiveDst(dst) {
+				continue
+			}
+			for l := range lane {
+				lane[l] = depData[l][idx]
+			}
+			reduced += params.Finalize(dst, depSkip.Get(idx), lane)
+		}
+	}
+	return w.AllReduceSum(reduced)
+}
+
+// processEdgesDenseBinned is the partition-binned dense pass (PR 9's
+// scan). The circulant schedule, signal/slot semantics, and low/high
+// overlap are identical to the legacy scan; what changes is framing and
+// accounting:
+//
+//   - A step's update records accumulate into slab bins (one list per
+//     destination partition, filled per worker with no intermediate
+//     concatenation) and leave as a single vectored frame per (peer,
+//     pass) — the flush contract DESIGN.md documents: bin ownership
+//     passes to the transport at SendBufs and the buffers must not be
+//     touched after.
+//   - The NumBuffers dependency-frame groups of a step batch into one
+//     frame covering the whole tracked index space [0, T). Group state
+//     is index-disjoint and the predecessor has finished the entire
+//     block before this machine's tracked slice runs, so the batched
+//     frame carries byte-for-byte the concatenation of the per-group
+//     frames: results are bit-identical, only frame count drops (×B
+//     fewer dependency frames, and none at all for blocks with no
+//     tracked vertices).
+//   - DenseStep splits into traced sub-phases: DenseScan (signal
+//     loops), DenseBin (dependency-frame assembly), DenseFlush
+//     (vectored hand-off).
+//
+// Low-degree destinations still run before the dependency receive, so
+// the §5.3 overlap with the predecessor is preserved; double buffering
+// within a step no longer applies (NumBuffers only shapes the legacy
+// scan's framing).
+func processEdgesDenseBinned[M any](w *Worker, params *DenseParams[M], depOn bool) (int64, error) {
+	p := w.N()
+	lanes := params.Lanes
+	base := w.nextTags(int32(2 * p)) // p dependency frames + p update rounds
+	rn := (w.id + 1) % p
+	ln := (w.id - 1 + p) % p
+	w.observeStep()
+	pass := w.densePass
+	w.densePass++
+
+	var reduced int64
+	var localChunks [][]byte   // our own block's updates, applied in ring order below
+	var depSkip *bitset.Bitmap // state for the step in flight; after the
+	var depData [][]float64    // loop, the final state of our own partition
+	for j := 0; j < p; j++ {
+		stepStart := w.spanStart()
+		d := (w.id + 1 + j) % p
+		block := w.layout.Blocks[d]
+		tracked := len(w.cluster.class.Highs[d])
+
+		if depOn {
+			depSkip = bitset.New(tracked)
+			depData = make([][]float64, lanes)
+			for l := range depData {
+				depData[l] = make([]float64, tracked)
+			}
+		}
+
+		var bins [][]byte
+		var binsMu sync.Mutex
+		// Low-degree destinations first: no dependency input needed, so
+		// this computation overlaps the predecessor still working on the
+		// tracked slice we are about to wait for.
+		scanStart := w.spanStart()
+		processDensePositions(w, params, block, block.LowPos, false, nil, nil, true, &bins, &binsMu)
+		w.endSpan(obs.PhaseDenseScan, pass, j, 0, scanStart)
+
+		if depOn && tracked > 0 && j > 0 {
+			m, err := w.recvTimed(&w.depWait, comm.NodeID(rn), comm.KindDependency, base+int32(j-1),
+				obs.PhaseDepWait, pass, j, -1)
+			if err != nil {
+				return 0, err
+			}
+			if err := applyDepFrame(m.Payload, depSkip, depData, 0, tracked); err != nil {
+				return 0, err
+			}
+			m.Release()
+		}
+		if len(block.TrackedPos) > 0 {
+			scanStart = w.spanStart()
+			processDensePositions(w, params, block, block.TrackedPos, depOn, depSkip, depData, true, &bins, &binsMu)
+			w.endSpan(obs.PhaseDenseScan, pass, j, 1, scanStart)
+		}
+		if depOn && tracked > 0 && j < p-1 {
+			binStart := w.spanStart()
+			frame := encodeDepFrame(depSkip, depData, 0, tracked, true)
+			w.endSpan(obs.PhaseDenseBin, pass, j, -1, binStart)
+			flushStart := w.spanStart()
+			if err := w.ep.SendBufs(comm.NodeID(ln), comm.KindDependency, base+int32(j), comm.Buffers{frame}); err != nil {
+				return 0, err
+			}
+			w.endSpan(obs.PhaseDenseFlush, pass, j, -1, flushStart)
+		}
+
+		if d != w.id {
+			// Vectored hand-off: the step's bins leave as one frame with
+			// no intermediate concatenation and return to the slab; bin
+			// ownership passes to the transport here.
+			flushStart := w.spanStart()
+			if err := w.ep.SendBufs(comm.NodeID(d), comm.KindUpdate, base+int32(p+j), comm.Buffers(bins)); err != nil {
+				return 0, err
+			}
+			w.endSpan(obs.PhaseDenseFlush, pass, j, -1, flushStart)
+		} else {
+			localChunks = bins // our own block, applied in ring position below
+		}
+		w.endSpan(obs.PhaseDenseStep, pass, j, -1, stepStart)
+	}
+	// Update application is identical to the legacy scan: collect in ring
+	// order so first-wins slots stay deterministic. Received frames are
+	// whole-bin concatenations; applyDenseUpdates walks them bin-at-a-time
+	// on the local side and as one frame from remote peers.
+	for j := 0; j < p; j++ {
+		src := ((w.id-1-j)%p + p) % p
+		if src == w.id {
+			for _, b := range localChunks {
+				reduced += applyDenseUpdates(w, params, b)
+			}
+			for _, b := range localChunks {
+				bufpool.Put(b)
+			}
+			continue
+		}
+		m, err := w.recvTimed(&w.updWait, comm.NodeID(src), comm.KindUpdate, base+int32(p+j),
+			obs.PhaseUpdateWait, pass, j, -1)
+		if err != nil {
+			return 0, err
+		}
+		reduced += applyDenseUpdates(w, params, m.Payload)
 		m.Release()
 	}
 	if depOn && params.Finalize != nil {

@@ -106,6 +106,18 @@ type Options struct {
 	// The benchmark harness uses this to reproduce the committed
 	// BENCH_0 baseline from the same tree.
 	LegacyDataPlane bool
+	// LegacyScan selects the pre-binning edge-scan loops: dense steps
+	// that send one dependency frame per (step, buffer group) and
+	// sparse pushes that route every emitted record through a per-emit
+	// owner lookup. The default (false) runs the partition-binned scan
+	// built on the blocked CSR: updates accumulate into cache-resident
+	// per-destination-partition bins flushed as one vectored frame per
+	// (peer, pass), and a step's dependency groups batch into a single
+	// frame. Results are bit-identical under the engine's determinism
+	// contract (Workers == 1); only cache behavior, frame counts and
+	// phase timings differ. The binned scan is built on the slab data
+	// plane, so LegacyDataPlane implies LegacyScan.
+	LegacyScan bool
 
 	// StallTimeout bounds every engine receive inside an edge-processing
 	// pass: a receive blocked longer returns a *StallError naming the
@@ -148,6 +160,11 @@ type Options struct {
 // Warnings lists configuration adjustments recorded during validation
 // (nil before a cluster is built from these options).
 func (o Options) Warnings() []string { return o.warnings }
+
+// binnedScan reports whether the partition-binned edge scans are in
+// effect: they require the slab data plane, so the legacy data plane
+// forces the legacy scan too.
+func (o Options) binnedScan() bool { return !o.LegacyScan && !o.LegacyDataPlane }
 
 // validateAndDefault checks o and fills defaults. Error messages name
 // the CLI flag conventionally bound to the offending field so

@@ -126,42 +126,89 @@ func TestStatsNodeSharesSumToTotals(t *testing.T) {
 }
 
 // TestStatsTracerPhases checks that an attached tracer yields per-phase
-// histograms in the snapshot, covering dense steps, waits and barriers.
+// histograms in the snapshot, covering dense steps, waits and barriers —
+// under both scan paths, whose framing (and therefore span counts)
+// differ: the legacy scan sends one dependency frame per (step, buffer
+// group), the binned scan one per step (none for blocks with no tracked
+// vertices) and splits DenseStep into scan/bin/flush sub-phases.
 func TestStatsTracerPhases(t *testing.T) {
 	g := graph.RMAT(9, 8, graph.Graph500Params(), 11)
-	tr := obs.NewTracer()
-	c := mustCluster(t, g, Options{
-		NumNodes: 4, Mode: ModeSympleGraph, DepThreshold: 8, NumBuffers: 2, Tracer: tr,
-	})
-	if err := c.Run(denseCountProgram(true)); err != nil {
-		t.Fatal(err)
-	}
-	s := c.Stats()
-	byPhase := map[obs.Phase]int64{}
-	nodesSeen := map[int]bool{}
-	for _, ps := range s.Phases {
-		byPhase[ps.Phase] += ps.Hist.Count
-		nodesSeen[ps.Node] = true
-	}
-	// 4 nodes × 4 steps per dense pass.
-	if byPhase[obs.PhaseDenseStep] != 16 {
-		t.Fatalf("DenseStep count %d, want 16", byPhase[obs.PhaseDenseStep])
-	}
-	// Each node receives (p-1)×B dependency frames.
-	if byPhase[obs.PhaseDepWait] != 4*3*2 {
-		t.Fatalf("DepWait count %d, want 24", byPhase[obs.PhaseDepWait])
-	}
-	if byPhase[obs.PhaseBufferFlush] != 4*3*2 {
-		t.Fatalf("BufferFlush count %d, want 24", byPhase[obs.PhaseBufferFlush])
-	}
-	if byPhase[obs.PhaseSparsePush] != 4 {
-		t.Fatalf("SparsePush count %d, want 4", byPhase[obs.PhaseSparsePush])
-	}
-	if byPhase[obs.PhaseBarrier] == 0 || byPhase[obs.PhaseUpdateWait] == 0 {
-		t.Fatalf("missing barrier/update-wait spans: %v", byPhase)
-	}
-	if len(nodesSeen) != 4 {
-		t.Fatalf("phases cover %d nodes", len(nodesSeen))
+	for _, legacyScan := range []bool{true, false} {
+		name := "binned"
+		if legacyScan {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			tr := obs.NewTracer()
+			c := mustCluster(t, g, Options{
+				NumNodes: 4, Mode: ModeSympleGraph, DepThreshold: 8, NumBuffers: 2,
+				Tracer: tr, LegacyScan: legacyScan,
+			})
+			if err := c.Run(denseCountProgram(true)); err != nil {
+				t.Fatal(err)
+			}
+			s := c.Stats()
+			byPhase := map[obs.Phase]int64{}
+			nodesSeen := map[int]bool{}
+			for _, ps := range s.Phases {
+				byPhase[ps.Phase] += ps.Hist.Count
+				nodesSeen[ps.Node] = true
+			}
+			// 4 nodes × 4 steps per dense pass.
+			if byPhase[obs.PhaseDenseStep] != 16 {
+				t.Fatalf("DenseStep count %d, want 16", byPhase[obs.PhaseDenseStep])
+			}
+			if byPhase[obs.PhaseSparsePush] != 4 {
+				t.Fatalf("SparsePush count %d, want 4", byPhase[obs.PhaseSparsePush])
+			}
+			if byPhase[obs.PhaseBarrier] == 0 || byPhase[obs.PhaseUpdateWait] == 0 {
+				t.Fatalf("missing barrier/update-wait spans: %v", byPhase)
+			}
+			if len(nodesSeen) != 4 {
+				t.Fatalf("phases cover %d nodes", len(nodesSeen))
+			}
+			if legacyScan {
+				// Each node receives and forwards (p-1)×B dependency
+				// frames; no binned sub-phases exist on this path.
+				if byPhase[obs.PhaseDepWait] != 4*3*2 {
+					t.Fatalf("DepWait count %d, want 24", byPhase[obs.PhaseDepWait])
+				}
+				if byPhase[obs.PhaseBufferFlush] != 4*3*2 {
+					t.Fatalf("BufferFlush count %d, want 24", byPhase[obs.PhaseBufferFlush])
+				}
+				for _, ph := range []obs.Phase{obs.PhaseDenseScan, obs.PhaseDenseBin, obs.PhaseDenseFlush} {
+					if byPhase[ph] != 0 {
+						t.Fatalf("%v count %d on the legacy scan", ph, byPhase[ph])
+					}
+				}
+				return
+			}
+			// Binned: one batched dependency frame per step, and only for
+			// blocks whose destination partition has tracked vertices.
+			trackedParts := int64(0)
+			for _, highs := range c.class.Highs {
+				if len(highs) > 0 {
+					trackedParts++
+				}
+			}
+			wantDep := 3 * trackedParts // (p-1) × partitions with tracked vertices
+			if byPhase[obs.PhaseDepWait] != wantDep {
+				t.Fatalf("DepWait count %d, want %d", byPhase[obs.PhaseDepWait], wantDep)
+			}
+			if byPhase[obs.PhaseDenseBin] != wantDep {
+				t.Fatalf("DenseBin count %d, want %d", byPhase[obs.PhaseDenseBin], wantDep)
+			}
+			// Dep flushes plus one update flush per remote step.
+			if byPhase[obs.PhaseDenseFlush] != wantDep+4*3 {
+				t.Fatalf("DenseFlush count %d, want %d", byPhase[obs.PhaseDenseFlush], wantDep+12)
+			}
+			if byPhase[obs.PhaseDenseScan] < 16 {
+				t.Fatalf("DenseScan count %d, want ≥ 16", byPhase[obs.PhaseDenseScan])
+			}
+			if byPhase[obs.PhaseBufferFlush] != 0 {
+				t.Fatalf("BufferFlush count %d on the binned scan", byPhase[obs.PhaseBufferFlush])
+			}
+		})
 	}
 }
 

@@ -1,0 +1,236 @@
+package graph
+
+import "fmt"
+
+// BlockedCSR is the partition-blocked view of a source range of the
+// out-CSR, the representation behind the binned edge scan (GPOP's
+// partition-centric processing mapped onto SympleGraph's layout).
+//
+// Sources in [SrcLo, SrcHi) are grouped into blocks of BlockVerts
+// consecutive vertices, and each source's adjacency is split by the
+// destination partition it lands in. Because a vertex's out-neighbors
+// are sorted by ID and partitions are contiguous ascending vertex
+// ranges, every (source, partition) range is a contiguous subrange of
+// the flat adjacency — so the blocked CSR stores offsets into the
+// graph's own edge arrays and never copies an edge. That makes the
+// derivation trivially deterministic: two builds over the same graph
+// and partition boundaries produce identical offsets, so content
+// fingerprints and mutation deltas (computed over the graph itself)
+// are untouched by blocking.
+//
+// Iterating a fixed (block, partition) pair visits sources in
+// ascending ID order and, within a source, edges in adjacency order —
+// exactly the flat scan's order restricted to that partition. The
+// binned scans rely on this to reproduce the legacy scan's per-peer
+// byte streams bit-identically.
+type BlockedCSR struct {
+	g *Graph
+
+	srcLo, srcHi int
+	blockVerts   int
+	partStarts   []int // len p+1, ascending, partStarts[p] == |V|
+
+	// rowOff has one entry per (source, partition) pair plus a final
+	// sentinel: rowOff[(v-srcLo)*p+q] is the absolute offset into the
+	// graph's out-edge array where v's edges destined to partition q
+	// begin. The entry after a source's last partition is the next
+	// source's first, so every range is rowOff[i] : rowOff[i+1].
+	rowOff []int64
+
+	// blockOff are prefix sums of edge counts per (block, partition):
+	// blockOff[b*p+q+1]-blockOff[b*p+q] edges go from block b to
+	// partition q. Used for bin sizing and coverage checks.
+	blockOff []int64
+}
+
+// DefaultBlockVerts is the source-block granularity used by the binned
+// scans: 4096 sources keep a block's vertex state (a few bytes per
+// source) and one destination bin resident in L2 together.
+const DefaultBlockVerts = 4096
+
+// BuildBlockedCSR derives the blocked view of g's out-edges for sources
+// in [srcLo, srcHi), with destination partitions given by partStarts
+// (len p+1, ascending, partStarts[0]==0, partStarts[p]==|V|).
+// blockVerts is the source-block granularity; the final block may be
+// short.
+func BuildBlockedCSR(g *Graph, srcLo, srcHi, blockVerts int, partStarts []int) (*BlockedCSR, error) {
+	if srcLo < 0 || srcHi > g.n || srcLo > srcHi {
+		return nil, fmt.Errorf("graph: blocked CSR source range [%d,%d) outside [0,%d)", srcLo, srcHi, g.n)
+	}
+	if blockVerts <= 0 {
+		return nil, fmt.Errorf("graph: blocked CSR block size %d, want > 0", blockVerts)
+	}
+	p := len(partStarts) - 1
+	if p < 1 {
+		return nil, fmt.Errorf("graph: blocked CSR needs at least one partition")
+	}
+	if partStarts[0] != 0 || partStarts[p] != g.n {
+		return nil, fmt.Errorf("graph: partition starts span [%d,%d], want [0,%d]", partStarts[0], partStarts[p], g.n)
+	}
+	for q := 0; q < p; q++ {
+		if partStarts[q] > partStarts[q+1] {
+			return nil, fmt.Errorf("graph: partition starts not monotone at %d", q)
+		}
+	}
+
+	bc := &BlockedCSR{
+		g:          g,
+		srcLo:      srcLo,
+		srcHi:      srcHi,
+		blockVerts: blockVerts,
+		partStarts: partStarts,
+	}
+	n := srcHi - srcLo
+	bc.rowOff = make([]int64, n*p+1)
+	bc.blockOff = make([]int64, bc.NumBlocks()*p+1)
+
+	for v := srcLo; v < srcHi; v++ {
+		nbrs := g.outTargets[g.outOffsets[v]:g.outOffsets[v+1]]
+		base := g.outOffsets[v]
+		b := (v - srcLo) / blockVerts
+		i := 0 // adjacency cursor: nbrs[:i] assigned to partitions < q
+		for q := 0; q < p; q++ {
+			bc.rowOff[(v-srcLo)*p+q] = base + int64(i)
+			bound := VertexID(partStarts[q+1])
+			start := i
+			for i < len(nbrs) && nbrs[i] < bound {
+				i++
+			}
+			bc.blockOff[b*p+q+1] += int64(i - start)
+		}
+		if i != len(nbrs) {
+			// Unreachable on a validated graph (targets < |V| ==
+			// partStarts[p]); defend against corrupt inputs anyway.
+			return nil, fmt.Errorf("graph: vertex %d has %d edges beyond the last partition", v, len(nbrs)-i)
+		}
+	}
+	bc.rowOff[n*p] = g.outOffsets[srcHi]
+	for i := 1; i < len(bc.blockOff); i++ {
+		bc.blockOff[i] += bc.blockOff[i-1]
+	}
+	return bc, nil
+}
+
+// SrcRange returns the source vertex range [lo, hi) the view covers.
+func (bc *BlockedCSR) SrcRange() (lo, hi int) { return bc.srcLo, bc.srcHi }
+
+// NumParts returns the number of destination partitions.
+func (bc *BlockedCSR) NumParts() int { return len(bc.partStarts) - 1 }
+
+// BlockVerts returns the source-block granularity.
+func (bc *BlockedCSR) BlockVerts() int { return bc.blockVerts }
+
+// NumBlocks returns the number of source blocks (the last may be short).
+func (bc *BlockedCSR) NumBlocks() int {
+	n := bc.srcHi - bc.srcLo
+	return (n + bc.blockVerts - 1) / bc.blockVerts
+}
+
+// Block returns the source range [lo, hi) of block b.
+func (bc *BlockedCSR) Block(b int) (lo, hi int) {
+	lo = bc.srcLo + b*bc.blockVerts
+	hi = lo + bc.blockVerts
+	if hi > bc.srcHi {
+		hi = bc.srcHi
+	}
+	return lo, hi
+}
+
+// PartRange returns the destination vertex range [lo, hi) of partition q.
+func (bc *BlockedCSR) PartRange(q int) (lo, hi int) {
+	return bc.partStarts[q], bc.partStarts[q+1]
+}
+
+// Row returns src's out-edges destined to partition q: targets and (for
+// weighted graphs) the parallel weights, in adjacency order. The slices
+// alias the graph's storage and must not be modified.
+func (bc *BlockedCSR) Row(src VertexID, q int) ([]VertexID, []float32) {
+	i := (int(src)-bc.srcLo)*bc.NumParts() + q
+	lo, hi := bc.rowOff[i], bc.rowOff[i+1]
+	if bc.g.outWeights == nil {
+		return bc.g.outTargets[lo:hi], nil
+	}
+	return bc.g.outTargets[lo:hi], bc.g.outWeights[lo:hi]
+}
+
+// RangeEdges returns the number of edges in the (block b, partition q)
+// range — the exact bin capacity a binned scan of that range needs.
+func (bc *BlockedCSR) RangeEdges(b, q int) int64 {
+	p := bc.NumParts()
+	return bc.blockOff[b*p+q+1] - bc.blockOff[b*p+q]
+}
+
+// Validate checks the blocked view against the flat CSR: row offsets
+// are monotone and within each source's adjacency, every edge is
+// covered exactly once by exactly the partition that owns its
+// destination, and the per-(block, partition) counts agree with the
+// rows they aggregate. Fuzzed in blocked_fuzz_test.go.
+func (bc *BlockedCSR) Validate() error {
+	p := bc.NumParts()
+	n := bc.srcHi - bc.srcLo
+	if len(bc.rowOff) != n*p+1 {
+		return fmt.Errorf("graph: blocked CSR row offsets sized %d, want %d", len(bc.rowOff), n*p+1)
+	}
+	if len(bc.blockOff) != bc.NumBlocks()*p+1 {
+		return fmt.Errorf("graph: blocked CSR block offsets sized %d, want %d", len(bc.blockOff), bc.NumBlocks()*p+1)
+	}
+	var total int64
+	for v := bc.srcLo; v < bc.srcHi; v++ {
+		deg := int64(0)
+		for q := 0; q < p; q++ {
+			i := (v-bc.srcLo)*p + q
+			if bc.rowOff[i] > bc.rowOff[i+1] {
+				return fmt.Errorf("graph: blocked CSR row offsets not monotone at (%d,%d)", v, q)
+			}
+			if q == 0 && bc.rowOff[i] != bc.g.outOffsets[v] {
+				return fmt.Errorf("graph: vertex %d rows start at %d, adjacency at %d", v, bc.rowOff[i], bc.g.outOffsets[v])
+			}
+			dsts, ws := bc.Row(VertexID(v), q)
+			if bc.g.Weighted() != (ws != nil) {
+				return fmt.Errorf("graph: vertex %d partition %d weight presence mismatch", v, q)
+			}
+			for _, d := range dsts {
+				if int(d) < bc.partStarts[q] || int(d) >= bc.partStarts[q+1] {
+					return fmt.Errorf("graph: edge (%d,%d) filed under partition %d [%d,%d)",
+						v, d, q, bc.partStarts[q], bc.partStarts[q+1])
+				}
+			}
+			deg += int64(len(dsts))
+			total += int64(len(dsts))
+		}
+		if deg != int64(bc.g.OutDegree(VertexID(v))) {
+			return fmt.Errorf("graph: vertex %d rows cover %d edges, out-degree %d", v, deg, bc.g.OutDegree(VertexID(v)))
+		}
+		// Concatenating the partition rows in order must reproduce the
+		// flat adjacency exactly (same edges, same order).
+		k := 0
+		flat := bc.g.OutNeighbors(VertexID(v))
+		for q := 0; q < p; q++ {
+			dsts, _ := bc.Row(VertexID(v), q)
+			for _, d := range dsts {
+				if flat[k] != d {
+					return fmt.Errorf("graph: vertex %d edge %d: blocked order %d, flat order %d", v, k, d, flat[k])
+				}
+				k++
+			}
+		}
+	}
+	if want := bc.g.outOffsets[bc.srcHi] - bc.g.outOffsets[bc.srcLo]; total != want {
+		return fmt.Errorf("graph: blocked CSR covers %d edges, range has %d", total, want)
+	}
+	for b := 0; b < bc.NumBlocks(); b++ {
+		lo, hi := bc.Block(b)
+		for q := 0; q < p; q++ {
+			var cnt int64
+			for v := lo; v < hi; v++ {
+				dsts, _ := bc.Row(VertexID(v), q)
+				cnt += int64(len(dsts))
+			}
+			if cnt != bc.RangeEdges(b, q) {
+				return fmt.Errorf("graph: block %d partition %d aggregates %d edges, rows sum to %d",
+					b, q, bc.RangeEdges(b, q), cnt)
+			}
+		}
+	}
+	return nil
+}

@@ -57,6 +57,18 @@ const (
 	// PhaseRecovery is cluster re-formation plus checkpoint restore
 	// after a failed run.
 	PhaseRecovery
+	// PhaseDenseScan is the binned dense scan's signal loop over one
+	// (block, degree-class) slice: edge reads and bin appends, no
+	// transport. Sub-phase of PhaseDenseStep.
+	PhaseDenseScan
+	// PhaseDenseBin is frame assembly in the binned dense step:
+	// encoding the batched dependency frame from the step's skip/lane
+	// state. Sub-phase of PhaseDenseStep.
+	PhaseDenseBin
+	// PhaseDenseFlush is the vectored hand-off of a step's bins (one
+	// SendBufs per peer) in the binned dense step. Sub-phase of
+	// PhaseDenseStep.
+	PhaseDenseFlush
 	// NumPhases is the number of phases; valid phases are < NumPhases.
 	NumPhases
 )
@@ -81,6 +93,12 @@ func (p Phase) String() string {
 		return "Checkpoint"
 	case PhaseRecovery:
 		return "Recovery"
+	case PhaseDenseScan:
+		return "DenseScan"
+	case PhaseDenseBin:
+		return "DenseBin"
+	case PhaseDenseFlush:
+		return "DenseFlush"
 	default:
 		return fmt.Sprintf("Phase(%d)", uint8(p))
 	}

@@ -98,6 +98,14 @@ type Layout struct {
 	Part    *Partition
 	Class   *DegreeClass
 	Blocks  []*Block // indexed by destination partition
+
+	// Blocked is the partition-blocked view of the machine's out-CSR
+	// (push mode's source-blocked, destination-partitioned scan order).
+	// Built on demand by AttachBlocked when the binned scan is enabled;
+	// nil layouts fall back to the flat push scan. Pull mode needs no
+	// analogue: Blocks already group edges by (machine block,
+	// destination partition).
+	Blocked *graph.BlockedCSR
 }
 
 // BuildLayout constructs machine m's layout.
@@ -156,6 +164,26 @@ func BuildLayout(g *graph.Graph, pt *Partition, dc *DegreeClass, m int) *Layout 
 	return lay
 }
 
+// AttachBlocked builds the machine's partition-blocked CSR view over
+// its master source range, with blockVerts source vertices per block
+// (≤ 0 selects graph.DefaultBlockVerts). The derivation reads only the
+// graph and the partition boundaries, so it is deterministic across
+// machines and epochs: a rebuilt engine over the same snapshot always
+// sees identical blocking, and fingerprints (computed over the graph)
+// never observe it.
+func (lay *Layout) AttachBlocked(g *graph.Graph, blockVerts int) error {
+	if blockVerts <= 0 {
+		blockVerts = graph.DefaultBlockVerts
+	}
+	lo, hi := lay.Part.Range(lay.Machine)
+	bc, err := graph.BuildBlockedCSR(g, lo, hi, blockVerts, lay.Part.Starts)
+	if err != nil {
+		return fmt.Errorf("layout: machine %d blocked CSR: %w", lay.Machine, err)
+	}
+	lay.Blocked = bc
+	return nil
+}
+
 // Validate checks layout invariants against the source graph, for tests:
 // every out-edge of the machine's masters appears in exactly one block,
 // destinations route to the right partition, and orderings hold.
@@ -212,6 +240,18 @@ func (lay *Layout) Validate(g *graph.Graph) error {
 	}
 	if got != want {
 		return fmt.Errorf("layout: machine %d has %d edges across blocks, owns %d", lay.Machine, got, want)
+	}
+	if lay.Blocked != nil {
+		blo, bhi := lay.Blocked.SrcRange()
+		if blo != lo || bhi != hi {
+			return fmt.Errorf("layout: blocked CSR covers [%d,%d), machine owns [%d,%d)", blo, bhi, lo, hi)
+		}
+		if lay.Blocked.NumParts() != lay.Part.P {
+			return fmt.Errorf("layout: blocked CSR has %d partitions, partition has %d", lay.Blocked.NumParts(), lay.Part.P)
+		}
+		if err := lay.Blocked.Validate(); err != nil {
+			return fmt.Errorf("layout: machine %d: %w", lay.Machine, err)
+		}
 	}
 	return nil
 }

@@ -178,6 +178,40 @@ func TestLayoutValidOnGenerators(t *testing.T) {
 	}
 }
 
+// TestLayoutAttachBlocked checks the blocked-CSR attachment: the view
+// covers exactly the machine's master range, validates against the flat
+// CSR, and Layout.Validate exercises it once attached. A tiny block
+// size forces multi-block machines.
+func TestLayoutAttachBlocked(t *testing.T) {
+	g := graph.RMAT(9, 8, graph.Graph500Params(), 5)
+	for _, p := range []int{1, 2, 4} {
+		pt, err := NewChunked(g, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc := BuildDegreeClass(g, pt, 32)
+		for m := 0; m < p; m++ {
+			lay := BuildLayout(g, pt, dc, m)
+			for _, bv := range []int{0, 64} {
+				if err := lay.AttachBlocked(g, bv); err != nil {
+					t.Fatalf("p=%d m=%d bv=%d: %v", p, m, bv, err)
+				}
+				if err := lay.Validate(g); err != nil {
+					t.Fatalf("p=%d m=%d bv=%d: %v", p, m, bv, err)
+				}
+				lo, hi := lay.Blocked.SrcRange()
+				wlo, whi := pt.Range(m)
+				if lo != wlo || hi != whi {
+					t.Fatalf("p=%d m=%d: blocked range [%d,%d), want [%d,%d)", p, m, lo, hi, wlo, whi)
+				}
+			}
+			if lay.Blocked.BlockVerts() != 64 {
+				t.Fatalf("explicit block size not kept: %d", lay.Blocked.BlockVerts())
+			}
+		}
+	}
+}
+
 func TestLayoutWeightsPreserved(t *testing.T) {
 	g := graph.RandomWeights(graph.Grid(6, 6), 9)
 	pt, _ := NewChunked(g, 3, 0)

@@ -21,8 +21,10 @@ import (
 // hand-off or Release poisons the variable for the remainder of its
 // innermost enclosing block (so uses in sibling branches are not
 // flagged), and reassignment un-poisons it. Aliases of the form
-// `p := m.Payload` are tracked one level deep. internal/comm and
-// internal/bufpool — the layers that implement the contract — are
+// `p := m.Payload` are tracked one level deep, and field-rooted
+// buffers (SendBufs(..., ctx.bins)) are tracked per (receiver, field)
+// pair so one receiver's hand-off never taints another's. internal/comm
+// and internal/bufpool — the layers that implement the contract — are
 // exempt.
 var BufOwn = &Analyzer{
 	Name: "bufown",
@@ -54,23 +56,39 @@ type poisonEvent struct {
 	kind     string    // "Release" or "SendBufs"
 }
 
+// selKey identifies a field-rooted buffer `x.f` by the pair of its
+// receiver variable and field objects, so poisoning ctx.bins never
+// bleeds into other.bins (same field, different receiver) or into an
+// unrelated variable that happens to share the field's name.
+type selKey struct {
+	root, field types.Object
+}
+
 type bufOwnState struct {
 	p *Pass
 	// poisoned maps a variable to its hand-off/release events.
 	poisoned map[types.Object][]poisonEvent
+	// selPoisoned maps a (receiver, field) pair to its hand-off events:
+	// SendBufs(..., ctx.bins) poisons exactly that receiver's field.
+	selPoisoned map[selKey][]poisonEvent
 	// payloadAlias maps `p := m.Payload` aliases to the message var m.
 	payloadAlias map[types.Object]types.Object
 	// reassigns maps a variable to positions where it is re-bound
 	// (fresh value: the poison no longer applies).
 	reassigns map[types.Object][]token.Pos
+	// selReassigns is the same for field writes: `x.f = ...` re-binds
+	// the pair (a re-binding of x itself clears it too, via reassigns).
+	selReassigns map[selKey][]token.Pos
 }
 
 func analyzeBufOwn(p *Pass, body *ast.BlockStmt) {
 	st := &bufOwnState{
 		p:            p,
 		poisoned:     map[types.Object][]poisonEvent{},
+		selPoisoned:  map[selKey][]poisonEvent{},
 		payloadAlias: map[types.Object]types.Object{},
 		reassigns:    map[types.Object][]token.Pos{},
+		selReassigns: map[selKey][]token.Pos{},
 	}
 	// Pass 1: collect poison events, aliases and reassignments.
 	var stack []ast.Node
@@ -88,7 +106,7 @@ func analyzeBufOwn(p *Pass, body *ast.BlockStmt) {
 		}
 		return true
 	})
-	if len(st.poisoned) == 0 {
+	if len(st.poisoned) == 0 && len(st.selPoisoned) == 0 {
 		return
 	}
 	// Pass 2: flag uses inside a poison window.
@@ -96,12 +114,18 @@ func analyzeBufOwn(p *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.AssignStmt:
-			// A plain LHS identifier is a re-binding, not a use; but
-			// writing through an index or field (buf[0] = x) mutates the
-			// handed-off buffer and is checked.
+			// A plain LHS identifier — or a field selector, x.f = v —
+			// is a re-binding, not a use; but writing through an index
+			// (buf[0] = x, x.f[0] = v) mutates the handed-off buffer
+			// and is checked.
 			for _, lhs := range s.Lhs {
 				if _, plain := lhs.(*ast.Ident); plain {
 					continue
+				}
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if _, plain := sel.X.(*ast.Ident); plain {
+						continue
+					}
 				}
 				ast.Inspect(lhs, check)
 			}
@@ -155,7 +179,33 @@ func (st *bufOwnState) collectCall(call *ast.CallExpr, blockEnd token.Pos) {
 				st.poison(obj, call.End(), blockEnd, "SendBufs")
 			}
 		}
+		for _, bsel := range buffersSelectors(last) {
+			if key, ok := st.selObjects(bsel); ok {
+				st.selPoisoned[key] = append(st.selPoisoned[key],
+					poisonEvent{pos: call.End(), blockEnd: blockEnd, kind: "SendBufs"})
+			}
+		}
 	}
+}
+
+// selObjects resolves a one-level field selector `x.f` (x a plain
+// identifier) to its (receiver, field) object pair. Method selectors
+// and deeper chains are not tracked.
+func (st *bufOwnState) selObjects(sel *ast.SelectorExpr) (selKey, bool) {
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return selKey{}, false
+	}
+	info := st.p.Pkg.Info
+	root := info.Uses[recv]
+	field := info.Uses[sel.Sel]
+	if root == nil || field == nil {
+		return selKey{}, false
+	}
+	if v, isVar := field.(*types.Var); !isVar || !v.IsField() {
+		return selKey{}, false
+	}
+	return selKey{root: root, field: field}, true
 }
 
 func (st *bufOwnState) poison(obj types.Object, pos, blockEnd token.Pos, kind string) {
@@ -187,6 +237,29 @@ func buffersRoots(e ast.Expr) []*ast.Ident {
 	return nil
 }
 
+// buffersSelectors is buffersRoots for field-rooted buffers: a `x.f`
+// selector handed off directly, through a comm.Buffers(x.f)
+// conversion, or as a Buffers{x.f, ...} literal element.
+func buffersSelectors(e ast.Expr) []*ast.SelectorExpr {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return []*ast.SelectorExpr{x}
+	case *ast.CallExpr: // conversion: comm.Buffers(ctx.bins)
+		if len(x.Args) == 1 {
+			return buffersSelectors(x.Args[0])
+		}
+	case *ast.CompositeLit: // comm.Buffers{ctx.frame}
+		var out []*ast.SelectorExpr
+		for _, elt := range x.Elts {
+			if sel, ok := elt.(*ast.SelectorExpr); ok {
+				out = append(out, sel)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
 func (st *bufOwnState) collectAssign(as *ast.AssignStmt) {
 	info := st.p.Pkg.Info
 	// Alias tracking: p := m.Payload.
@@ -208,6 +281,12 @@ func (st *bufOwnState) collectAssign(as *ast.AssignStmt) {
 			if obj := identObject(info, id); obj != nil {
 				st.reassigns[obj] = append(st.reassigns[obj], as.End())
 			}
+			continue
+		}
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			if key, kok := st.selObjects(sel); kok {
+				st.selReassigns[key] = append(st.selReassigns[key], as.End())
+			}
 		}
 	}
 }
@@ -225,6 +304,12 @@ func (st *bufOwnState) checkUse(n ast.Node) {
 	info := st.p.Pkg.Info
 	switch s := n.(type) {
 	case *ast.SelectorExpr:
+		if key, ok := st.selObjects(s); ok {
+			if _, bad := st.inSelPoisonWindow(key, s.Pos()); bad {
+				st.p.Reportf(s.Pos(), "field buffer used after SendBufs hand-off: ownership passed to the transport and the slab may recycle it concurrently")
+				return
+			}
+		}
 		if s.Sel.Name != "Payload" {
 			return
 		}
@@ -269,6 +354,34 @@ func (st *bufOwnState) inPoisonWindow(obj types.Object, pos token.Pos) (poisonEv
 		}
 		cleared := false
 		for _, r := range st.reassigns[obj] {
+			if r > ev.pos && r <= pos {
+				cleared = true
+				break
+			}
+		}
+		if !cleared {
+			return ev, true
+		}
+	}
+	return poisonEvent{}, false
+}
+
+// inSelPoisonWindow is inPoisonWindow for (receiver, field) pairs. A
+// poison is cleared by a later write to the same field (x.f = fresh)
+// or by re-binding the receiver variable itself (x = other).
+func (st *bufOwnState) inSelPoisonWindow(key selKey, pos token.Pos) (poisonEvent, bool) {
+	for _, ev := range st.selPoisoned[key] {
+		if pos <= ev.pos || pos >= ev.blockEnd {
+			continue
+		}
+		cleared := false
+		for _, r := range st.selReassigns[key] {
+			if r > ev.pos && r <= pos {
+				cleared = true
+				break
+			}
+		}
+		for _, r := range st.reassigns[key.root] {
 			if r > ev.pos && r <= pos {
 				cleared = true
 				break

@@ -485,6 +485,44 @@ func okIndexedHandoff(chunks [][][]byte) (int, error) {
 	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(chunks[0]))
 	return len(chunks), err
 }
+
+type binCtx struct {
+	bins  [][]byte
+	frame []byte
+}
+
+func fieldAfterSendBufs(ctx *binCtx) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(ctx.bins))
+	ctx.bins[0][0] = 0 // want:bufown
+	return len(ctx.bins), err // want:bufown
+}
+
+func fieldLiteralAfterSendBufs(ctx *binCtx) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers{ctx.frame})
+	return len(ctx.frame), err // want:bufown
+}
+
+func okOtherReceiverField(ctx, other *binCtx) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(ctx.bins))
+	return len(other.bins), err
+}
+
+func okFieldRebind(ctx *binCtx) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(ctx.bins))
+	ctx.bins = make([][]byte, 4)
+	return len(ctx.bins), err
+}
+
+func okReceiverRebind(ctx, fresh *binCtx) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers{ctx.frame})
+	ctx = fresh
+	return len(ctx.frame), err
+}
+
+func okOtherField(ctx *binCtx) (int, error) {
+	err := ep.SendBufs(1, comm.KindUpdate, 1, comm.Buffers(ctx.bins))
+	return len(ctx.frame), err
+}
 `
 	checkFixture(t, src, "", BufOwn)
 }
