@@ -3,9 +3,9 @@
 # layer, run the seeded chaos soak, the sgserve process smoke test, then
 # the full suite (which includes the CLI trace smoke test and the
 # sustained serving load test).
-.PHONY: verify build vet lint test race smoke serve-smoke serve-dist-smoke chaos fleet-chaos mutate-chaos bench-baseline bench-check
+.PHONY: verify build vet lint lint-check test race smoke serve-smoke serve-dist-smoke chaos fleet-chaos mutate-chaos bench-baseline bench-check
 
-verify: build lint race chaos fleet-chaos mutate-chaos serve-smoke serve-dist-smoke test
+verify: build lint lint-check race chaos fleet-chaos mutate-chaos serve-smoke serve-dist-smoke test
 
 build:
 	go build ./...
@@ -14,11 +14,20 @@ build:
 vet:
 	go vet ./...
 
-# Project-invariant lint: the sgvet suite (depbreak, snapdet, commerr,
-# ctxblock, bufown) over the whole module. Exit 1 on findings fails the
-# gate.
+# Project-invariant lint: the full sgvet suite (nine analyzers; the
+# flow-sensitive engine backs bufown, lockorder and leakgo) over the
+# whole module, with the per-analyzer wall-time report and a JSON
+# findings artifact for `make verify` to consume. Exit 1 on findings —
+# or on an unjustified //sgvet:ignore — fails the gate.
 lint:
-	go run ./cmd/sgvet ./...
+	go run ./cmd/sgvet -times -artifact sgvet-findings.json ./...
+	go run ./cmd/sgvet -audit ./...
+
+# Verify-side consumption of the lint artifact: it must exist, parse,
+# cover every analyzer in the current suite, record zero findings, and
+# justify every suppression.
+lint-check:
+	go run ./cmd/sgvet -check-artifact sgvet-findings.json
 
 # Perf baseline: run the deterministic 8-algorithm sweep and append the
 # next BENCH_<n>.json to the committed trajectory (the first invocation

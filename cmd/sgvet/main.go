@@ -1,6 +1,5 @@
 // Command sgvet runs SympleGraph's invariant lint suite (package
-// internal/sgvet) over the repository: depbreak, snapdet, commerr, and
-// ctxblock.
+// internal/sgvet) over the repository.
 //
 // Standalone usage (the supported day-to-day mode, wired into
 // `make lint`):
@@ -9,9 +8,25 @@
 //	sgvet ./internal/server/...   # a subtree
 //	sgvet -c depbreak,commerr ./...
 //	sgvet -json ./...             # machine-readable diagnostics
+//	sgvet -times ./...            # per-analyzer wall-time report
+//	sgvet -artifact lint.json ./... # findings artifact for make verify
+//	sgvet -audit ./...            # list //sgvet:ignore suppressions
 //
-// Exit status is 0 when clean, 1 when diagnostics were reported, 2 on
-// usage or load errors.
+// Exit status is 0 when clean, 1 when diagnostics were reported (or,
+// under -audit, when a suppression has no justification), 2 on usage
+// or load errors.
+//
+// -audit inventories every //sgvet:ignore directive with its file:line,
+// analyzer list and justification text; a suppression with an empty
+// justification fails the audit, so silencing an analyzer without
+// saying why cannot survive CI.
+//
+// -artifact writes a JSON findings artifact (per-analyzer timings,
+// surviving diagnostics, and the suppression inventory);
+// -check-artifact validates one — it parses, reports zero findings,
+// covers the full analyzer suite, and justifies every suppression —
+// which is how `make verify` consumes the `make lint` run instead of
+// re-linting.
 //
 // sgvet also speaks enough of the `go vet -vettool` unit-checker
 // protocol to be used as
@@ -20,28 +35,22 @@
 //
 // In that mode the Go tool hands sgvet a JSON config per package with
 // pre-built export data; sgvet type-checks against it (no source
-// re-resolution) and reports findings in vet's file:line:col format.
-// The protocol is best-effort: it depends on the toolchain writing
-// export data for dependencies, so the standalone mode — which resolves
-// everything from source — remains the mode CI relies on.
+// re-resolution, see loader.LoadVetUnit) and reports findings in vet's
+// file:line:col format. The protocol is best-effort: it depends on the
+// toolchain writing export data for dependencies, so the standalone
+// mode — which resolves everything from source — remains the mode CI
+// relies on.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
-	"go/types"
-	"io"
 	"os"
-	"runtime"
 	"strings"
 
-	"repro/internal/analyzer/typed"
 	"repro/internal/cliutil"
+	"repro/internal/loader"
 	"repro/internal/sgvet"
 )
 
@@ -52,7 +61,7 @@ func main() {
 	for _, arg := range os.Args[1:] {
 		switch arg {
 		case "-V=full", "--V=full":
-			fmt.Println("sgvet version 1 (symplegraph invariant suite)")
+			fmt.Println("sgvet version 2 (symplegraph invariant suite, flow-sensitive engine)")
 			return
 		case "-flags", "--flags":
 			fmt.Println("[]")
@@ -67,8 +76,13 @@ func main() {
 	fs := flag.NewFlagSet("sgvet", flag.ExitOnError)
 	checks := fs.String("c", "", "comma-separated analyzers to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	audit := fs.Bool("audit", false, "list //sgvet:ignore suppressions; fail on empty justifications")
+	times := fs.Bool("times", false, "report per-analyzer wall time on stderr")
+	artifact := fs.String("artifact", "", "write a JSON findings artifact (timings, diagnostics, suppressions) to this path")
+	checkArtifact := fs.String("check-artifact", "", "validate a findings artifact written by -artifact and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: sgvet [-c analyzers] [-json] [patterns...]")
+		fmt.Fprintln(os.Stderr, "usage: sgvet [-c analyzers] [-json] [-audit] [-times] [-artifact path] [patterns...]")
+		fmt.Fprintln(os.Stderr, "       sgvet -check-artifact path")
 		fmt.Fprintln(os.Stderr, "analyzers:")
 		for _, a := range sgvet.All() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
@@ -77,6 +91,9 @@ func main() {
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	if *checkArtifact != "" {
+		os.Exit(runCheckArtifact(*checkArtifact))
 	}
 	analyzers, err := sgvet.ByName(*checks)
 	if err != nil {
@@ -87,11 +104,11 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	loader, err := typed.NewLoader(typed.Config{})
+	ld, err := loader.NewLoader(loader.Config{})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	pkgs, err := loader.LoadPatterns(patterns...)
+	pkgs, err := ld.LoadPatterns(patterns...)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -101,7 +118,39 @@ func main() {
 		}
 	}
 
-	diags := sgvet.Run(pkgs, analyzers)
+	if *audit {
+		os.Exit(runAudit(pkgs))
+	}
+
+	diags, timings := sgvet.RunTimed(pkgs, analyzers)
+	if *times {
+		fmt.Fprintln(os.Stderr, "sgvet: per-analyzer wall time:")
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "  %-12s %8.1f ms  %d finding(s)\n", tm.Analyzer, tm.Millis, tm.Findings)
+		}
+	}
+	if *artifact != "" {
+		art := sgvet.Artifact{
+			Analyzers:    timings,
+			Diagnostics:  diags,
+			Suppressions: sgvet.CollectSuppressions(pkgs),
+		}
+		// Empty lists marshal as [] rather than null: artifact consumers
+		// key on list length, not presence.
+		if art.Diagnostics == nil {
+			art.Diagnostics = []sgvet.Diagnostic{}
+		}
+		if art.Suppressions == nil {
+			art.Suppressions = []sgvet.Suppression{}
+		}
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*artifact, append(blob, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -118,14 +167,82 @@ func main() {
 	}
 }
 
-// vetConfig is the subset of cmd/go's vet JSON config sgvet needs.
+// runAudit renders the suppression inventory and enforces the
+// justification contract: every //sgvet:ignore must say why the
+// invariant holds anyway.
+func runAudit(pkgs []*loader.Package) int {
+	sups := sgvet.CollectSuppressions(pkgs)
+	if len(sups) == 0 {
+		fmt.Println("sgvet audit: no suppressions")
+		return 0
+	}
+	bad := 0
+	for _, s := range sups {
+		reason := s.Reason
+		if reason == "" {
+			reason = "<no justification>"
+			bad++
+		}
+		fmt.Printf("%s:%d: %s — %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), reason)
+	}
+	fmt.Printf("sgvet audit: %d suppression(s), %d without justification\n", len(sups), bad)
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sgvet: audit failed: %d suppression(s) have no justification\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// runCheckArtifact validates a findings artifact written by -artifact:
+// it must parse, report zero findings, cover every analyzer in the
+// suite (so a stale artifact from before an analyzer landed cannot
+// green-light verify), and justify every suppression.
+func runCheckArtifact(path string) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgvet: check-artifact: %v (run `make lint` first)\n", err)
+		return 1
+	}
+	var art sgvet.Artifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		fmt.Fprintf(os.Stderr, "sgvet: check-artifact: parsing %s: %v\n", path, err)
+		return 1
+	}
+	covered := map[string]bool{}
+	for _, tm := range art.Analyzers {
+		covered[tm.Analyzer] = true
+	}
+	ok := true
+	for _, a := range sgvet.All() {
+		if !covered[a.Name] {
+			fmt.Fprintf(os.Stderr, "sgvet: check-artifact: analyzer %s missing from %s (stale artifact?)\n", a.Name, path)
+			ok = false
+		}
+	}
+	if len(art.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "sgvet: check-artifact: %d finding(s) recorded in %s:\n", len(art.Diagnostics), path)
+		for _, d := range art.Diagnostics {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		ok = false
+	}
+	for _, s := range art.Suppressions {
+		if s.Reason == "" {
+			fmt.Fprintf(os.Stderr, "sgvet: check-artifact: %s:%d suppression has no justification\n", s.File, s.Line)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Printf("sgvet: artifact %s ok: %d analyzers, 0 findings, %d justified suppression(s)\n", path, len(art.Analyzers), len(art.Suppressions))
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's vet JSON config sgvet needs
+// beyond what the shared loader consumes.
 type vetConfig struct {
-	Compiler                  string
-	Dir                       string
-	ImportPath                string
-	GoFiles                   []string
-	ImportMap                 map[string]string
-	PackageFile               map[string]string
+	loader.VetConfig
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -156,7 +273,7 @@ func unitCheck(cfgPath string) int {
 		return 0
 	}
 
-	pkg, err := loadUnit(&cfg)
+	pkg, err := loader.LoadVetUnit(&cfg.VetConfig)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -164,7 +281,7 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "sgvet: %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	diags := sgvet.Run([]*typed.Package{pkg}, sgvet.All())
+	diags := sgvet.Run([]*loader.Package{pkg}, sgvet.All())
 	for _, d := range diags {
 		// vet's plain diagnostic format, one per line on stderr.
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.File, d.Line, d.Col, d.Message)
@@ -173,61 +290,6 @@ func unitCheck(cfgPath string) int {
 		return 2
 	}
 	return 0
-}
-
-// loadUnit parses and type-checks one vet unit against the toolchain's
-// pre-built export data, producing the same Package shape the source
-// loader yields.
-func loadUnit(cfg *vetConfig) (*typed.Package, error) {
-	fset := token.NewFileSet()
-	var files []*ast.File
-	var names []string
-	for _, path := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-		names = append(names, path)
-	}
-	compiler := cfg.Compiler
-	if compiler == "" {
-		compiler = "gc"
-	}
-	lookup := func(path string) (io.ReadCloser, error) {
-		if mapped, ok := cfg.ImportMap[path]; ok {
-			path = mapped
-		}
-		exportFile, ok := cfg.PackageFile[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(exportFile)
-	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-	}
-	tcfg := types.Config{
-		Importer: importer.ForCompiler(fset, compiler, lookup),
-		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
-	}
-	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
-	if err != nil {
-		return nil, err
-	}
-	return &typed.Package{
-		ImportPath: cfg.ImportPath,
-		Dir:        cfg.Dir,
-		Fset:       fset,
-		Files:      files,
-		Filenames:  names,
-		Types:      tpkg,
-		Info:       info,
-	}, nil
 }
 
 func fatalf(format string, args ...any) {

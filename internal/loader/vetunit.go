@@ -1,0 +1,80 @@
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// VetConfig is the subset of cmd/go's vet JSON config the unit loader
+// needs (the file go vet hands a -vettool per package).
+type VetConfig struct {
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+}
+
+// LoadVetUnit parses and type-checks one vet unit against the
+// toolchain's pre-built export data, producing the same Package shape
+// the source loader yields — so analyses written against Package run
+// unchanged under `go vet -vettool`.
+func LoadVetUnit(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Filenames:  names,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -17,15 +17,26 @@ import (
 //   - Message.Release returns the payload to the slab; any later use of
 //     m.Payload — or of an alias taken from it — reads recycled memory.
 //
-// The check is intraprocedural and textual: within a function body, a
-// hand-off or Release poisons the variable for the remainder of its
-// innermost enclosing block (so uses in sibling branches are not
-// flagged), and reassignment un-poisons it. Aliases of the form
-// `p := m.Payload` are tracked one level deep, and field-rooted
-// buffers (SendBufs(..., ctx.bins)) are tracked per (receiver, field)
-// pair so one receiver's hand-off never taints another's. internal/comm
-// and internal/bufpool — the layers that implement the contract — are
-// exempt.
+// The check is flow-sensitive: each function body is lowered to a CFG
+// (cfg.go) and a may-poison fact is propagated by the forward solver
+// (dataflow.go), so a hand-off poisons the variable along every path
+// that passes through it — across if/else merges, around loop back
+// edges — and a re-binding on a path un-poisons exactly that path.
+// Sibling branches stay clean because no path connects them.
+//
+// The analysis is interprocedural one package deep: an in-package
+// helper gets a bottom-up summary ("releases param #i",
+// "returns alias of param #i", depth-bounded per maxSummaryDepth), so
+//
+//	drain(m)        // helper body calls m.Release()
+//	use(m.Payload)  // flagged here
+//
+// is caught even though this function never spells Release. Aliases of
+// the form `p := m.Payload` (directly or through an alias-returning
+// helper) are tracked, and field-rooted buffers (SendBufs(..., ctx.bins))
+// are tracked per (receiver, field) pair so one receiver's hand-off
+// never taints another's. internal/comm and internal/bufpool — the
+// layers that implement the contract — are exempt.
 var BufOwn = &Analyzer{
 	Name: "bufown",
 	Doc:  "payload or buffer used after Release()/SendBufs ownership hand-off",
@@ -37,23 +48,24 @@ func runBufOwn(p *Pass) {
 	if strings.HasSuffix(path, "internal/comm") || strings.HasSuffix(path, "internal/bufpool") {
 		return
 	}
+	a := &bufownAnalysis{pass: p, facts: p.Facts, info: p.Pkg.Info}
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			analyzeBufOwn(p, fd.Body)
+			a.checkFunc(fd)
 		}
 	}
 }
 
-// poisonEvent marks a variable unusable from Pos to the end of the
-// block the poisoning statement sits in.
-type poisonEvent struct {
-	pos      token.Pos // effect point (end of the poisoning call)
-	blockEnd token.Pos // scope: innermost enclosing block's end
-	kind     string    // "Release" or "SendBufs"
+// poison marks a variable (or field pair) as handed off. pos is the
+// hand-off call's position; join keeps the earliest so fixpoints are
+// deterministic.
+type poison struct {
+	kind string // "Release" or "SendBufs"
+	pos  token.Pos
 }
 
 // selKey identifies a field-rooted buffer `x.f` by the pair of its
@@ -64,139 +76,550 @@ type selKey struct {
 	root, field types.Object
 }
 
-type bufOwnState struct {
-	p *Pass
-	// poisoned maps a variable to its hand-off/release events.
-	poisoned map[types.Object][]poisonEvent
-	// selPoisoned maps a (receiver, field) pair to its hand-off events:
-	// SendBufs(..., ctx.bins) poisons exactly that receiver's field.
-	selPoisoned map[selKey][]poisonEvent
-	// payloadAlias maps `p := m.Payload` aliases to the message var m.
-	payloadAlias map[types.Object]types.Object
-	// reassigns maps a variable to positions where it is re-bound
-	// (fresh value: the poison no longer applies).
-	reassigns map[types.Object][]token.Pos
-	// selReassigns is the same for field writes: `x.f = ...` re-binds
-	// the pair (a re-binding of x itself clears it too, via reassigns).
-	selReassigns map[selKey][]token.Pos
+// bufFact is the dataflow fact: the set of poisoned variables and
+// field pairs plus payload-alias edges, all may-union at joins. The
+// zero value is the empty fact (entry state).
+type bufFact struct {
+	vars  map[types.Object]poison
+	sels  map[selKey]poison
+	alias map[types.Object]types.Object // p := m.Payload  ⇒  alias[p] = m
 }
 
-func analyzeBufOwn(p *Pass, body *ast.BlockStmt) {
-	st := &bufOwnState{
-		p:            p,
-		poisoned:     map[types.Object][]poisonEvent{},
-		selPoisoned:  map[selKey][]poisonEvent{},
-		payloadAlias: map[types.Object]types.Object{},
-		reassigns:    map[types.Object][]token.Pos{},
-		selReassigns: map[selKey][]token.Pos{},
+func (f bufFact) clone() bufFact {
+	out := bufFact{
+		vars:  make(map[types.Object]poison, len(f.vars)),
+		sels:  make(map[selKey]poison, len(f.sels)),
+		alias: make(map[types.Object]types.Object, len(f.alias)),
 	}
-	// Pass 1: collect poison events, aliases and reassignments.
-	var stack []ast.Node
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
+	for k, v := range f.vars {
+		out.vars[k] = v
+	}
+	for k, v := range f.sels {
+		out.sels[k] = v
+	}
+	for k, v := range f.alias {
+		out.alias[k] = v
+	}
+	return out
+}
+
+func (f *bufFact) setVar(obj types.Object, pz poison) { f.vars[obj] = pz }
+func (f *bufFact) setSel(key selKey, pz poison)       { f.sels[key] = pz }
+func (f *bufFact) setAlias(p, m types.Object)         { f.alias[p] = m }
+func (f *bufFact) clearSel(key selKey)                { delete(f.sels, key) }
+
+// clearVar is a re-binding of obj: its own poison, every field pair
+// rooted at it, and any alias edge from it are gone.
+func (f *bufFact) clearVar(obj types.Object) {
+	delete(f.vars, obj)
+	delete(f.alias, obj)
+	for key := range f.sels {
+		if key.root == obj {
+			delete(f.sels, key)
+		}
+	}
+}
+
+// bufJoin unions poisons (may-analysis; earliest position wins for
+// determinism) and unions alias edges, dropping an edge the two paths
+// disagree on.
+func bufJoin(a, b bufFact) bufFact {
+	out := a.clone()
+	for obj, pz := range b.vars {
+		if cur, ok := out.vars[obj]; !ok || pz.pos < cur.pos {
+			out.vars[obj] = pz
+		}
+	}
+	for key, pz := range b.sels {
+		if cur, ok := out.sels[key]; !ok || pz.pos < cur.pos {
+			out.sels[key] = pz
+		}
+	}
+	for p, m := range b.alias {
+		if cur, ok := out.alias[p]; ok && cur != m {
+			delete(out.alias, p)
+		} else {
+			out.alias[p] = m
+		}
+	}
+	return out
+}
+
+func bufEqual(a, b bufFact) bool {
+	if len(a.vars) != len(b.vars) || len(a.sels) != len(b.sels) || len(a.alias) != len(b.alias) {
+		return false
+	}
+	for k, v := range a.vars {
+		if w, ok := b.vars[k]; !ok || w != v {
+			return false
+		}
+	}
+	for k, v := range a.sels {
+		if w, ok := b.sels[k]; !ok || w != v {
+			return false
+		}
+	}
+	for k, v := range a.alias {
+		if w, ok := b.alias[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+type bufownAnalysis struct {
+	pass  *Pass
+	facts *Facts
+	info  *types.Info
+}
+
+func (a *bufownAnalysis) checkFunc(fd *ast.FuncDecl) {
+	g := a.facts.CFG(fd)
+	in := solveForward(g, bufFact{}, bufJoin, bufEqual, func(blk *Block, f bufFact) bufFact {
+		return a.transfer(blk, f, false, 0)
+	})
+	// Reporting pass: re-apply the transfer with diagnostics on, per
+	// block, against the solved in-facts — each use is checked exactly
+	// once, against the join over every path that reaches it.
+	for _, blk := range g.Blocks {
+		a.transfer(blk, in[blk.Index], true, 0)
+	}
+}
+
+func (a *bufownAnalysis) transfer(blk *Block, f bufFact, report bool, depth int) bufFact {
+	cur := f.clone()
+	for _, n := range blk.Nodes {
+		a.node(n, &cur, report, depth)
+	}
+	return cur
+}
+
+// node checks a CFG node's uses against the incoming fact (so a
+// hand-off call never flags its own arguments) and then applies its
+// effects.
+func (a *bufownAnalysis) node(n ast.Node, f *bufFact, report bool, depth int) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if report {
+			a.checkAssign(s, f)
+		}
+		a.applyEffects(s, f, depth)
+
+	case *ast.DeferStmt:
+		// Registration point: the callee and arguments are evaluated
+		// here; the call's effect replays at exit (DeferredCall), so
+		// `defer m.Release(); use(m.Payload)` stays legal.
+		if report {
+			a.checkNode(s.Call.Fun, f)
+			for _, arg := range s.Call.Args {
+				a.checkNode(arg, f)
+			}
+		}
+
+	case *DeferredCall:
+		a.applyCall(s.Defer.Call, f, depth)
+
+	case *RangeHead:
+		if report {
+			a.checkNode(s.Range.X, f)
+		}
+		// Key/value are rebound on every iteration, so poison from a
+		// previous iteration's body does not survive the back edge:
+		// `for _, m := range msgs { use(m.Payload); m.Release() }` is
+		// clean, while a poison on the ranged collection itself is not.
+		for _, e := range []ast.Expr{s.Range.Key, s.Range.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := identObject(a.info, id); obj != nil {
+				f.clearVar(obj)
+			}
+		}
+
+	case *SelectBlocking:
+		// lockorder's marker; no buffer semantics.
+
+	default:
+		if report {
+			a.checkNode(n, f)
+		}
+		a.applyEffects(n, f, depth)
+	}
+}
+
+// checkAssign applies the assignment use rules: a plain LHS identifier
+// — or a one-level field selector, x.f = v — is a re-binding, not a
+// use; but writing through an index (buf[0] = x) mutates the
+// handed-off buffer and is checked.
+func (a *bufownAnalysis) checkAssign(s *ast.AssignStmt, f *bufFact) {
+	for _, lhs := range s.Lhs {
+		if _, plain := lhs.(*ast.Ident); plain {
+			continue
+		}
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			if _, plain := sel.X.(*ast.Ident); plain {
+				continue
+			}
+		}
+		a.checkNode(lhs, f)
+	}
+	for _, rhs := range s.Rhs {
+		a.checkNode(rhs, f)
+	}
+}
+
+// checkNode walks a node flagging uses of poisoned state. Nested
+// assignments (inside function literals) get the same LHS treatment as
+// top-level ones.
+func (a *bufownAnalysis) checkNode(n ast.Node, f *bufFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if as, ok := m.(*ast.AssignStmt); ok {
+			a.checkAssign(as, f)
+			return false
+		}
+		a.checkUse(m, f)
+		return true
+	})
+}
+
+func (a *bufownAnalysis) checkUse(n ast.Node, f *bufFact) {
+	info := a.info
+	switch s := n.(type) {
+	case *ast.SelectorExpr:
+		if key, ok := selObjects(info, s); ok {
+			if _, bad := f.sels[key]; bad {
+				a.pass.Reportf(s.Pos(), "field buffer used after SendBufs hand-off: ownership passed to the transport and the slab may recycle it concurrently")
+				return
+			}
+		}
+		if s.Sel.Name != "Payload" {
+			return
+		}
+		recv, ok := s.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[recv]
+		if obj == nil {
+			return
+		}
+		if pz, bad := f.vars[obj]; bad {
+			a.pass.Reportf(s.Pos(), "message payload used after %s: the slab may already have recycled it", pz.kind)
+		}
+	case *ast.Ident:
+		obj := info.Uses[s]
+		if obj == nil {
+			return
+		}
+		// A Release poisons only the payload (reached via .Payload or an
+		// alias), not the message variable itself — so the direct-ident
+		// check applies to SendBufs hand-offs alone.
+		if pz, bad := f.vars[obj]; bad && pz.kind == "SendBufs" {
+			a.pass.Reportf(s.Pos(), "buffer used after SendBufs hand-off: ownership passed to the transport and the slab may recycle it concurrently")
+			return
+		}
+		if msg, ok := f.alias[obj]; ok {
+			if pz, bad := f.vars[msg]; bad {
+				a.pass.Reportf(s.Pos(), "payload alias used after %s: the slab may already have recycled it", pz.kind)
+			}
+		}
+	}
+}
+
+// applyEffects applies every hand-off call and assignment inside the
+// node, in syntactic order — sufficient because one CFG node contains
+// at most straight-line expression evaluation.
+func (a *bufownAnalysis) applyEffects(n ast.Node, f *bufFact, depth int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.CallExpr:
+			a.applyCall(s, f, depth)
+		case *ast.AssignStmt:
+			a.applyAssign(s, f, depth)
+		case *ast.ValueSpec:
+			// `var bufs [][]byte` re-declares: in a loop body the same
+			// object is re-bound to a fresh value every iteration, so
+			// poison must not survive the back edge.
+			a.applyValueSpec(s, f)
+		case *ast.DeferStmt:
+			// A defer nested in a function literal is that literal's
+			// business; do not replay its call here.
+			return false
+		}
+		return true
+	})
+}
+
+func (a *bufownAnalysis) applyCall(call *ast.CallExpr, f *bufFact, depth int) {
+	info := a.info
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Release":
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok || !isCommNamed(info.Types[sel.X].Type, "Message") {
+				return
+			}
+			if obj := info.Uses[recv]; obj != nil {
+				f.setVar(obj, poison{kind: "Release", pos: call.Pos()})
+			}
+			return
+		case "SendBufs":
+			if len(call.Args) == 0 {
+				return
+			}
+			last := call.Args[len(call.Args)-1]
+			if tv, ok := info.Types[last]; !ok || !isCommNamed(tv.Type, "Buffers") {
+				return
+			}
+			for _, id := range buffersRoots(last) {
+				if obj := info.Uses[id]; obj != nil {
+					f.setVar(obj, poison{kind: "SendBufs", pos: call.Pos()})
+				}
+			}
+			for _, bsel := range buffersSelectors(last) {
+				if key, ok := selObjects(info, bsel); ok {
+					f.setSel(key, poison{kind: "SendBufs", pos: call.Pos()})
+				}
+			}
+			return
+		}
+	}
+	// In-package helper: apply its bottom-up summary ("releases param
+	// #i") to the matching arguments.
+	sum := a.summary(call, depth)
+	if sum == nil || len(sum.releases) == 0 {
+		return
+	}
+	args := callArgs(call)
+	for idx, kind := range sum.releases {
+		if idx >= len(args) {
+			continue
+		}
+		if id := rootIdent(args[idx]); id != nil {
+			if obj := info.Uses[id]; obj != nil {
+				f.setVar(obj, poison{kind: kind, pos: call.Pos()})
+			}
+		}
+	}
+}
+
+// rootIdent strips parens and a leading & — `m`, `(m)`, `&m` all root
+// at the identifier m — so helper(&m) poisons the same object
+// helper(m) would.
+func rootIdent(e ast.Expr) *ast.Ident {
+	e = unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = unparen(ue.X)
+	}
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func (a *bufownAnalysis) applyAssign(as *ast.AssignStmt, f *bufFact, depth int) {
+	info := a.info
+	// Re-bindings first: an LHS write gives the variable (or field
+	// pair) a fresh value, clearing old poison and stale aliases.
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := identObject(info, id); obj != nil {
+				f.clearVar(obj)
+			}
+			continue
+		}
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			if key, kok := selObjects(info, sel); kok {
+				f.clearSel(key)
+			}
+		}
+	}
+	// Then new alias edges: p := m.Payload, or p := helper(m) where the
+	// helper's summary says its result aliases a parameter's payload.
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, lok := as.Lhs[0].(*ast.Ident)
+	if !lok {
+		return
+	}
+	obj := identObject(info, lhs)
+	if obj == nil {
+		return
+	}
+	switch rhs := unparen(as.Rhs[0]).(type) {
+	case *ast.SelectorExpr:
+		if rhs.Sel.Name != "Payload" {
+			return
+		}
+		if recv, ok := rhs.X.(*ast.Ident); ok && isCommNamed(info.Types[rhs.X].Type, "Message") {
+			if msg := info.Uses[recv]; msg != nil {
+				f.setAlias(obj, msg)
+			}
+		}
+	case *ast.CallExpr:
+		sum := a.summary(rhs, depth)
+		if sum == nil || sum.aliasOf < 0 {
+			return
+		}
+		args := callArgs(rhs)
+		if sum.aliasOf >= len(args) {
+			return
+		}
+		if id := rootIdent(args[sum.aliasOf]); id != nil {
+			if msg := info.Uses[id]; msg != nil {
+				f.setAlias(obj, msg)
+			}
+		}
+	}
+}
+
+// applyValueSpec treats a var declaration like the := it is: every
+// declared name is freshly bound, and `var p = m.Payload` records the
+// same alias edge an assignment would.
+func (a *bufownAnalysis) applyValueSpec(vs *ast.ValueSpec, f *bufFact) {
+	info := a.info
+	for _, name := range vs.Names {
+		if obj := info.Defs[name]; obj != nil {
+			f.clearVar(obj)
+		}
+	}
+	if len(vs.Names) != 1 || len(vs.Values) != 1 {
+		return
+	}
+	sel, ok := unparen(vs.Values[0]).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Payload" {
+		return
+	}
+	if recv, rok := sel.X.(*ast.Ident); rok && isCommNamed(info.Types[sel.X].Type, "Message") {
+		if msg := info.Uses[recv]; msg != nil {
+			if obj := info.Defs[vs.Names[0]]; obj != nil {
+				f.setAlias(obj, msg)
+			}
+		}
+	}
+}
+
+// bufownSummary is a helper function's ownership effect as seen by its
+// callers. Parameter indexes are receiver-first (callArgs order).
+type bufownSummary struct {
+	releases map[int]string // param index → poison kind at some exit
+	aliasOf  int            // result aliases param #i's payload; -1 none
+}
+
+// summary resolves the call's callee to an in-package declaration and
+// returns its memoized bottom-up summary, or nil (external callee,
+// recursion, or depth exhausted — the analysis degrades to
+// intraprocedural there).
+func (a *bufownAnalysis) summary(call *ast.CallExpr, depth int) *bufownSummary {
+	if depth >= maxSummaryDepth {
+		return nil
+	}
+	fn := calleeObj(a.info, call)
+	decl := a.facts.DeclOf(fn)
+	if decl == nil {
+		return nil
+	}
+	facts := a.facts
+	if sum, ok := facts.bufownSums[fn]; ok {
+		return sum
+	}
+	if facts.bufownBusy[fn] {
+		return nil
+	}
+	facts.bufownBusy[fn] = true
+	defer delete(facts.bufownBusy, fn)
+
+	g := facts.CFG(decl)
+	in := solveForward(g, bufFact{}, bufJoin, bufEqual, func(blk *Block, f bufFact) bufFact {
+		return a.transfer(blk, f, false, depth+1)
+	})
+	var exitFact bufFact
+	if g.ExitReachable() {
+		exitFact = a.transfer(g.Exit, in[g.Exit.Index], false, depth+1)
+	}
+	sum := &bufownSummary{releases: map[int]string{}, aliasOf: -1}
+	params := funcParams(a.info, decl)
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		if pz, ok := exitFact.vars[p]; ok {
+			sum.releases[i] = pz.kind
+		}
+	}
+	sum.aliasOf = returnAliasParam(a.info, decl, params)
+	facts.bufownSums[fn] = sum
+	return sum
+}
+
+// returnAliasParam reports which parameter (receiver-first index) the
+// function's result aliases: every alias-shaped return — the parameter
+// itself, param.Payload, or a reslice of either — must agree, and the
+// function must return exactly one value there. -1 when no return
+// aliases a parameter.
+func returnAliasParam(info *types.Info, decl *ast.FuncDecl, params []types.Object) int {
+	res := -1
+	conflict := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
 			return true
 		}
-		stack = append(stack, n)
-		switch s := n.(type) {
-		case *ast.CallExpr:
-			st.collectCall(s, enclosingBlockEnd(stack, body))
-		case *ast.AssignStmt:
-			st.collectAssign(s)
+		if i := aliasedParam(info, ret.Results[0], params); i >= 0 {
+			if res >= 0 && res != i {
+				conflict = true
+			}
+			res = i
 		}
 		return true
 	})
-	if len(st.poisoned) == 0 && len(st.selPoisoned) == 0 {
-		return
+	if conflict {
+		return -1
 	}
-	// Pass 2: flag uses inside a poison window.
-	check := func(m ast.Node) bool { st.checkUse(m); return true }
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.AssignStmt:
-			// A plain LHS identifier — or a field selector, x.f = v —
-			// is a re-binding, not a use; but writing through an index
-			// (buf[0] = x, x.f[0] = v) mutates the handed-off buffer
-			// and is checked.
-			for _, lhs := range s.Lhs {
-				if _, plain := lhs.(*ast.Ident); plain {
-					continue
-				}
-				if sel, ok := lhs.(*ast.SelectorExpr); ok {
-					if _, plain := sel.X.(*ast.Ident); plain {
-						continue
-					}
-				}
-				ast.Inspect(lhs, check)
-			}
-			for _, rhs := range s.Rhs {
-				ast.Inspect(rhs, check)
-			}
-			return false
-		default:
-			st.checkUse(n)
-		}
-		return true
-	})
+	return res
 }
 
-// enclosingBlockEnd returns the End of the innermost BlockStmt on the
-// stack (the stack top is the current node).
-func enclosingBlockEnd(stack []ast.Node, body *ast.BlockStmt) token.Pos {
-	for i := len(stack) - 1; i >= 0; i-- {
-		if b, ok := stack[i].(*ast.BlockStmt); ok {
-			return b.End()
+func aliasedParam(info *types.Info, e ast.Expr, params []types.Object) int {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return -1
 		}
-	}
-	return body.End()
-}
-
-func (st *bufOwnState) collectCall(call *ast.CallExpr, blockEnd token.Pos) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	info := st.p.Pkg.Info
-	switch sel.Sel.Name {
-	case "Release":
-		recv, ok := sel.X.(*ast.Ident)
-		if !ok || !isCommNamed(info.Types[sel.X].Type, "Message") {
-			return
-		}
-		if obj := info.Uses[recv]; obj != nil {
-			st.poison(obj, call.End(), blockEnd, "Release")
-		}
-	case "SendBufs":
-		if len(call.Args) == 0 {
-			return
-		}
-		last := call.Args[len(call.Args)-1]
-		if tv, ok := info.Types[last]; !ok || !isCommNamed(tv.Type, "Buffers") {
-			return
-		}
-		for _, id := range buffersRoots(last) {
-			if obj := info.Uses[id]; obj != nil {
-				st.poison(obj, call.End(), blockEnd, "SendBufs")
+		for i, p := range params {
+			if p != nil && p == obj {
+				return i
 			}
 		}
-		for _, bsel := range buffersSelectors(last) {
-			if key, ok := st.selObjects(bsel); ok {
-				st.selPoisoned[key] = append(st.selPoisoned[key],
-					poisonEvent{pos: call.End(), blockEnd: blockEnd, kind: "SendBufs"})
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "Payload" {
+			return -1
+		}
+		if id, ok := x.X.(*ast.Ident); ok && isCommNamed(info.Types[x.X].Type, "Message") {
+			obj := info.Uses[id]
+			for i, p := range params {
+				if p != nil && p == obj {
+					return i
+				}
 			}
 		}
+	case *ast.SliceExpr:
+		return aliasedParam(info, x.X, params)
 	}
+	return -1
 }
 
 // selObjects resolves a one-level field selector `x.f` (x a plain
 // identifier) to its (receiver, field) object pair. Method selectors
 // and deeper chains are not tracked.
-func (st *bufOwnState) selObjects(sel *ast.SelectorExpr) (selKey, bool) {
+func selObjects(info *types.Info, sel *ast.SelectorExpr) (selKey, bool) {
 	recv, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return selKey{}, false
 	}
-	info := st.p.Pkg.Info
 	root := info.Uses[recv]
 	field := info.Uses[sel.Sel]
 	if root == nil || field == nil {
@@ -206,10 +629,6 @@ func (st *bufOwnState) selObjects(sel *ast.SelectorExpr) (selKey, bool) {
 		return selKey{}, false
 	}
 	return selKey{root: root, field: field}, true
-}
-
-func (st *bufOwnState) poison(obj types.Object, pos, blockEnd token.Pos, kind string) {
-	st.poisoned[obj] = append(st.poisoned[obj], poisonEvent{pos: pos, blockEnd: blockEnd, kind: kind})
 }
 
 // buffersRoots extracts the identifiers whose buffers a SendBufs
@@ -260,37 +679,6 @@ func buffersSelectors(e ast.Expr) []*ast.SelectorExpr {
 	return nil
 }
 
-func (st *bufOwnState) collectAssign(as *ast.AssignStmt) {
-	info := st.p.Pkg.Info
-	// Alias tracking: p := m.Payload.
-	if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
-		if sel, ok := as.Rhs[0].(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
-			if recv, ok := sel.X.(*ast.Ident); ok && isCommNamed(info.Types[sel.X].Type, "Message") {
-				lhs, lok := as.Lhs[0].(*ast.Ident)
-				msg := info.Uses[recv]
-				if lok && msg != nil {
-					if obj := identObject(info, lhs); obj != nil {
-						st.payloadAlias[obj] = msg
-					}
-				}
-			}
-		}
-	}
-	for _, lhs := range as.Lhs {
-		if id, ok := lhs.(*ast.Ident); ok {
-			if obj := identObject(info, id); obj != nil {
-				st.reassigns[obj] = append(st.reassigns[obj], as.End())
-			}
-			continue
-		}
-		if sel, ok := lhs.(*ast.SelectorExpr); ok {
-			if key, kok := st.selObjects(sel); kok {
-				st.selReassigns[key] = append(st.selReassigns[key], as.End())
-			}
-		}
-	}
-}
-
 // identObject resolves an identifier whether it defines (:=) or uses
 // (=) the variable.
 func identObject(info *types.Info, id *ast.Ident) types.Object {
@@ -298,100 +686,6 @@ func identObject(info *types.Info, id *ast.Ident) types.Object {
 		return obj
 	}
 	return info.Uses[id]
-}
-
-func (st *bufOwnState) checkUse(n ast.Node) {
-	info := st.p.Pkg.Info
-	switch s := n.(type) {
-	case *ast.SelectorExpr:
-		if key, ok := st.selObjects(s); ok {
-			if _, bad := st.inSelPoisonWindow(key, s.Pos()); bad {
-				st.p.Reportf(s.Pos(), "field buffer used after SendBufs hand-off: ownership passed to the transport and the slab may recycle it concurrently")
-				return
-			}
-		}
-		if s.Sel.Name != "Payload" {
-			return
-		}
-		recv, ok := s.X.(*ast.Ident)
-		if !ok {
-			return
-		}
-		obj := info.Uses[recv]
-		if obj == nil {
-			return
-		}
-		if ev, bad := st.inPoisonWindow(obj, s.Pos()); bad {
-			st.p.Reportf(s.Pos(), "message payload used after %s: the slab may already have recycled it", ev.kind)
-		}
-	case *ast.Ident:
-		obj := info.Uses[s]
-		if obj == nil {
-			return
-		}
-		// A Release poisons only the payload (reached via .Payload or an
-		// alias), not the message variable itself — so the direct-ident
-		// check applies to SendBufs hand-offs alone.
-		if ev, bad := st.inPoisonWindow(obj, s.Pos()); bad && ev.kind == "SendBufs" {
-			st.p.Reportf(s.Pos(), "buffer used after SendBufs hand-off: ownership passed to the transport and the slab may recycle it concurrently")
-			return
-		}
-		// Alias of a released message's payload.
-		if msg, ok := st.payloadAlias[obj]; ok {
-			if ev, bad := st.inPoisonWindow(msg, s.Pos()); bad {
-				st.p.Reportf(s.Pos(), "payload alias used after %s: the slab may already have recycled it", ev.kind)
-			}
-		}
-	}
-}
-
-// inPoisonWindow reports whether pos falls after a poison event on obj,
-// within the event's block, with no intervening re-binding.
-func (st *bufOwnState) inPoisonWindow(obj types.Object, pos token.Pos) (poisonEvent, bool) {
-	for _, ev := range st.poisoned[obj] {
-		if pos <= ev.pos || pos >= ev.blockEnd {
-			continue
-		}
-		cleared := false
-		for _, r := range st.reassigns[obj] {
-			if r > ev.pos && r <= pos {
-				cleared = true
-				break
-			}
-		}
-		if !cleared {
-			return ev, true
-		}
-	}
-	return poisonEvent{}, false
-}
-
-// inSelPoisonWindow is inPoisonWindow for (receiver, field) pairs. A
-// poison is cleared by a later write to the same field (x.f = fresh)
-// or by re-binding the receiver variable itself (x = other).
-func (st *bufOwnState) inSelPoisonWindow(key selKey, pos token.Pos) (poisonEvent, bool) {
-	for _, ev := range st.selPoisoned[key] {
-		if pos <= ev.pos || pos >= ev.blockEnd {
-			continue
-		}
-		cleared := false
-		for _, r := range st.selReassigns[key] {
-			if r > ev.pos && r <= pos {
-				cleared = true
-				break
-			}
-		}
-		for _, r := range st.reassigns[key.root] {
-			if r > ev.pos && r <= pos {
-				cleared = true
-				break
-			}
-		}
-		if !cleared {
-			return ev, true
-		}
-	}
-	return poisonEvent{}, false
 }
 
 // isCommNamed reports whether t is (a pointer to) the named type

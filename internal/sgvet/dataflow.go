@@ -1,0 +1,69 @@
+package sgvet
+
+// The dataflow half of the engine: a generic forward fixpoint solver
+// over the CFGs cfg.go builds. Analyses instantiate it with a fact
+// type F and three pure functions:
+//
+//   - transfer applies one block's nodes to an incoming fact and
+//     returns the outgoing fact. It must not mutate its argument (the
+//     same fact value may flow to several successors) and must not
+//     report — reporting happens in a separate final pass, otherwise
+//     every fixpoint iteration would duplicate the diagnostics.
+//   - join merges the facts arriving at a merge point. All the
+//     analyzers in this suite are may-analyses (a poison or a held
+//     lock on *any* incoming path is real), so join is a union.
+//   - equal detects convergence.
+//
+// The solver seeds the entry block, propagates along successor edges
+// with a worklist, and joins only facts from paths that have actually
+// been reached — the classic "bottom = unreached" treatment, which
+// keeps the first visit of a block from being watered down by a
+// not-yet-computed predecessor.
+//
+// Termination: with a finite lattice and monotone transfer the
+// worklist drains on its own; because analyzer fact domains are
+// bounded by the variables a function mentions, that is the normal
+// case. A step cap proportional to the block count backstops the
+// solver against a non-monotone transfer bug (and against adversarial
+// fuzz inputs) — hitting it abandons precision, never correctness,
+// since analyses only read the facts the solver had at that point.
+
+// solveForward runs the fixpoint and returns the *incoming* fact per
+// block, indexed by Block.Index. Reporting passes re-apply transfer to
+// in-facts with diagnostics enabled.
+func solveForward[F any](g *CFG, entry F, join func(F, F) F, equal func(F, F) bool, transfer func(*Block, F) F) []F {
+	n := len(g.Blocks)
+	in := make([]F, n)
+	reached := make([]bool, n)
+	queued := make([]bool, n)
+	in[g.Entry.Index] = entry
+	reached[g.Entry.Index] = true
+	queued[g.Entry.Index] = true
+	work := []*Block{g.Entry}
+	steps, maxSteps := 0, n*64+256
+	for len(work) > 0 && steps < maxSteps {
+		steps++
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := transfer(blk, in[blk.Index])
+		for _, s := range blk.Succs {
+			var next F
+			if !reached[s.Index] {
+				reached[s.Index] = true
+				next = out
+			} else {
+				next = join(in[s.Index], out)
+				if equal(next, in[s.Index]) {
+					continue
+				}
+			}
+			in[s.Index] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,73 @@
+package sgvet
+
+import (
+	"go/ast"
+)
+
+// LeakGo convicts goroutine launches whose body can never exit: the
+// spawned function's CFG (cfg.go) has no path from entry to the
+// function exit — an unconditional infinite loop with no return, no
+// loop-breaking condition, and no terminating call. Such a goroutine
+// ignores every shutdown signal by construction (no reachable exit
+// means no context, done-channel, or stop-flag arm actually leaves the
+// loop) and leaks for the process lifetime; under the worker fleet's
+// rejoin protocol it also keeps a stale epoch pinned forever.
+//
+// The CFG makes the classic near-miss visible: in
+//
+//	go func() {
+//	    for {
+//	        select {
+//	        case <-stop:
+//	            break // exits the select, not the for — loop never ends
+//	        case w := <-work:
+//	            handle(w)
+//	        }
+//	    }
+//	}()
+//
+// the break edge lands on the select's follow block, which loops
+// straight back to the head, so the exit stays unreachable and the
+// launch is flagged. Changing break to return makes the exit reachable
+// and the diagnostic disappear.
+//
+// The body is resolved at the spawn site: a function literal directly,
+// a named in-package function or method through the declaration index.
+// External callees are skipped (their loops are their package's
+// business). A goroutine that can only end by panicking still counts
+// as exiting — panic edges terminate the path — so only genuinely
+// unbounded loops are reported.
+var LeakGo = &Analyzer{
+	Name: "leakgo",
+	Doc:  "goroutine whose body has no reachable exit (leaks for the process lifetime)",
+	Run:  runLeakGo,
+}
+
+func runLeakGo(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var fn ast.Node
+			switch fun := unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				fn = fun
+			default:
+				if obj := calleeObj(p.Pkg.Info, gs.Call); obj != nil {
+					if decl := p.Facts.DeclOf(obj); decl != nil {
+						fn = decl
+					}
+				}
+			}
+			if fn == nil {
+				return true
+			}
+			if g := p.Facts.CFG(fn); !g.ExitReachable() {
+				p.Reportf(gs.Pos(), "goroutine body has no reachable exit: every path loops forever, so no context, done-channel, or stop condition can ever terminate it and it leaks for the process lifetime")
+			}
+			return true
+		})
+	}
+}

@@ -1,8 +1,11 @@
 // Package sgvet is SympleGraph's project-invariant lint suite: a small
 // go/analysis-style framework (stdlib-only — the build environment pins
-// dependencies, so golang.org/x/tools is unavailable) plus the seven
+// dependencies, so golang.org/x/tools is unavailable) plus the nine
 // analyzers that machine-check invariants the engine's correctness
-// leans on:
+// leans on. The flow-sensitive ones run on a shared analysis engine —
+// a per-function CFG (cfg.go), a generic forward dataflow solver
+// (dataflow.go), and bottom-up interprocedural summaries cached in the
+// per-package Facts (summary.go):
 //
 //   - depbreak — a dense-signal UDF whose neighbor traversal exits
 //     early without ctx.EmitDep() silently loses the precise
@@ -27,13 +30,19 @@
 //   - epochpin — a raw *graph.Graph struct-field read in the serving
 //     front-end bypasses the epoch snapshot accessor and can observe a
 //     mutation mid-query; versions must come from graphEntry.Resolve.
+//   - lockorder — engine-backed: per-path mutex acquire/release
+//     tracking; lock-order inversions, self-deadlocks, and locks held
+//     across channel ops or blocking comm calls.
+//   - leakgo — engine-backed: goroutine launches whose body's CFG has
+//     no reachable exit, so no shutdown signal can ever stop them.
 //
 // Diagnostics can be suppressed per line with
 //
 //	//sgvet:ignore <analyzer>[,<analyzer>] <reason>
 //
-// on the offending line or the line above. The reason is mandatory in
-// spirit: an ignore documents why the invariant holds anyway.
+// on the offending line or the line above. The reason is mandatory:
+// an ignore documents why the invariant holds anyway, and `sgvet
+// -audit` lists every suppression and fails on an empty justification.
 package sgvet
 
 import (
@@ -42,8 +51,9 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 
-	"repro/internal/analyzer/typed"
+	"repro/internal/loader"
 )
 
 // Analyzer is one invariant checker.
@@ -53,9 +63,12 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass gives an analyzer one loaded package and a reporting sink.
+// Pass gives an analyzer one loaded package, the package's shared
+// engine cache (CFGs, declaration index, interprocedural summaries),
+// and a reporting sink.
 type Pass struct {
-	Pkg   *typed.Package
+	Pkg   *loader.Package
+	Facts *Facts
 	diags *[]Diagnostic
 	name  string
 }
@@ -93,7 +106,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn, FleetState, EpochPin}
+	return []*Analyzer{DepBreak, SnapDet, CommErr, CtxBlock, BufOwn, FleetState, EpochPin, LockOrder, LeakGo}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).
@@ -123,13 +136,33 @@ func ByName(names string) ([]*Analyzer, error) {
 // Run executes the analyzers over the packages and returns surviving
 // diagnostics, sorted by position, with //sgvet:ignore suppressions
 // applied.
-func Run(pkgs []*typed.Package, analyzers []*Analyzer) []Diagnostic {
+func Run(pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// Timing is one analyzer's aggregate wall time and surviving finding
+// count over a RunTimed call — the `make lint` per-analyzer report and
+// the findings artifact's cost ledger.
+type Timing struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
+	Findings int     `json:"findings"`
+}
+
+// RunTimed is Run with a per-analyzer wall-time and finding-count
+// breakdown (ordered like the analyzers argument).
+func RunTimed(pkgs []*loader.Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		ignores := ignoreLines(pkg)
+		facts := newFacts(pkg)
 		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, diags: &pkgDiags, name: a.Name})
+		for i, a := range analyzers {
+			start := time.Now()
+			a.Run(&Pass{Pkg: pkg, Facts: facts, diags: &pkgDiags, name: a.Name})
+			elapsed[i] += time.Since(start)
 		}
 		for _, d := range pkgDiags {
 			if ignores.covers(d) {
@@ -159,7 +192,19 @@ func Run(pkgs []*typed.Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = Timing{
+			Analyzer: a.Name,
+			Millis:   float64(elapsed[i].Microseconds()) / 1000,
+			Findings: counts[a.Name],
+		}
+	}
+	return diags, timings
 }
 
 // ignoreSet maps file → line → set of ignored analyzer names ("*" for
@@ -182,9 +227,47 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 	return false
 }
 
-// ignoreLines parses //sgvet:ignore directives out of a package.
-func ignoreLines(pkg *typed.Package) ignoreSet {
-	set := ignoreSet{}
+// Artifact is the machine-readable record of one full lint run:
+// `sgvet -artifact` writes it, `sgvet -check-artifact` (wired into
+// `make verify`) validates it, and the timing ledger doubles as proof
+// of which analyzers actually ran.
+type Artifact struct {
+	Analyzers    []Timing      `json:"analyzers"`
+	Diagnostics  []Diagnostic  `json:"diagnostics"`
+	Suppressions []Suppression `json:"suppressions"`
+}
+
+// Suppression is one //sgvet:ignore directive, with its justification
+// text — the audit surface `sgvet -audit` renders and polices.
+type Suppression struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+}
+
+// CollectSuppressions parses every //sgvet:ignore directive in the
+// packages, sorted by position.
+func CollectSuppressions(pkgs []*loader.Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		out = append(out, parseSuppressions(pkg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// parseSuppressions extracts the //sgvet:ignore directives of one
+// package: `//sgvet:ignore <analyzer>[,<analyzer>] <reason...>`. A
+// directive with no analyzer list suppresses everything ("*") — and
+// necessarily has no reason, which the audit flags.
+func parseSuppressions(pkg *loader.Package) []Suppression {
+	var out []Suppression
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -195,29 +278,42 @@ func ignoreLines(pkg *typed.Package) ignoreSet {
 					continue
 				}
 				fields := strings.Fields(rest)
-				names := map[string]bool{}
+				sup := Suppression{}
 				if len(fields) == 0 {
-					names["*"] = true
+					sup.Analyzers = []string{"*"}
 				} else {
 					for _, n := range strings.Split(fields[0], ",") {
 						if n != "" {
-							names[n] = true
+							sup.Analyzers = append(sup.Analyzers, n)
 						}
 					}
+					sup.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					set[pos.Filename] = lines
-				}
-				if lines[pos.Line] == nil {
-					lines[pos.Line] = map[string]bool{}
-				}
-				for n := range names {
-					lines[pos.Line][n] = true
-				}
+				sup.File = pos.Filename
+				sup.Line = pos.Line
+				out = append(out, sup)
 			}
+		}
+	}
+	return out
+}
+
+// ignoreLines folds a package's suppressions into the line-lookup shape
+// Run consults.
+func ignoreLines(pkg *loader.Package) ignoreSet {
+	set := ignoreSet{}
+	for _, sup := range parseSuppressions(pkg) {
+		lines := set[sup.File]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			set[sup.File] = lines
+		}
+		if lines[sup.Line] == nil {
+			lines[sup.Line] = map[string]bool{}
+		}
+		for _, n := range sup.Analyzers {
+			lines[sup.Line][n] = true
 		}
 	}
 	return set

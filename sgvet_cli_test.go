@@ -169,19 +169,209 @@ func udf(ctx *core.DenseCtx[uint32], dst graph.VertexID, srcs []graph.VertexID, 
 	}
 }
 
-// TestSgvetVettool exercises the `go vet -vettool` protocol over a
-// package with a known suppressed-but-present invariant surface
-// (internal/server) and over the whole repository. The protocol depends
-// on the toolchain writing export data; if this environment's go vet
-// cannot run the tool at all, the test skips with the reason — the
-// standalone mode above is the supported gate.
+// TestSgvetEngineCLI drives the three engine-backed analyzers through
+// the built binary over one deliberately broken fixture package: a
+// use-after-Release that only a helper summary can see (bufown), a
+// lock-order inversion (lockorder), and an exit-free goroutine
+// (leakgo).
+func TestSgvetEngineCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sgvet")
+
+	dir := t.TempDir()
+	src := `package broken
+
+import (
+	"sync"
+
+	"repro/internal/comm"
+)
+
+var ep comm.Endpoint
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func drain(m *comm.Message) { m.Release() }
+
+func useAfterHelperRelease() byte {
+	m, _ := ep.Recv(0, comm.KindUpdate, 1)
+	drain(&m)
+	return m.Payload[0]
+}
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func leak() {
+	go func() {
+		for {
+		}
+	}()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(tools["sgvet"], "-c", "bufown,lockorder,leakgo", dir)
+	cmd.Dir = "."
+	b, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on engine findings, got %v\n%s", err, b)
+	}
+	out := string(b)
+	for _, needle := range []string{"(bufown)", "(lockorder)", "(leakgo)", "payload used after Release", "lock order inversion", "no reachable exit"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("engine diagnostics missing %q:\n%s", needle, out)
+		}
+	}
+	// Both directions of the inversion are named.
+	if strings.Count(out, "lock order inversion") != 2 {
+		t.Errorf("want one inversion diagnostic per direction:\n%s", out)
+	}
+}
+
+// TestSgvetAudit pins the suppression audit: a justified //sgvet:ignore
+// passes and is listed; a bare one fails the run.
+func TestSgvetAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sgvet")
+
+	writePkg := func(src string) string {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "quiet.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	good := writePkg(`package quiet
+
+//sgvet:ignore bufown fixture exercises the recycled-payload path deliberately
+var x = 1
+`)
+	cmd := exec.Command(tools["sgvet"], "-audit", good)
+	cmd.Dir = "."
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("justified suppression failed the audit: %v\n%s", err, b)
+	}
+	out := string(b)
+	if !strings.Contains(out, "bufown — fixture exercises the recycled-payload path deliberately") ||
+		!strings.Contains(out, "1 suppression(s), 0 without justification") {
+		t.Fatalf("audit listing:\n%s", out)
+	}
+
+	bad := writePkg(`package quiet
+
+//sgvet:ignore
+var x = 1
+`)
+	cmd = exec.Command(tools["sgvet"], "-audit", bad)
+	cmd.Dir = "."
+	b, err = cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("unjustified suppression must fail the audit, got %v\n%s", err, b)
+	}
+	if !strings.Contains(string(b), "<no justification>") {
+		t.Fatalf("audit failure output:\n%s", b)
+	}
+}
+
+// TestSgvetArtifact round-trips the findings artifact: -artifact writes
+// timings for the whole suite plus zero findings over a clean subtree,
+// -check-artifact accepts it, and rejects a tampered artifact (stale
+// analyzer set, recorded finding).
+func TestSgvetArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "sgvet")
+
+	path := filepath.Join(t.TempDir(), "lint.json")
+	out := run(t, tools["sgvet"], "-times", "-artifact", path, "./internal/bufpool")
+	if !strings.Contains(out, "per-analyzer wall time") || !strings.Contains(out, "lockorder") {
+		t.Fatalf("-times report:\n%s", out)
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Analyzers []struct {
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"millis"`
+		} `json:"analyzers"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("artifact not JSON: %v\n%s", err, blob)
+	}
+	if len(art.Analyzers) != 9 || len(art.Diagnostics) != 0 {
+		t.Fatalf("artifact shape: %d analyzers, %d diagnostics", len(art.Analyzers), len(art.Diagnostics))
+	}
+
+	out = run(t, tools["sgvet"], "-check-artifact", path)
+	if !strings.Contains(out, "ok: 9 analyzers, 0 findings") {
+		t.Fatalf("check-artifact accept:\n%s", out)
+	}
+
+	expectReject := func(name, contents string) {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(p, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(tools["sgvet"], "-check-artifact", p)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%s artifact accepted", name)
+		}
+	}
+	// An artifact from before an analyzer landed must not green-light.
+	expectReject("stale", strings.Replace(string(blob), `"analyzer": "leakgo"`, `"analyzer": "gone"`, 1))
+	// Recorded findings must not green-light.
+	expectReject("findings", strings.Replace(string(blob),
+		`"diagnostics": []`,
+		`"diagnostics": [{"analyzer":"bufown","file":"x.go","line":1,"col":1,"message":"boom"}]`, 1))
+	expectReject("garbage", "{")
+}
+
+// TestSgvetVettool exercises the `go vet -vettool` protocol over the
+// subtrees with the richest invariant surfaces: internal/server and
+// internal/obs for the historical analyzers, and internal/comm +
+// internal/core for the engine-backed three (mutex discipline, spawned
+// worker goroutines, and the SendBufs ownership hand-offs all live
+// there). The protocol depends on the toolchain writing export data; if
+// this environment's go vet cannot run the tool at all, the test skips
+// with the reason — the standalone mode above is the supported gate.
 func TestSgvetVettool(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
 	}
 	tools := buildTools(t, "sgvet")
 
-	cmd := exec.Command("go", "vet", "-vettool="+tools["sgvet"], "./internal/server/...", "./internal/obs/...")
+	cmd := exec.Command("go", "vet", "-vettool="+tools["sgvet"],
+		"./internal/server/...", "./internal/obs/...", "./internal/comm/...", "./internal/core/...")
 	cmd.Env = os.Environ()
 	b, err := cmd.CombinedOutput()
 	if err != nil {
